@@ -1,0 +1,170 @@
+//! Parameter checkpointing: save/restore a [`ParamStore`] to disk.
+//!
+//! The format is a little-endian binary payload (magic, per-tensor name,
+//! shape, and data) — self-describing, dependency-free, and stable across
+//! platforms. Loading validates names and shapes against the live store, so
+//! a checkpoint can only be restored into a model with the same
+//! architecture.
+
+use crate::params::{ParamId, ParamStore};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MFNCKPT1";
+
+/// Writes every parameter (name, shape, values) to `path`.
+pub fn save_params(store: &ParamStore, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(store.len() as u64).to_le_bytes())?;
+    for (id, name, tensor) in store.iter() {
+        let _ = id;
+        let nb = name.as_bytes();
+        w.write_all(&(nb.len() as u32).to_le_bytes())?;
+        w.write_all(nb)?;
+        w.write_all(&(tensor.shape().rank() as u32).to_le_bytes())?;
+        for &d in tensor.dims() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in tensor.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Restores parameters saved by [`save_params`] into `store`.
+///
+/// # Errors
+/// Fails if the file is corrupt, or if any name/shape does not match the
+/// store (architecture mismatch).
+pub fn load_params(store: &mut ParamStore, path: &Path) -> io::Result<()> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("bad magic bytes"));
+    }
+    let count = read_u64(&mut r)? as usize;
+    if count != store.len() {
+        return Err(bad(&format!(
+            "checkpoint has {count} parameters, model has {}",
+            store.len()
+        )));
+    }
+    for i in 0..count {
+        let id = ParamId(i);
+        let name_len = read_u32(&mut r)? as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| bad("non-UTF8 parameter name"))?;
+        if name != store.name(id) {
+            return Err(bad(&format!(
+                "parameter {i} name mismatch: checkpoint '{name}', model '{}'",
+                store.name(id)
+            )));
+        }
+        let rank = read_u32(&mut r)? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u64(&mut r)? as usize);
+        }
+        if dims != store.get(id).dims() {
+            return Err(bad(&format!(
+                "parameter '{name}' shape mismatch: checkpoint {dims:?}, model {:?}",
+                store.get(id).dims()
+            )));
+        }
+        let numel: usize = dims.iter().product();
+        let mut bytes = vec![0u8; numel * 4];
+        r.read_exact(&mut bytes)?;
+        let data = store.get_mut(id).data_mut();
+        for (k, chunk) in bytes.chunks_exact(4).enumerate() {
+            data[k] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+    }
+    Ok(())
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfn_tensor::Tensor;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn example_store(seed: u64) -> ParamStore {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut s = ParamStore::new();
+        s.register("layer.weight", Tensor::randn(&[4, 3], 1.0, &mut rng));
+        s.register("layer.bias", Tensor::randn(&[4], 1.0, &mut rng));
+        s.register("bn.gamma", Tensor::ones(&[2]));
+        s
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let dir = std::env::temp_dir().join("mfn_ckpt_roundtrip");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("model.ckpt");
+        let trained = example_store(1);
+        save_params(&trained, &path).expect("save");
+        let mut fresh = example_store(2); // different values, same shapes
+        assert_ne!(fresh.flatten(), trained.flatten());
+        load_params(&mut fresh, &path).expect("load");
+        assert_eq!(fresh.flatten(), trained.flatten());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let dir = std::env::temp_dir().join("mfn_ckpt_mismatch");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("model.ckpt");
+        save_params(&example_store(1), &path).expect("save");
+        // Wrong shape.
+        let mut other = ParamStore::new();
+        other.register("layer.weight", Tensor::zeros(&[5, 3]));
+        other.register("layer.bias", Tensor::zeros(&[4]));
+        other.register("bn.gamma", Tensor::zeros(&[2]));
+        assert!(load_params(&mut other, &path).is_err());
+        // Wrong name.
+        let mut other = ParamStore::new();
+        other.register("oops.weight", Tensor::zeros(&[4, 3]));
+        other.register("layer.bias", Tensor::zeros(&[4]));
+        other.register("bn.gamma", Tensor::zeros(&[2]));
+        assert!(load_params(&mut other, &path).is_err());
+        // Wrong count.
+        let mut other = ParamStore::new();
+        other.register("layer.weight", Tensor::zeros(&[4, 3]));
+        assert!(load_params(&mut other, &path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_file() {
+        let dir = std::env::temp_dir().join("mfn_ckpt_corrupt");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("model.ckpt");
+        std::fs::write(&path, b"definitely not a checkpoint").expect("write");
+        let mut s = example_store(1);
+        assert!(load_params(&mut s, &path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,311 @@
+//! Forward-mode "jets": exact first and second directional derivatives.
+//!
+//! A [`Jet3`] carries a value together with its gradient and *diagonal*
+//! Hessian with respect to three independent directions (the decoder's
+//! space-time coordinates `x`, `z`, `t`). Propagating jets through the
+//! continuous decoding MLP yields the exact `∂y/∂x_i` and `∂²y/∂x_i²` needed
+//! by the Rayleigh–Bénard residuals (the PDE uses no mixed second
+//! derivatives, so the diagonal is sufficient — and diagonal-Hessian
+//! forward propagation is exact, not an approximation).
+//!
+//! Training uses finite-difference stencils instead (so that `∂Loss/∂θ` comes
+//! straight off the reverse tape); the jets serve inference and act as the
+//! ground truth the stencils are validated against in tests.
+
+use crate::nn::{Activation, Mlp};
+use crate::params::ParamStore;
+use mfn_tensor::Tensor;
+
+/// A second-order jet in three directions: value, gradient, diagonal Hessian.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Jet3 {
+    /// The value.
+    pub v: f32,
+    /// First derivatives `[d/dx, d/dz, d/dt]`.
+    pub d: [f32; 3],
+    /// Diagonal second derivatives `[d²/dx², d²/dz², d²/dt²]`.
+    pub dd: [f32; 3],
+}
+
+impl Jet3 {
+    /// A constant (all derivatives zero).
+    pub fn constant(v: f32) -> Self {
+        Jet3 { v, d: [0.0; 3], dd: [0.0; 3] }
+    }
+
+    /// The variable for direction `axis`: value `v`, unit first derivative.
+    pub fn variable(v: f32, axis: usize) -> Self {
+        let mut d = [0.0; 3];
+        d[axis] = 1.0;
+        Jet3 { v, d, dd: [0.0; 3] }
+    }
+
+    /// A variable with a scaled derivative `dv` along `axis` — used for
+    /// normalized patch coordinates where `d(local)/d(physical) = 1/Δ`.
+    pub fn scaled_variable(v: f32, axis: usize, dv: f32) -> Self {
+        let mut d = [0.0; 3];
+        d[axis] = dv;
+        Jet3 { v, d, dd: [0.0; 3] }
+    }
+
+    /// Jet sum.
+    pub fn add(self, o: Jet3) -> Jet3 {
+        Jet3 {
+            v: self.v + o.v,
+            d: [self.d[0] + o.d[0], self.d[1] + o.d[1], self.d[2] + o.d[2]],
+            dd: [self.dd[0] + o.dd[0], self.dd[1] + o.dd[1], self.dd[2] + o.dd[2]],
+        }
+    }
+
+    /// Jet product with the full second-order product rule
+    /// `(fg)'' = f''g + 2f'g' + fg''` per direction.
+    pub fn mul(self, o: Jet3) -> Jet3 {
+        let mut d = [0.0; 3];
+        let mut dd = [0.0; 3];
+        for k in 0..3 {
+            d[k] = self.d[k] * o.v + self.v * o.d[k];
+            dd[k] = self.dd[k] * o.v + 2.0 * self.d[k] * o.d[k] + self.v * o.dd[k];
+        }
+        Jet3 { v: self.v * o.v, d, dd }
+    }
+
+    /// Scaling by a real constant.
+    pub fn scale(self, s: f32) -> Jet3 {
+        Jet3 {
+            v: self.v * s,
+            d: [self.d[0] * s, self.d[1] * s, self.d[2] * s],
+            dd: [self.dd[0] * s, self.dd[1] * s, self.dd[2] * s],
+        }
+    }
+
+    /// Applies a scalar activation via its chain rules:
+    /// `σ(u)' = σ'(u) u'`, `σ(u)'' = σ''(u) u'² + σ'(u) u''`.
+    pub fn activate(self, act: Activation) -> Jet3 {
+        let s1 = act.d1(self.v);
+        let s2 = act.d2(self.v);
+        let mut d = [0.0; 3];
+        let mut dd = [0.0; 3];
+        for k in 0..3 {
+            d[k] = s1 * self.d[k];
+            dd[k] = s2 * self.d[k] * self.d[k] + s1 * self.dd[k];
+        }
+        Jet3 { v: act.eval(self.v), d, dd }
+    }
+}
+
+/// A vector of jets (one per neuron of an MLP layer), in struct-of-arrays
+/// layout for cache-friendly linear transforms.
+#[derive(Debug, Clone, Default)]
+pub struct JetVec {
+    /// Values, one per feature.
+    pub val: Vec<f32>,
+    /// First derivatives per feature.
+    pub d: Vec<[f32; 3]>,
+    /// Diagonal second derivatives per feature.
+    pub dd: Vec<[f32; 3]>,
+}
+
+impl JetVec {
+    /// Builds a jet vector from per-feature jets.
+    pub fn from_jets(jets: &[Jet3]) -> Self {
+        JetVec {
+            val: jets.iter().map(|j| j.v).collect(),
+            d: jets.iter().map(|j| j.d).collect(),
+            dd: jets.iter().map(|j| j.dd).collect(),
+        }
+    }
+
+    /// The jet of feature `i`.
+    pub fn jet(&self, i: usize) -> Jet3 {
+        Jet3 { v: self.val[i], d: self.d[i], dd: self.dd[i] }
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.val.is_empty()
+    }
+}
+
+/// Linear layer `y = W x + b` applied to a jet vector (`W: [out, in]`).
+/// Linear maps commute with differentiation, so derivatives transform by the
+/// same matrix and the bias touches only the value.
+pub fn linear_jet(w: &Tensor, b: &Tensor, x: &JetVec) -> JetVec {
+    let (out, inp) = (w.dims()[0], w.dims()[1]);
+    assert_eq!(x.len(), inp, "jet width mismatch");
+    let wd = w.data();
+    let mut val = vec![0.0f32; out];
+    let mut d = vec![[0.0f32; 3]; out];
+    let mut dd = vec![[0.0f32; 3]; out];
+    for o in 0..out {
+        let row = &wd[o * inp..(o + 1) * inp];
+        let mut v = b.data()[o];
+        let mut g = [0.0f32; 3];
+        let mut h = [0.0f32; 3];
+        for (i, &wv) in row.iter().enumerate() {
+            if wv == 0.0 {
+                continue;
+            }
+            v += wv * x.val[i];
+            for k in 0..3 {
+                g[k] += wv * x.d[i][k];
+                h[k] += wv * x.dd[i][k];
+            }
+        }
+        val[o] = v;
+        d[o] = g;
+        dd[o] = h;
+    }
+    JetVec { val, d, dd }
+}
+
+/// Element-wise activation over a jet vector.
+pub fn activation_jet(act: Activation, x: &JetVec) -> JetVec {
+    let n = x.len();
+    let mut out = JetVec {
+        val: vec![0.0; n],
+        d: vec![[0.0; 3]; n],
+        dd: vec![[0.0; 3]; n],
+    };
+    for i in 0..n {
+        let j = x.jet(i).activate(act);
+        out.val[i] = j.v;
+        out.d[i] = j.d;
+        out.dd[i] = j.dd;
+    }
+    out
+}
+
+/// Full forward-mode pass of an [`Mlp`] on a jet vector.
+pub fn mlp_jet(mlp: &Mlp, store: &ParamStore, input: &JetVec) -> JetVec {
+    let mut h = input.clone();
+    let last = mlp.layers.len() - 1;
+    for (i, layer) in mlp.layers.iter().enumerate() {
+        h = linear_jet(store.get(layer.weight), store.get(layer.bias), &h);
+        if i != last {
+            h = activation_jet(mlp.activation, &h);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn product_rule_on_polynomials() {
+        // f = x (axis 0), g = x -> fg = x^2: d = 2x, dd = 2.
+        let x0 = 1.7f32;
+        let x = Jet3::variable(x0, 0);
+        let sq = x.mul(x);
+        assert!((sq.v - x0 * x0).abs() < 1e-6);
+        assert!((sq.d[0] - 2.0 * x0).abs() < 1e-6);
+        assert!((sq.dd[0] - 2.0).abs() < 1e-6);
+        // Cube: d = 3x^2, dd = 6x.
+        let cube = sq.mul(x);
+        assert!((cube.d[0] - 3.0 * x0 * x0).abs() < 1e-5);
+        assert!((cube.dd[0] - 6.0 * x0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn independent_directions_stay_independent() {
+        let x = Jet3::variable(2.0, 0);
+        let z = Jet3::variable(3.0, 1);
+        let p = x.mul(z); // xz: d/dx = z, d/dz = x, dd = 0 diagonal
+        assert!((p.d[0] - 3.0).abs() < 1e-6);
+        assert!((p.d[1] - 2.0).abs() < 1e-6);
+        assert!(p.dd[0].abs() < 1e-6 && p.dd[1].abs() < 1e-6);
+        assert!(p.d[2].abs() < 1e-6);
+    }
+
+    #[test]
+    fn activation_jets_match_finite_differences() {
+        for act in [Activation::Softplus, Activation::Tanh] {
+            let x0 = 0.37f32;
+            let j = Jet3::variable(x0, 2).activate(act);
+            let h = 1e-3f32;
+            let f = |x: f32| act.eval(x);
+            let d_fd = (f(x0 + h) - f(x0 - h)) / (2.0 * h);
+            let dd_fd = (f(x0 + h) - 2.0 * f(x0) + f(x0 - h)) / (h * h);
+            assert!((j.d[2] - d_fd).abs() < 1e-3);
+            assert!((j.dd[2] - dd_fd).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn mlp_jet_matches_finite_differences() {
+        let mut store = ParamStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mlp = Mlp::new(&mut store, "m", &[4, 16, 16, 2], Activation::Softplus, &mut rng);
+
+        // Input: first 3 features are the coordinate variables, 4th is latent.
+        let coords = [0.3f32, -0.2, 0.5];
+        let latent = 0.8f32;
+        let eval = |c: [f32; 3]| -> Vec<f32> {
+            let jets: Vec<Jet3> = (0..3)
+                .map(|k| Jet3::constant(c[k]))
+                .chain(std::iter::once(Jet3::constant(latent)))
+                .collect();
+            let out = mlp_jet(&mlp, &store, &JetVec::from_jets(&jets));
+            out.val
+        };
+        let jets: Vec<Jet3> = (0..3)
+            .map(|k| Jet3::variable(coords[k], k))
+            .chain(std::iter::once(Jet3::constant(latent)))
+            .collect();
+        let out = mlp_jet(&mlp, &store, &JetVec::from_jets(&jets));
+
+        let h = 1e-2f32;
+        for axis in 0..3 {
+            let mut cp = coords;
+            cp[axis] += h;
+            let mut cm = coords;
+            cm[axis] -= h;
+            let fp = eval(cp);
+            let fm = eval(cm);
+            let f0 = eval(coords);
+            for o in 0..2 {
+                let d_fd = (fp[o] - fm[o]) / (2.0 * h);
+                let dd_fd = (fp[o] - 2.0 * f0[o] + fm[o]) / (h * h);
+                assert!(
+                    (out.d[o][axis] - d_fd).abs() < 5e-3 * (1.0 + d_fd.abs()),
+                    "axis {axis} out {o}: jet {} fd {}",
+                    out.d[o][axis],
+                    d_fd
+                );
+                assert!(
+                    (out.dd[o][axis] - dd_fd).abs() < 5e-2 * (1.0 + dd_fd.abs()),
+                    "axis {axis} out {o}: jet {} fd {}",
+                    out.dd[o][axis],
+                    dd_fd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_variable_applies_chain_rule() {
+        // local = phys / 4 -> d(local)/d(phys) = 0.25; f(local) = local^2
+        // df/dphys = 2*local*0.25.
+        let local = Jet3::scaled_variable(0.5, 0, 0.25);
+        let f = local.mul(local);
+        assert!((f.d[0] - 2.0 * 0.5 * 0.25).abs() < 1e-6);
+        assert!((f.dd[0] - 2.0 * 0.25 * 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jetvec_roundtrip() {
+        let jets = vec![Jet3::variable(1.0, 0), Jet3::constant(2.0)];
+        let v = JetVec::from_jets(&jets);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.jet(0), jets[0]);
+        assert_eq!(v.jet(1), jets[1]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # mfn-autodiff
+//!
+//! A from-scratch reverse-mode automatic-differentiation engine plus the
+//! neural-network building blocks used by the MeshfreeFlowNet reproduction:
+//!
+//! - [`Graph`]: a Wengert-list tape recording tensor ops (conv3d, pooling,
+//!   upsampling, batch norm, GEMM, activations, gathers and trilinear vertex
+//!   blending) with exact reverse-mode gradients;
+//! - [`nn`]: `Linear`, `Conv3dLayer`, `BatchNorm3d`, `Mlp` layers over a
+//!   shared [`ParamStore`];
+//! - [`optim`]: Adam (the paper's optimizer) and SGD;
+//! - [`jet`]: exact forward-mode first/second directional derivatives through
+//!   an MLP, for evaluating the PDE residuals of the continuous decoder.
+//!
+//! Graphs are plain owned values (`Send`), so the data-parallel trainer can
+//! run one tape per worker thread with no shared mutable state.
+
+pub mod checkpoint;
+pub mod graph;
+pub mod jet;
+pub mod nn;
+pub mod optim;
+pub mod params;
+
+pub use checkpoint::{load_params, save_params};
+pub use graph::{sigmoid_scalar, softplus_scalar, Graph, Var};
+pub use jet::{activation_jet, linear_jet, mlp_jet, Jet3, JetVec};
+pub use nn::{Activation, BatchNorm3d, Conv3dLayer, Linear, Mlp};
+pub use optim::{clip_grad_norm, Adam, AdamConfig, Sgd};
+pub use params::{flatten_grads, unflatten_grads, ParamId, ParamStore};

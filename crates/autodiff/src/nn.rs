@@ -1,0 +1,401 @@
+//! Reusable neural-network layers on top of the tape.
+//!
+//! Layers own [`ParamId`] handles into a shared [`ParamStore`]; their
+//! `forward` methods record operations onto a caller-provided [`Graph`].
+//! This split keeps parameters (long-lived, optimized, all-reduced) apart
+//! from activations (per-step tape state), which is what both the Adam
+//! optimizer and the data-parallel trainer need.
+
+use crate::graph::{Graph, Var};
+use crate::params::{ParamId, ParamStore};
+use mfn_tensor::Tensor;
+use rand::Rng;
+
+/// Element-wise activation selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit (paper Fig. 5 default).
+    Relu,
+    /// Smooth softplus; required when exact second derivatives of the decoder
+    /// are wanted (PDE constraints), since ReLU has zero curvature a.e.
+    Softplus,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (no activation).
+    Linear,
+}
+
+impl Activation {
+    /// Records this activation on the tape.
+    pub fn apply(self, g: &mut Graph, x: Var) -> Var {
+        match self {
+            Activation::Relu => g.relu(x),
+            Activation::Softplus => g.softplus(x),
+            Activation::Tanh => g.tanh(x),
+            Activation::Linear => x,
+        }
+    }
+
+    /// Scalar evaluation (used by the forward-mode jet propagator).
+    pub fn eval(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Softplus => crate::graph::softplus_scalar(x),
+            Activation::Tanh => x.tanh(),
+            Activation::Linear => x,
+        }
+    }
+
+    /// First derivative at `x`.
+    pub fn d1(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Softplus => crate::graph::sigmoid_scalar(x),
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Linear => 1.0,
+        }
+    }
+
+    /// Second derivative at `x`.
+    pub fn d2(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu | Activation::Linear => 0.0,
+            Activation::Softplus => {
+                let s = crate::graph::sigmoid_scalar(x);
+                s * (1.0 - s)
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                -2.0 * t * (1.0 - t * t)
+            }
+        }
+    }
+}
+
+/// A fully-connected layer `y = x W^T + b` (weights stored `[out, in]`).
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight parameter, shape `[out, in]`.
+    pub weight: ParamId,
+    /// Bias parameter, shape `[out]`.
+    pub bias: ParamId,
+    /// Input features.
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+}
+
+impl Linear {
+    /// Registers a Kaiming-uniform-initialized linear layer.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut R,
+    ) -> Self {
+        let bound = (1.0 / in_features as f32).sqrt();
+        let w = Tensor::rand_uniform(&[out_features, in_features], -bound, bound, rng);
+        let b = Tensor::rand_uniform(&[out_features], -bound, bound, rng);
+        Linear {
+            weight: store.register(format!("{name}.weight"), w),
+            bias: store.register(format!("{name}.bias"), b),
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Applies the layer to `x: [M, in]`, producing `[M, out]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.param(store, self.weight);
+        let b = g.param(store, self.bias);
+        let y = g.matmul_nt(x, w); // x @ W^T with W stored [out, in]
+        g.bias_row(y, b)
+    }
+}
+
+/// A 3D convolution layer with bias (stride 1, same padding).
+#[derive(Debug, Clone)]
+pub struct Conv3dLayer {
+    /// Kernel parameter `[out, in, kd, kh, kw]`.
+    pub weight: ParamId,
+    /// Bias parameter `[out]`.
+    pub bias: ParamId,
+}
+
+impl Conv3dLayer {
+    /// Registers a Kaiming-initialized conv layer with kernel `[kd, kh, kw]`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        cin: usize,
+        cout: usize,
+        kernel: [usize; 3],
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = cin * kernel[0] * kernel[1] * kernel[2];
+        let std = (2.0 / fan_in as f32).sqrt();
+        let w = Tensor::randn(&[cout, cin, kernel[0], kernel[1], kernel[2]], std, rng);
+        let b = Tensor::zeros(&[cout]);
+        Conv3dLayer {
+            weight: store.register(format!("{name}.weight"), w),
+            bias: store.register(format!("{name}.bias"), b),
+        }
+    }
+
+    /// Applies the convolution to `x: [N, Cin, D, H, W]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.param(store, self.weight);
+        let b = g.param(store, self.bias);
+        let y = g.conv3d(x, w);
+        g.bias_channel(y, b)
+    }
+}
+
+/// Batch normalization over `[N, C, D, H, W]` with running statistics.
+#[derive(Debug, Clone)]
+pub struct BatchNorm3d {
+    /// Scale parameter `[C]`.
+    pub gamma: ParamId,
+    /// Shift parameter `[C]`.
+    pub beta: ParamId,
+    /// Running mean, updated in training mode.
+    pub running_mean: Vec<f32>,
+    /// Running variance, updated in training mode.
+    pub running_var: Vec<f32>,
+    /// Exponential-moving-average momentum for running stats.
+    pub momentum: f32,
+    /// Variance fuzz.
+    pub eps: f32,
+}
+
+impl BatchNorm3d {
+    /// Registers a batch-norm layer for `c` channels (γ=1, β=0).
+    pub fn new(store: &mut ParamStore, name: &str, c: usize) -> Self {
+        BatchNorm3d {
+            gamma: store.register(format!("{name}.gamma"), Tensor::ones(&[c])),
+            beta: store.register(format!("{name}.beta"), Tensor::zeros(&[c])),
+            running_mean: vec![0.0; c],
+            running_var: vec![1.0; c],
+            momentum: 0.1,
+            eps: 1e-5,
+        }
+    }
+
+    /// Training-mode forward: normalizes with batch statistics and updates
+    /// the running averages.
+    pub fn forward_train(&mut self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let gamma = g.param(store, self.gamma);
+        let beta = g.param(store, self.beta);
+        let mut stats = (Vec::new(), Vec::new());
+        let y = g.batch_norm(x, gamma, beta, self.eps, Some(&mut stats));
+        for (r, &m) in self.running_mean.iter_mut().zip(&stats.0) {
+            *r = (1.0 - self.momentum) * *r + self.momentum * m;
+        }
+        for (r, &v) in self.running_var.iter_mut().zip(&stats.1) {
+            *r = (1.0 - self.momentum) * *r + self.momentum * v;
+        }
+        y
+    }
+
+    /// Inference-mode forward: frozen affine using the running statistics.
+    pub fn forward_eval(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let gamma = store.get(self.gamma).data();
+        let beta = store.get(self.beta).data();
+        let scale: Vec<f32> = gamma
+            .iter()
+            .zip(&self.running_var)
+            .map(|(&g, &v)| g / (v + self.eps).sqrt())
+            .collect();
+        let shift: Vec<f32> = beta
+            .iter()
+            .zip(&self.running_mean)
+            .zip(&scale)
+            .map(|((&b, &m), &s)| b - m * s)
+            .collect();
+        g.channel_affine(x, scale, shift)
+    }
+
+    /// Dispatches on `training`.
+    pub fn forward(&mut self, g: &mut Graph, store: &ParamStore, x: Var, training: bool) -> Var {
+        if training {
+            self.forward_train(g, store, x)
+        } else {
+            self.forward_eval(g, store, x)
+        }
+    }
+}
+
+/// A multilayer perceptron with a shared hidden activation and linear head.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// The stacked layers, applied in order.
+    pub layers: Vec<Linear>,
+    /// Hidden activation (the last layer is always linear).
+    pub activation: Activation,
+}
+
+impl Mlp {
+    /// Registers an MLP with the given layer widths, e.g. `[35, 512, ..., 4]`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        widths: &[usize],
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.fc{i}"), w[0], w[1], rng))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.layers.first().expect("non-empty").in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.layers.last().expect("non-empty").out_features
+    }
+
+    /// Records the forward pass for `x: [M, in]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(g, store, h);
+            if i != last {
+                h = self.activation.apply(g, h);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn linear_forward_matches_manual() {
+        let mut store = ParamStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let lin = Linear::new(&mut store, "l", 3, 2, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]));
+        let y = lin.forward(&mut g, &store, x);
+        let w = store.get(lin.weight);
+        let b = store.get(lin.bias);
+        for o in 0..2 {
+            let manual: f32 = (0..3).map(|i| w.at(&[o, i]) * (i as f32 + 1.0)).sum::<f32>()
+                + b.data()[o];
+            assert!((g.value(y).data()[o] - manual).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn conv_layer_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let conv = Conv3dLayer::new(&mut store, "c", 2, 4, [3, 3, 3], &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[1, 2, 3, 4, 5]));
+        let y = conv.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).dims(), &[1, 4, 3, 4, 5]);
+    }
+
+    #[test]
+    fn batchnorm_train_normalizes() {
+        let mut store = ParamStore::new();
+        let mut bn = BatchNorm3d::new(&mut store, "bn", 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let x = Tensor::randn(&[4, 2, 2, 2, 2], 3.0, &mut rng).map(|v| v + 5.0);
+        let mut g = Graph::new();
+        let xv = g.constant(x);
+        let y = bn.forward_train(&mut g, &store, xv);
+        let yv = g.value(y);
+        // Per-channel mean ~0, var ~1 after normalization with gamma=1, beta=0.
+        let inner = 8;
+        let (n, c) = (4, 2);
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                let off = (ni * c + ci) * inner;
+                vals.extend_from_slice(&yv.data()[off..off + inner]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+        // Running stats moved toward the batch stats.
+        assert!(bn.running_mean[0] != 0.0);
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut store = ParamStore::new();
+        let mut bn = BatchNorm3d::new(&mut store, "bn", 1);
+        bn.running_mean = vec![2.0];
+        bn.running_var = vec![4.0];
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::full(&[1, 1, 1, 1, 2], 6.0));
+        let y = bn.forward_eval(&mut g, &store, x);
+        // (6 - 2)/2 = 2
+        for &v in g.value(y).data() {
+            assert!((v - 2.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mlp_shapes_and_determinism() {
+        let mut store = ParamStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mlp = Mlp::new(&mut store, "mlp", &[5, 8, 8, 2], Activation::Softplus, &mut rng);
+        assert_eq!(mlp.in_features(), 5);
+        assert_eq!(mlp.out_features(), 2);
+        let x = Tensor::ones(&[4, 5]);
+        let mut g1 = Graph::new();
+        let v1 = {
+            let xv = g1.constant(x.clone());
+            let y = mlp.forward(&mut g1, &store, xv);
+            g1.value(y).clone()
+        };
+        let mut g2 = Graph::new();
+        let xv = g2.constant(x);
+        let y = mlp.forward(&mut g2, &store, xv);
+        assert_eq!(&v1, g2.value(y));
+        assert_eq!(v1.dims(), &[4, 2]);
+    }
+
+    #[test]
+    fn activation_derivatives_match_finite_differences() {
+        for act in [Activation::Softplus, Activation::Tanh, Activation::Linear] {
+            for &x in &[-2.0f32, -0.3, 0.7, 3.0] {
+                // f32 round-off dominates second differences at tiny h, so use
+                // a moderate step and loose-but-meaningful tolerances.
+                let h = 5e-2f32;
+                let d1_fd = (act.eval(x + h) - act.eval(x - h)) / (2.0 * h);
+                let d2_fd = (act.eval(x + h) - 2.0 * act.eval(x) + act.eval(x - h)) / (h * h);
+                assert!((act.d1(x) - d1_fd).abs() < 1e-3, "{act:?} d1 at {x}");
+                assert!((act.d2(x) - d2_fd).abs() < 2e-2, "{act:?} d2 at {x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Numerical gradient checks for every differentiable op on the tape.
+//!
+//! Each check builds a scalar loss from the op under test, computes reverse-
+//! mode gradients, and compares them against central finite differences of
+//! the re-executed forward pass.
+
+use mfn_autodiff::{Activation, Graph, Mlp, ParamStore, Var};
+use mfn_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Central-difference gradient check of `f` at `x0`.
+///
+/// `f` maps (graph, leaf var) to a scalar loss var; it is re-invoked on
+/// perturbed copies of `x0`. Tolerance is relative with an absolute floor.
+fn gradcheck(x0: &Tensor, tol: f32, f: impl Fn(&mut Graph, Var) -> Var) {
+    let mut g = Graph::new();
+    let x = g.leaf_with_grad(x0.clone());
+    let loss = f(&mut g, x);
+    g.backward(loss);
+    let analytic = g.grad(x).clone();
+
+    let eps = 1e-2f32;
+    let eval = |t: &Tensor| -> f32 {
+        let mut g = Graph::new();
+        let x = g.leaf_with_grad(t.clone());
+        let loss = f(&mut g, x);
+        g.value(loss).item()
+    };
+    for i in 0..x0.numel() {
+        let mut xp = x0.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x0.clone();
+        xm.data_mut()[i] -= eps;
+        let fd = (eval(&xp) - eval(&xm)) / (2.0 * eps);
+        let a = analytic.data()[i];
+        assert!(
+            (a - fd).abs() <= tol * (1.0 + fd.abs()),
+            "element {i}: analytic {a} vs fd {fd}"
+        );
+    }
+}
+
+fn randn(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Tensor::randn(dims, 0.7, &mut rng)
+}
+
+#[test]
+fn add_sub_mul_chain() {
+    let c = randn(&[3, 4], 1);
+    gradcheck(&randn(&[3, 4], 0), 1e-2, |g, x| {
+        let cv = g.constant(c.clone());
+        let a = g.add(x, cv);
+        let b = g.sub(a, x);
+        let m = g.mul(a, b);
+        g.sum(m)
+    });
+}
+
+#[test]
+fn mul_with_self() {
+    gradcheck(&randn(&[5], 2), 1e-2, |g, x| {
+        let sq = g.mul(x, x);
+        let cu = g.mul(sq, x);
+        g.mean(cu)
+    });
+}
+
+#[test]
+fn scale_neg_addscalar() {
+    gradcheck(&randn(&[4], 3), 1e-2, |g, x| {
+        let a = g.scale(x, -2.5);
+        let b = g.neg(a);
+        let c = g.add_scalar(b, 1.0);
+        let m = g.mul(c, c);
+        g.sum(m)
+    });
+}
+
+#[test]
+fn matmul_both_sides() {
+    let b = randn(&[4, 3], 11);
+    gradcheck(&randn(&[2, 4], 10), 1e-2, |g, x| {
+        let bv = g.constant(b.clone());
+        let y = g.matmul(x, bv);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+    let a = randn(&[2, 4], 12);
+    gradcheck(&randn(&[4, 3], 13), 1e-2, |g, x| {
+        let av = g.constant(a.clone());
+        let y = g.matmul(av, x);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn matmul_nt_both_sides() {
+    let w = randn(&[5, 4], 21);
+    gradcheck(&randn(&[3, 4], 20), 1e-2, |g, x| {
+        let wv = g.constant(w.clone());
+        let y = g.matmul_nt(x, wv);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+    let a = randn(&[3, 4], 22);
+    gradcheck(&randn(&[5, 4], 23), 1e-2, |g, x| {
+        let av = g.constant(a.clone());
+        let y = g.matmul_nt(av, x);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn bias_row_and_channel() {
+    let x0 = randn(&[6, 3], 30);
+    gradcheck(&randn(&[3], 31), 1e-2, |g, b| {
+        let xv = g.constant(x0.clone());
+        let y = g.bias_row(xv, b);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+    let x5 = randn(&[2, 3, 2, 2, 2], 32);
+    gradcheck(&randn(&[3], 33), 1e-2, |g, b| {
+        let xv = g.constant(x5.clone());
+        let y = g.bias_channel(xv, b);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn activations() {
+    // Keep inputs away from ReLU/abs kinks so FD is valid.
+    let mut x0 = randn(&[8], 40);
+    for v in x0.data_mut() {
+        if v.abs() < 0.2 {
+            *v += 0.4;
+        }
+    }
+    gradcheck(&x0, 1e-2, |g, x| {
+        let y = g.relu(x);
+        g.sum(y)
+    });
+    gradcheck(&x0, 1e-2, |g, x| {
+        let y = g.softplus(x);
+        g.sum(y)
+    });
+    gradcheck(&x0, 1e-2, |g, x| {
+        let y = g.tanh(x);
+        g.sum(y)
+    });
+    gradcheck(&x0, 1e-2, |g, x| {
+        let y = g.abs(x);
+        g.sum(y)
+    });
+}
+
+#[test]
+fn concat_and_slice() {
+    let other = randn(&[3, 2], 51);
+    gradcheck(&randn(&[3, 4], 50), 1e-2, |g, x| {
+        let o = g.constant(other.clone());
+        let c = g.concat(&[x, o], 1);
+        let s = g.slice_cols(c, 1, 3);
+        let sq = g.mul(s, s);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn reshape_flows_through() {
+    gradcheck(&randn(&[2, 6], 60), 1e-2, |g, x| {
+        let r = g.reshape(x, &[3, 4]);
+        let sq = g.mul(r, r);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn conv3d_input_and_weight() {
+    let w = randn(&[2, 2, 3, 3, 3], 71);
+    gradcheck(&randn(&[1, 2, 3, 3, 3], 70), 2e-2, |g, x| {
+        let wv = g.constant(w.clone());
+        let y = g.conv3d(x, wv);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+    let x = randn(&[1, 2, 3, 3, 3], 72);
+    gradcheck(&randn(&[2, 2, 1, 1, 1], 73), 2e-2, |g, w| {
+        let xv = g.constant(x.clone());
+        let y = g.conv3d(xv, w);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn pooling_and_upsampling() {
+    // Perturb away from pooling ties.
+    let mut x0 = randn(&[1, 1, 2, 4, 4], 80);
+    for (i, v) in x0.data_mut().iter_mut().enumerate() {
+        *v += i as f32 * 1e-3;
+    }
+    gradcheck(&x0, 2e-2, |g, x| {
+        let y = g.maxpool3d(x, [2, 2, 2]);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+    gradcheck(&randn(&[1, 2, 2, 2, 2], 81), 1e-2, |g, x| {
+        let y = g.upsample3d(x, [2, 1, 2]);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn batch_norm_all_three_inputs() {
+    let gamma = Tensor::from_vec(vec![1.3, 0.7], &[2]);
+    let beta = Tensor::from_vec(vec![0.1, -0.2], &[2]);
+    let x0 = randn(&[3, 2, 2, 2, 2], 90);
+    gradcheck(&x0, 5e-2, |g, x| {
+        let ga = g.constant(gamma.clone());
+        let be = g.constant(beta.clone());
+        let y = g.batch_norm(x, ga, be, 1e-5, None);
+        let t = g.constant(Tensor::ones(&[3, 2, 2, 2, 2]));
+        let d = g.sub(y, t);
+        let sq = g.mul(d, d);
+        g.sum(sq)
+    });
+    let xc = randn(&[3, 2, 2, 2, 2], 91);
+    gradcheck(&randn(&[2], 92), 2e-2, |g, ga| {
+        let x = g.constant(xc.clone());
+        let be = g.constant(beta.clone());
+        let y = g.batch_norm(x, ga, be, 1e-5, None);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+    gradcheck(&randn(&[2], 93), 2e-2, |g, be| {
+        let x = g.constant(xc.clone());
+        let ga = g.constant(gamma.clone());
+        let y = g.batch_norm(x, ga, be, 1e-5, None);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn channel_affine_grad() {
+    gradcheck(&randn(&[2, 3, 2, 2, 2], 100), 1e-2, |g, x| {
+        let y = g.channel_affine(x, vec![2.0, -1.0, 0.5], vec![0.0, 1.0, -1.0]);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn gather_and_blend() {
+    // grid [1, 2, 2, 2, 2], gather 4 vertices twice, blend groups of 2.
+    let index = vec![0u32, 3, 5, 6];
+    let weights = vec![0.25f32, 0.75, 0.6, 0.4];
+    gradcheck(&randn(&[1, 2, 2, 2, 2], 110), 1e-2, |g, grid| {
+        let rows = g.gather_vertices(grid, index.clone());
+        let blended = g.vertex_blend(rows, weights.clone(), 2);
+        let sq = g.mul(blended, blended);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn l1_and_mse_losses() {
+    let target = randn(&[4, 2], 121);
+    let mut x0 = randn(&[4, 2], 120);
+    // keep away from |.| kink
+    for (v, t) in x0.data_mut().iter_mut().zip(target.data()) {
+        if (*v - t).abs() < 0.2 {
+            *v += 0.5;
+        }
+    }
+    gradcheck(&x0, 1e-2, |g, x| {
+        let t = g.constant(target.clone());
+        g.l1_loss(x, t)
+    });
+    gradcheck(&x0, 1e-2, |g, x| {
+        let t = g.constant(target.clone());
+        g.mse_loss(x, t)
+    });
+}
+
+#[test]
+fn full_mlp_param_gradients() {
+    // End-to-end: gradients of an MLP loss w.r.t. every registered parameter.
+    let mut store = ParamStore::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(130);
+    let mlp = Mlp::new(&mut store, "m", &[3, 8, 2], Activation::Softplus, &mut rng);
+    let x0 = Tensor::randn(&[5, 3], 1.0, &mut rng);
+    let target = Tensor::randn(&[5, 2], 1.0, &mut rng);
+
+    let run = |store: &ParamStore| -> f32 {
+        let mut g = Graph::new();
+        let x = g.constant(x0.clone());
+        let y = mlp.forward(&mut g, store, x);
+        let t = g.constant(target.clone());
+        let loss = g.mse_loss(y, t);
+        g.value(loss).item()
+    };
+
+    let mut g = Graph::new();
+    let x = g.constant(x0.clone());
+    let y = mlp.forward(&mut g, &store, x);
+    let t = g.constant(target.clone());
+    let loss = g.mse_loss(y, t);
+    g.backward(loss);
+    let grads = g.param_grads(&store);
+
+    let eps = 1e-2f32;
+    for (pid, _, _) in store.clone().iter() {
+        let numel = store.get(pid).numel();
+        for i in (0..numel).step_by(3) {
+            let mut sp = store.clone();
+            sp.get_mut(pid).data_mut()[i] += eps;
+            let mut sm = store.clone();
+            sm.get_mut(pid).data_mut()[i] -= eps;
+            let fd = (run(&sp) - run(&sm)) / (2.0 * eps);
+            let a = grads[pid.index()].data()[i];
+            assert!(
+                (a - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+                "param {} [{i}]: {a} vs {fd}",
+                store.name(pid)
+            );
+        }
+    }
+}
+
+#[test]
+fn grad_accumulates_on_reused_nodes() {
+    // x used twice: d/dx (x*x + x) = 2x + 1.
+    let x0 = Tensor::from_vec(vec![3.0], &[1]);
+    let mut g = Graph::new();
+    let x = g.leaf_with_grad(x0);
+    let sq = g.mul(x, x);
+    let s = g.add(sq, x);
+    let loss = g.sum(s);
+    g.backward(loss);
+    assert!((g.grad(x).data()[0] - 7.0).abs() < 1e-5);
+}
+
+#[test]
+fn no_grad_for_constants() {
+    let mut g = Graph::new();
+    let x = g.constant(Tensor::ones(&[2]));
+    let y = g.scale(x, 2.0);
+    let loss = g.sum(y);
+    g.backward(loss);
+    assert!(g.try_grad(x).is_none());
+}

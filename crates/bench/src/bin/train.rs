@@ -1,0 +1,158 @@
+//! `train` — train a MeshfreeFlowNet on datasets produced by `gendata` and
+//! save a checkpoint.
+//!
+//! ```text
+//! usage: train --hr PATH --lr PATH --ckpt PATH [--epochs N] [--gamma G]
+//!              [--rate LR] [--batch N] [--workers N] [--valid-frac F]
+//! ```
+//!
+//! With `--workers > 1`, trains data-parallel with the ring all-reduce.
+//! With `--valid-frac`, holds out the trailing fraction of frames and
+//! reports the physics-metric scoreboard on the held-out range.
+
+use mfn_core::{
+    evaluate_pair, table_header, Corpus, MeshfreeFlowNet, MfnConfig, TrainConfig, Trainer,
+};
+use mfn_data::{downsample, load_dataset, PatchSpec};
+use mfn_dist::train_data_parallel;
+use std::path::PathBuf;
+
+struct Args {
+    hr: PathBuf,
+    lr: Option<PathBuf>,
+    ckpt: PathBuf,
+    tc: TrainConfig,
+    gamma: f32,
+    workers: usize,
+    valid_frac: f64,
+}
+
+fn parse() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: train --hr PATH [--lr PATH] --ckpt PATH [--epochs N] \
+                 [--gamma G] [--rate LR] [--batch N] [--workers N] [--valid-frac F]";
+    let mut hr = None;
+    let mut lr = None;
+    let mut ckpt = None;
+    let mut tc = TrainConfig {
+        epochs: 60,
+        batches_per_epoch: 8,
+        batch_size: 4,
+        lr: 1e-2,
+        lr_decay: 0.98,
+        ..Default::default()
+    };
+    let mut gamma = MfnConfig::GAMMA_STAR;
+    let mut workers = 1usize;
+    let mut valid_frac = 0.0f64;
+    let mut i = 0;
+    let next = |argv: &[String], i: &mut usize, what: &str| -> String {
+        *i += 1;
+        argv.get(*i).unwrap_or_else(|| {
+            eprintln!("error: {what} needs a value\n{usage}");
+            std::process::exit(2);
+        }).clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--hr" => hr = Some(PathBuf::from(next(&argv, &mut i, "--hr"))),
+            "--lr" => lr = Some(PathBuf::from(next(&argv, &mut i, "--lr"))),
+            "--ckpt" => ckpt = Some(PathBuf::from(next(&argv, &mut i, "--ckpt"))),
+            "--epochs" => tc.epochs = next(&argv, &mut i, "--epochs").parse().expect("integer"),
+            "--gamma" => gamma = next(&argv, &mut i, "--gamma").parse().expect("float"),
+            "--rate" => tc.lr = next(&argv, &mut i, "--rate").parse().expect("float"),
+            "--batch" => tc.batch_size = next(&argv, &mut i, "--batch").parse().expect("integer"),
+            "--workers" => workers = next(&argv, &mut i, "--workers").parse().expect("integer"),
+            "--valid-frac" => {
+                valid_frac = next(&argv, &mut i, "--valid-frac").parse().expect("float")
+            }
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown option {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let missing = |what: &str| -> ! {
+        eprintln!("error: {what} is required\n{usage}");
+        std::process::exit(2);
+    };
+    Args {
+        hr: hr.unwrap_or_else(|| missing("--hr")),
+        lr,
+        ckpt: ckpt.unwrap_or_else(|| missing("--ckpt")),
+        tc,
+        gamma,
+        workers,
+        valid_frac,
+    }
+}
+
+fn main() {
+    let args = parse();
+    let hr_full = load_dataset(&args.hr).expect("load HR dataset");
+    let (hr, valid) = if args.valid_frac > 0.0 {
+        let (a, b) = hr_full.split_time(1.0 - args.valid_frac);
+        (a, Some(b))
+    } else {
+        (hr_full, None)
+    };
+    let lr = match &args.lr {
+        Some(p) => load_dataset(p).expect("load LR dataset"),
+        None => downsample(&hr, 4, 8),
+    };
+    eprintln!(
+        "HR [{} x {} x {}], LR [{} x {} x {}], gamma = {}",
+        hr.meta.nt, hr.meta.nz, hr.meta.nx, lr.meta.nt, lr.meta.nz, lr.meta.nx, args.gamma
+    );
+    // Patch shape adapted to the LR grid.
+    let patch = PatchSpec {
+        nt: lr.meta.nt.min(4),
+        nz: lr.meta.nz.min(4),
+        nx: lr.meta.nx.min(8),
+        queries: 256,
+    };
+    let mut mcfg = MfnConfig::small();
+    mcfg.patch = patch;
+    mcfg.gamma = args.gamma;
+    let corpus = Corpus::new(vec![(hr.clone(), lr.clone())]);
+
+    let model = if args.workers > 1 {
+        eprintln!("data-parallel training on {} workers ...", args.workers);
+        let r = train_data_parallel(&corpus, &mcfg, &args.tc, args.workers);
+        eprintln!(
+            "throughput {:.1} samples/s, final loss {:.4}",
+            r.throughput,
+            r.epoch_losses.last().copied().unwrap_or(f32::NAN)
+        );
+        let mut m = MeshfreeFlowNet::new(mcfg);
+        m.store.unflatten_into(&r.final_params);
+        m
+    } else {
+        let mut trainer = Trainer::new(MeshfreeFlowNet::new(mcfg), args.tc);
+        let recs = trainer.train(&corpus);
+        for r in recs.iter().step_by((recs.len() / 8).max(1)) {
+            eprintln!(
+                "epoch {:>4}  loss {:.4}  (pred {:.4}, eq {:.4})",
+                r.epoch, r.loss, r.prediction, r.equation
+            );
+        }
+        trainer.model
+    };
+    let mut model = model;
+    model.save(&args.ckpt).expect("save checkpoint");
+    eprintln!("checkpoint written to {}", args.ckpt.display());
+
+    if let Some(valid) = valid {
+        eprintln!("evaluating on held-out frames ...");
+        let valid_lr = downsample(&valid, 4, 8);
+        let sr = model.super_resolve(&valid_lr, &valid.meta, corpus.stats);
+        let nu = (valid.meta.pr / valid.meta.ra).sqrt();
+        println!("{}", table_header());
+        println!("{}", evaluate_pair("validation", &valid, &sr, nu, 0).format());
+    }
+}

@@ -1,0 +1,191 @@
+//! Model and training configuration.
+
+use crate::losses::ConstraintSet;
+use mfn_autodiff::Activation;
+use mfn_data::PatchSpec;
+use serde::{Deserialize, Serialize};
+
+/// Architecture + loss configuration for MeshfreeFlowNet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MfnConfig {
+    /// LR patch / latent grid dims the model is built for.
+    pub patch: PatchSpec,
+    /// Input physical channels (always 4 for Rayleigh–Bénard: `T, p, u, w`).
+    pub in_channels: usize,
+    /// Output physical channels.
+    pub out_channels: usize,
+    /// Channel width after the U-Net stem; doubles per contractive level
+    /// (paper: 16 → 256 over 4 levels).
+    pub base_channels: usize,
+    /// Number of pooling levels in the U-Net (paper: 4, shrinking
+    /// `[4,16,16]` down to `[1,1,1]` with a final all-t pool in level 5 —
+    /// we pool anisotropically as Fig. 5 shows).
+    pub levels: usize,
+    /// Latent context vector width `n_c` (paper: 32).
+    pub latent_channels: usize,
+    /// Hidden widths of the continuous decoding MLP (paper:
+    /// `[512, 256, 128, 64, 32]`).
+    pub mlp_hidden: Vec<usize>,
+    /// Decoder activation. Softplus by default so exact second derivatives
+    /// exist for the PDE constraints (Fig. 5 shows ReLU; see DESIGN.md).
+    pub activation: Activation,
+    /// Equation-loss weight γ of Eqn. 10 (γ* = 0.0125 per Table 1).
+    pub gamma: f32,
+    /// Local-coordinate step of the finite-difference stencil used for the
+    /// training-time PDE derivatives.
+    pub fd_step: f32,
+    /// Which PDE residuals enter the equation loss (the paper supports
+    /// arbitrary combinations; default: all four).
+    pub constraints: ConstraintSet,
+    /// RNG seed for parameter initialization.
+    pub seed: u64,
+}
+
+impl MfnConfig {
+    /// The paper-scale configuration (Fig. 5): ~10⁷ parameters. Slow on CPU;
+    /// used by `--paper-scale` runs.
+    pub fn paper() -> Self {
+        MfnConfig {
+            patch: PatchSpec::paper(),
+            in_channels: 4,
+            out_channels: 4,
+            base_channels: 16,
+            levels: 4,
+            latent_channels: 32,
+            mlp_hidden: vec![512, 256, 128, 64, 32],
+            activation: Activation::Softplus,
+            gamma: 0.0125,
+            fd_step: 2e-2,
+            constraints: ConstraintSet::ALL,
+            seed: 0,
+        }
+    }
+
+    /// A reduced configuration that trains in seconds on a laptop-class CPU
+    /// while preserving every architectural element (residual U-Net with
+    /// anisotropic pooling, latent grid, continuous MLP decoder).
+    pub fn small() -> Self {
+        MfnConfig {
+            patch: PatchSpec::small(),
+            in_channels: 4,
+            out_channels: 4,
+            base_channels: 8,
+            levels: 2,
+            latent_channels: 16,
+            mlp_hidden: vec![64, 64, 32],
+            activation: Activation::Softplus,
+            gamma: 0.0125,
+            fd_step: 2e-2,
+            constraints: ConstraintSet::ALL,
+            seed: 0,
+        }
+    }
+
+    /// Optimal equation-loss weight from the paper's Table 1 ablation.
+    pub const GAMMA_STAR: f32 = 0.0125;
+
+    /// Per-level pooling factors `[t, z, x]`, anisotropic as in Fig. 5:
+    /// spatial dims pool first; `t` pools only once `z`/`x` have reached the
+    /// same size, and no axis pools below 1.
+    pub fn pool_factors(&self) -> Vec<[usize; 3]> {
+        let (mut t, mut z, mut x) = (self.patch.nt, self.patch.nz, self.patch.nx);
+        let mut out = Vec::with_capacity(self.levels);
+        for _ in 0..self.levels {
+            let fz = if z >= 2 { 2 } else { 1 };
+            let fx = if x >= 2 { 2 } else { 1 };
+            // Pool t only once it exceeds the pooled spatial extent (mirrors
+            // [4,16,16]→[4,8,8]→[4,4,4]→[2,2,2]→[1,1,1]).
+            let ft = if t >= 2 && t > z / fz { 2 } else { 1 };
+            let f = [ft, fz, fx];
+            t /= f[0];
+            z /= f[1];
+            x /= f[2];
+            out.push(f);
+        }
+        out
+    }
+
+    /// MLP layer widths including input (`latent + 3` coords) and output.
+    pub fn mlp_widths(&self) -> Vec<usize> {
+        let mut w = Vec::with_capacity(self.mlp_hidden.len() + 2);
+        w.push(self.latent_channels + 3);
+        w.extend_from_slice(&self.mlp_hidden);
+        w.push(self.out_channels);
+        w
+    }
+}
+
+/// Training-loop hyperparameters (paper Sec. 5: Adam, lr 1e-2, 100 epochs,
+/// 3000 samples per epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Patches per mini-batch.
+    pub batch_size: usize,
+    /// Mini-batches per epoch.
+    pub batches_per_epoch: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Gradient-norm clip (0 disables).
+    pub grad_clip: f32,
+    /// Per-epoch multiplicative learning-rate decay (1.0 = constant lr, the
+    /// paper's setting; < 1.0 anneals).
+    pub lr_decay: f32,
+    /// RNG seed for batch sampling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            lr: 1e-3,
+            batch_size: 4,
+            batches_per_epoch: 8,
+            epochs: 10,
+            grad_clip: 1.0,
+            lr_decay: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pooling_matches_fig5() {
+        // [4,16,16] -> [4,8,8] -> [4,4,4] -> [2,2,2] -> [1,1,1]
+        let cfg = MfnConfig::paper();
+        let fs = cfg.pool_factors();
+        assert_eq!(fs.len(), 4);
+        let mut dims = [4usize, 16, 16];
+        let expect = [[4, 8, 8], [4, 4, 4], [2, 2, 2], [1, 1, 1]];
+        for (l, f) in fs.iter().enumerate() {
+            for a in 0..3 {
+                dims[a] /= f[a];
+            }
+            assert_eq!(dims, expect[l], "level {l} factors {f:?}");
+        }
+    }
+
+    #[test]
+    fn small_pooling_never_hits_zero() {
+        let cfg = MfnConfig::small();
+        let mut dims = [cfg.patch.nt, cfg.patch.nz, cfg.patch.nx];
+        for f in cfg.pool_factors() {
+            for a in 0..3 {
+                assert_eq!(dims[a] % f[a], 0, "indivisible pool at {dims:?} by {f:?}");
+                dims[a] /= f[a];
+                assert!(dims[a] >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn mlp_widths_shape() {
+        let cfg = MfnConfig::paper();
+        assert_eq!(cfg.mlp_widths(), vec![35, 512, 256, 128, 64, 32, 4]);
+    }
+}

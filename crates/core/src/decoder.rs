@@ -1,0 +1,363 @@
+//! The Continuous Decoding Network (paper Sec. 4.2, Fig. 4).
+//!
+//! A query at local patch coordinates `(t, z, x) ∈ [0,1]³` falls into one
+//! cell of the Latent Context Grid. The decoder runs the shared MLP once per
+//! bounding vertex — on the concatenation of the query's coordinates
+//! *relative to that vertex* and the vertex's latent vector — and blends the
+//! 8 results with trilinear weights (Eqn. 6).
+//!
+//! Two evaluation paths exist:
+//!
+//! - **tape**: [`ContinuousDecoder::decode`] records the computation on the
+//!   reverse-mode graph (training, and plain inference);
+//! - **jets**: [`ContinuousDecoder::decode_jet`] propagates exact first and
+//!   second space-time derivatives through the MLP *and* the trilinear
+//!   blending (inference-time PDE residuals, and the oracle the training
+//!   stencil is validated against).
+
+use mfn_autodiff::{mlp_jet, Graph, Jet3, JetVec, Mlp, ParamStore, Var};
+use mfn_tensor::Tensor;
+
+/// Number of bounding vertices of a 3D cell.
+pub const VERTICES: usize = 8;
+
+/// Precomputed lookup data for a set of queries against one latent grid.
+#[derive(Debug, Clone, Default)]
+pub struct QueryPlan {
+    /// Flat vertex indices (`batch·vol + spatial`), `Q × 8` entries.
+    pub index: Vec<u32>,
+    /// Relative coordinates `(t, z, x)` per vertex row, `Q × 8 × 3`.
+    pub rel: Vec<f32>,
+    /// Trilinear blending weights, `Q × 8` entries.
+    pub weights: Vec<f32>,
+}
+
+impl QueryPlan {
+    /// Number of query points in the plan.
+    pub fn len(&self) -> usize {
+        self.weights.len() / VERTICES
+    }
+
+    /// Whether the plan holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+/// Per-axis cell lookup: lower vertex index and fractional offset on the
+/// vertex grid (`n` vertices spanning local `[0, 1]`).
+#[inline]
+fn locate(local: f32, n: usize) -> (usize, f32) {
+    let s = (local.clamp(0.0, 1.0)) * (n - 1) as f32;
+    let i = (s.floor() as usize).min(n.saturating_sub(2));
+    (i, s - i as f32)
+}
+
+/// Builds a [`QueryPlan`] for queries on a latent grid of vertex dims
+/// `[nt, nz, nx]`. `queries` supplies `(batch_index, [t, z, x])` pairs with
+/// local coordinates in `[0, 1]`.
+pub fn plan_queries(
+    grid_dims: [usize; 3],
+    queries: impl IntoIterator<Item = (usize, [f32; 3])>,
+) -> QueryPlan {
+    let [nt, nz, nx] = grid_dims;
+    assert!(nt >= 2 && nz >= 2 && nx >= 2, "latent grid needs >= 2 vertices per axis");
+    let vol = (nt * nz * nx) as u32;
+    let mut plan = QueryPlan::default();
+    for (b, local) in queries {
+        let (it, ft) = locate(local[0], nt);
+        let (iz, fz) = locate(local[1], nz);
+        let (ix, fx) = locate(local[2], nx);
+        for v in 0..VERTICES {
+            let (dt, dz, dx) = ((v >> 2) & 1, (v >> 1) & 1, v & 1);
+            let flat = b as u32 * vol
+                + (((it + dt) * nz + (iz + dz)) * nx + (ix + dx)) as u32;
+            plan.index.push(flat);
+            plan.rel.push(ft - dt as f32);
+            plan.rel.push(fz - dz as f32);
+            plan.rel.push(fx - dx as f32);
+            let wt = if dt == 1 { ft } else { 1.0 - ft };
+            let wz = if dz == 1 { fz } else { 1.0 - fz };
+            let wx = if dx == 1 { fx } else { 1.0 - fx };
+            plan.weights.push(wt * wz * wx);
+        }
+    }
+    plan
+}
+
+/// The shared decoding MLP plus its latent/output widths.
+#[derive(Debug, Clone)]
+pub struct ContinuousDecoder {
+    /// The decoding MLP (`[3 + n_c, …hidden…, out]`).
+    pub mlp: Mlp,
+    /// Latent vector width `n_c`.
+    pub latent_channels: usize,
+    /// Physical output channels.
+    pub out_channels: usize,
+}
+
+impl ContinuousDecoder {
+    /// Wraps an MLP whose input width must equal `3 + latent_channels`.
+    pub fn new(mlp: Mlp, latent_channels: usize) -> Self {
+        assert_eq!(
+            mlp.in_features(),
+            3 + latent_channels,
+            "decoder MLP input must be 3 coords + latent"
+        );
+        let out_channels = mlp.out_features();
+        ContinuousDecoder { mlp, latent_channels, out_channels }
+    }
+
+    /// Tape path: decodes a plan against a latent grid node
+    /// `latent: [N, n_c, nt, nz, nx]`, returning predictions `[Q, out]`.
+    pub fn decode(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        latent: Var,
+        plan: &QueryPlan,
+    ) -> Var {
+        assert!(!plan.is_empty(), "empty query plan");
+        let rows = g.gather_vertices(latent, plan.index.clone());
+        let coords =
+            g.constant(Tensor::from_vec(plan.rel.clone(), &[plan.index.len(), 3]));
+        let inp = g.concat(&[coords, rows], 1);
+        let out = self.mlp.forward(g, store, inp);
+        g.vertex_blend(out, plan.weights.clone(), VERTICES)
+    }
+
+    /// Jet path: exact value + first + diagonal-second space-time derivatives
+    /// of every output channel at one query point.
+    ///
+    /// `latent` is the latent grid as a plain tensor `[N, n_c, nt, nz, nx]`;
+    /// `local` are the query's local coordinates; `extent_phys` the physical
+    /// patch extents (chain rule `d(local)/d(phys) = 1/extent`). Returns one
+    /// [`Jet3`] per output channel with derivatives in *physical* units
+    /// (of the normalized outputs — denormalization is the caller's job).
+    pub fn decode_jet(
+        &self,
+        store: &ParamStore,
+        latent: &Tensor,
+        batch: usize,
+        local: [f32; 3],
+        extent_phys: [f64; 3],
+    ) -> Vec<Jet3> {
+        assert_eq!(latent.shape().rank(), 5);
+        let c = latent.dims()[1];
+        assert_eq!(c, self.latent_channels);
+        let (nt, nz, nx) = (latent.dims()[2], latent.dims()[3], latent.dims()[4]);
+        let vol = nt * nz * nx;
+        let (it, ft) = locate(local[0], nt);
+        let (iz, fz) = locate(local[1], nz);
+        let (ix, fx) = locate(local[2], nx);
+        // d(frac)/d(phys): frac advances by (n-1) per unit local coordinate.
+        let scale = [
+            ((nt - 1) as f64 / extent_phys[0].max(1e-30)) as f32,
+            ((nz - 1) as f64 / extent_phys[1].max(1e-30)) as f32,
+            ((nx - 1) as f64 / extent_phys[2].max(1e-30)) as f32,
+        ];
+        let mut acc = vec![Jet3::constant(0.0); self.out_channels];
+        for v in 0..VERTICES {
+            let (dt, dz, dx) = ((v >> 2) & 1, (v >> 1) & 1, v & 1);
+            // Coordinate jets: rel = frac - d, with d(rel)/d(phys) = scale.
+            let jets: Vec<Jet3> = [
+                Jet3::scaled_variable(ft - dt as f32, 0, scale[0]),
+                Jet3::scaled_variable(fz - dz as f32, 1, scale[1]),
+                Jet3::scaled_variable(fx - dx as f32, 2, scale[2]),
+            ]
+            .into_iter()
+            .chain((0..c).map(|ci| {
+                let sp = ((it + dt) * nz + (iz + dz)) * nx + (ix + dx);
+                Jet3::constant(latent.data()[(batch * c + ci) * vol + sp])
+            }))
+            .collect();
+            let out = mlp_jet(&self.mlp, store, &JetVec::from_jets(&jets));
+            // Trilinear weight as a jet (each factor linear in one phys axis).
+            let wt = Jet3::scaled_variable(
+                if dt == 1 { ft } else { 1.0 - ft },
+                0,
+                if dt == 1 { scale[0] } else { -scale[0] },
+            );
+            let wz = Jet3::scaled_variable(
+                if dz == 1 { fz } else { 1.0 - fz },
+                1,
+                if dz == 1 { scale[1] } else { -scale[1] },
+            );
+            let wx = Jet3::scaled_variable(
+                if dx == 1 { fx } else { 1.0 - fx },
+                2,
+                if dx == 1 { scale[2] } else { -scale[2] },
+            );
+            let w = wt.mul(wz).mul(wx);
+            for (o, a) in acc.iter_mut().enumerate() {
+                *a = a.add(w.mul(out.jet(o)));
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfn_autodiff::Activation;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (ParamStore, ContinuousDecoder) {
+        let mut store = ParamStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mlp = Mlp::new(&mut store, "dec", &[3 + 6, 24, 16, 4], Activation::Softplus, &mut rng);
+        let dec = ContinuousDecoder::new(mlp, 6);
+        (store, dec)
+    }
+
+    fn random_latent(seed: u64, dims: &[usize]) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Tensor::randn(dims, 0.5, &mut rng)
+    }
+
+    #[test]
+    fn plan_weights_partition_unity() {
+        let plan = plan_queries(
+            [4, 8, 8],
+            (0..50).map(|q| {
+                let f = q as f32 / 49.0;
+                (0usize, [f, (f * 0.7).fract(), (f * 1.3).fract()])
+            }),
+        );
+        assert_eq!(plan.len(), 50);
+        for q in 0..50 {
+            let s: f32 = plan.weights[q * 8..(q + 1) * 8].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "query {q} weights sum {s}");
+        }
+    }
+
+    #[test]
+    fn plan_vertex_query_hits_single_vertex() {
+        // A query exactly on vertex (1,2,3) of a [4,8,8] grid.
+        let local = [1.0 / 3.0, 2.0 / 7.0, 3.0 / 7.0];
+        let plan = plan_queries([4, 8, 8], [(0usize, local)]);
+        let hot: Vec<usize> =
+            (0..8).filter(|&v| plan.weights[v].abs() > 1e-5).collect();
+        assert_eq!(hot.len(), 1);
+        let v = hot[0];
+        assert!((plan.weights[v] - 1.0).abs() < 1e-5);
+        // That vertex must be (1,2,3) flattened on [4,8,8].
+        assert_eq!(plan.index[v], ((1 * 8 + 2) * 8 + 3) as u32);
+        // Its relative coordinates are 0.
+        for a in 0..3 {
+            assert!(plan.rel[v * 3 + a].abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn decode_shapes_and_determinism() {
+        let (store, dec) = setup();
+        let latent = random_latent(1, &[2, 6, 3, 4, 4]);
+        let queries: Vec<(usize, [f32; 3])> =
+            vec![(0, [0.2, 0.3, 0.4]), (1, [0.9, 0.1, 0.5]), (0, [0.0, 1.0, 0.5])];
+        let plan = plan_queries([3, 4, 4], queries);
+        let run = || {
+            let mut g = Graph::new();
+            let l = g.constant(latent.clone());
+            let y = dec.decode(&mut g, &store, l, &plan);
+            g.value(y).clone()
+        };
+        let a = run();
+        assert_eq!(a.dims(), &[3, 4]);
+        assert_eq!(a, run());
+    }
+
+    #[test]
+    fn jet_value_matches_tape_value() {
+        let (store, dec) = setup();
+        let latent = random_latent(2, &[1, 6, 3, 4, 4]);
+        let local = [0.37, 0.61, 0.23];
+        let plan = plan_queries([3, 4, 4], [(0usize, local)]);
+        let mut g = Graph::new();
+        let l = g.constant(latent.clone());
+        let y = dec.decode(&mut g, &store, l, &plan);
+        let jets = dec.decode_jet(&store, &latent, 0, local, [1.0, 1.0, 1.0]);
+        for o in 0..4 {
+            assert!(
+                (g.value(y).data()[o] - jets[o].v).abs() < 1e-4,
+                "channel {o}: tape {} jet {}",
+                g.value(y).data()[o],
+                jets[o].v
+            );
+        }
+    }
+
+    #[test]
+    fn jet_derivatives_match_finite_differences_of_tape() {
+        let (store, dec) = setup();
+        let latent = random_latent(3, &[1, 6, 3, 4, 4]);
+        let extent = [2.0f64, 0.5, 1.5];
+        // Chosen so the FD stencil stays inside one latent cell: the decoder
+        // is only C⁰ across cell faces, where jets (one-sided, exact) and
+        // finite differences (face-straddling) legitimately disagree.
+        let local = [0.41, 0.52, 0.45];
+        let value = |loc: [f32; 3]| -> Vec<f32> {
+            let plan = plan_queries([3, 4, 4], [(0usize, loc)]);
+            let mut g = Graph::new();
+            let l = g.constant(latent.clone());
+            let y = dec.decode(&mut g, &store, l, &plan);
+            g.value(y).data().to_vec()
+        };
+        let jets = dec.decode_jet(&store, &latent, 0, local, extent);
+        // FD in *physical* units: step h_phys => h_local = h_phys / extent.
+        for axis in 0..3 {
+            let h_phys = 1e-2f64 * extent[axis];
+            let h_local = (h_phys / extent[axis]) as f32;
+            let mut lp = local;
+            lp[axis] += h_local;
+            let mut lm = local;
+            lm[axis] -= h_local;
+            let (fp, fm, f0) = (value(lp), value(lm), value(local));
+            for o in 0..4 {
+                let d_fd = (fp[o] - fm[o]) as f64 / (2.0 * h_phys);
+                let dd_fd = (fp[o] - 2.0 * f0[o] + fm[o]) as f64 / (h_phys * h_phys);
+                assert!(
+                    (jets[o].d[axis] as f64 - d_fd).abs() < 2e-2 * (1.0 + d_fd.abs()),
+                    "axis {axis} ch {o}: jet {} fd {d_fd}",
+                    jets[o].d[axis]
+                );
+                assert!(
+                    (jets[o].dd[axis] as f64 - dd_fd).abs() < 2e-1 * (1.0 + dd_fd.abs()),
+                    "axis {axis} ch {o}: jet dd {} fd {dd_fd}",
+                    jets[o].dd[axis]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_latent_grid() {
+        let (store, dec) = setup();
+        let latent = random_latent(4, &[1, 6, 3, 4, 4]);
+        let plan = plan_queries([3, 4, 4], [(0usize, [0.5, 0.5, 0.5])]);
+        let mut g = Graph::new();
+        let l = g.leaf_with_grad(latent);
+        let y = dec.decode(&mut g, &store, l, &plan);
+        let sq = g.mul(y, y);
+        let loss = g.sum(sq);
+        g.backward(loss);
+        assert!(g.grad(l).max_abs() > 0.0, "no gradient reached the latent grid");
+    }
+
+    #[test]
+    fn queries_outside_range_are_clamped() {
+        let (store, dec) = setup();
+        let latent = random_latent(5, &[1, 6, 3, 4, 4]);
+        let plan_in = plan_queries([3, 4, 4], [(0usize, [1.0, 0.0, 1.0])]);
+        let plan_out = plan_queries([3, 4, 4], [(0usize, [1.7, -0.4, 2.0])]);
+        let eval = |plan: &QueryPlan| {
+            let mut g = Graph::new();
+            let l = g.constant(latent.clone());
+            let y = dec.decode(&mut g, &store, l, plan);
+            g.value(y).data().to_vec()
+        };
+        assert_eq!(eval(&plan_in), eval(&plan_out));
+    }
+}

@@ -1,0 +1,149 @@
+//! Evaluation: turning a super-resolved dataset and its ground truth into
+//! the `(100×NMAE, R²)` table cells of the paper.
+
+use mfn_data::{Dataset, CH_U, CH_W};
+use mfn_physics::{flow_stats, score_metric_series, MetricScore};
+use mfn_solver::Domain;
+
+/// Per-frame metric arrays (one row of nine metrics per snapshot).
+pub fn metric_series(ds: &Dataset, nu: f64) -> Vec<[f64; 9]> {
+    let domain = Domain::new(ds.meta.nx, ds.meta.nz, ds.meta.lx, ds.meta.lz);
+    (0..ds.meta.nt)
+        .map(|f| {
+            let u = ds.channel_frame_f64(f, CH_U);
+            let w = ds.channel_frame_f64(f, CH_W);
+            flow_stats(&domain, &u, &w, nu).as_array()
+        })
+        .collect()
+}
+
+/// One table row: per-metric scores plus the average R².
+#[derive(Debug, Clone)]
+pub struct EvalRow {
+    /// Label of the configuration being scored (e.g. "γ = 0.0125").
+    pub label: String,
+    /// Per-metric `(100×NMAE, R²)` pairs in Table 1 column order.
+    pub scores: Vec<MetricScore>,
+    /// Average R² across the nine metrics.
+    pub avg_r2: f64,
+}
+
+impl EvalRow {
+    /// Renders the row in the paper's table style.
+    pub fn format(&self) -> String {
+        let mut s = format!("{:<24}", self.label);
+        for m in &self.scores {
+            s.push_str(&format!(" {:>8.3}({:>7.4})", m.nmae_pct, m.r2));
+        }
+        s.push_str(&format!("  avgR2={:.4}", self.avg_r2));
+        s
+    }
+}
+
+/// Scores a prediction against ground truth. `nu` is the dimensionless
+/// viscosity `R*` of the ground-truth physics. The first `skip` frames are
+/// excluded (the early transient has near-zero velocity and makes the
+/// normalized scores degenerate).
+pub fn evaluate_pair(label: &str, gt: &Dataset, pred: &Dataset, nu: f64, skip: usize) -> EvalRow {
+    assert_eq!(gt.meta.nt, pred.meta.nt, "frame count mismatch");
+    let g: Vec<[f64; 9]> = metric_series(gt, nu).into_iter().skip(skip).collect();
+    let p: Vec<[f64; 9]> = metric_series(pred, nu).into_iter().skip(skip).collect();
+    assert!(!g.is_empty(), "skip leaves no frames");
+    let (scores, avg_r2) = score_metric_series(&g, &p);
+    EvalRow { label: label.to_string(), scores, avg_r2 }
+}
+
+/// Pretty header matching [`EvalRow::format`] columns.
+pub fn table_header() -> String {
+    let mut s = format!("{:<24}", "model");
+    for name in mfn_physics::METRIC_NAMES {
+        s.push_str(&format!(" {:>17}", name));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfn_data::Dataset;
+    use mfn_solver::{simulate, RbcConfig};
+
+    fn sim_ds() -> Dataset {
+        let sim = simulate(
+            &RbcConfig { nx: 32, nz: 17, ra: 1e5, dt_max: 2e-3, ..Default::default() },
+            2.0,
+            11,
+        );
+        Dataset::from_simulation(&sim)
+    }
+
+    #[test]
+    fn self_evaluation_is_perfect() {
+        let ds = sim_ds();
+        let nu = (1.0f64 / 1e5).sqrt();
+        let row = evaluate_pair("self", &ds, &ds, nu, 2);
+        assert_eq!(row.scores.len(), 9);
+        for m in &row.scores {
+            assert!(m.nmae_pct.abs() < 1e-9, "{}: {}", m.name, m.nmae_pct);
+            assert!((m.r2 - 1.0).abs() < 1e-9);
+        }
+        assert!((row.avg_r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perturbed_prediction_scores_worse() {
+        let ds = sim_ds();
+        let mut bad = ds.clone();
+        for v in bad.data.iter_mut() {
+            *v *= 1.3;
+        }
+        let nu = (1.0f64 / 1e5).sqrt();
+        let row = evaluate_pair("bad", &ds, &bad, nu, 2);
+        assert!(row.scores.iter().any(|m| m.nmae_pct > 0.5), "{row:?}");
+        assert!(row.avg_r2 < 1.0);
+    }
+
+    #[test]
+    fn metric_series_length() {
+        let ds = sim_ds();
+        let series = metric_series(&ds, 1e-2);
+        assert_eq!(series.len(), ds.meta.nt);
+        for row in &series {
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn metric_series_matches_direct_flow_stats() {
+        use mfn_solver::Domain;
+        let ds = sim_ds();
+        let nu = 1e-2;
+        let series = metric_series(&ds, nu);
+        let domain = Domain::new(ds.meta.nx, ds.meta.nz, ds.meta.lx, ds.meta.lz);
+        let f = 7;
+        let direct = mfn_physics::flow_stats(
+            &domain,
+            &ds.channel_frame_f64(f, mfn_data::CH_U),
+            &ds.channel_frame_f64(f, mfn_data::CH_W),
+            nu,
+        )
+        .as_array();
+        for (a, b) in series[f].iter().zip(direct) {
+            assert_eq!(*a, b);
+        }
+    }
+
+    #[test]
+    fn formatting_contains_all_columns() {
+        let header = table_header();
+        for name in mfn_physics::METRIC_NAMES {
+            assert!(header.contains(name));
+        }
+        let ds = sim_ds();
+        let nu = 1e-2;
+        let row = evaluate_pair("fmt", &ds, &ds, nu, 0);
+        let line = row.format();
+        assert!(line.starts_with("fmt"));
+        assert!(line.contains("avgR2"));
+    }
+}

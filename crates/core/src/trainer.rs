@@ -1,0 +1,330 @@
+//! Single-process training loops (the multi-worker data-parallel trainer
+//! lives in `mfn-dist` and reuses the gradient step defined here).
+
+use crate::baseline::{hr_target_patch, BaselineII};
+use crate::config::TrainConfig;
+use crate::losses::{ChannelStats, RbcParamsF32};
+use crate::model::{MeshfreeFlowNet, StepLosses};
+use mfn_autodiff::{clip_grad_norm, Adam, AdamConfig, Graph};
+use mfn_data::{make_batch, Dataset, PatchSampler};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// One epoch's summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean combined loss.
+    pub loss: f32,
+    /// Mean prediction loss.
+    pub prediction: f32,
+    /// Mean equation loss.
+    pub equation: f32,
+    /// Wall-clock seconds for the epoch.
+    pub seconds: f64,
+}
+
+/// A training corpus: HR/LR dataset pairs (one pair per initial/boundary
+/// condition — Tables 3–4 train on up to 10).
+pub struct Corpus {
+    /// The `(HR, LR)` dataset pairs.
+    pub pairs: Vec<(Dataset, Dataset)>,
+    /// Channel statistics shared across the corpus (computed from all HR
+    /// sets; every patch/target is normalized with these).
+    pub stats: ChannelStats,
+}
+
+impl Corpus {
+    /// Builds a corpus and its pooled channel statistics.
+    pub fn new(pairs: Vec<(Dataset, Dataset)>) -> Self {
+        assert!(!pairs.is_empty(), "corpus needs at least one dataset pair");
+        let mut mean = [0.0f64; 4];
+        let mut ms = [0.0f64; 4];
+        for (hr, _) in &pairs {
+            for c in 0..4 {
+                mean[c] += hr.meta.channel_mean[c] as f64;
+                ms[c] += (hr.meta.channel_std[c] as f64).powi(2)
+                    + (hr.meta.channel_mean[c] as f64).powi(2);
+            }
+        }
+        let n = pairs.len() as f64;
+        let mut stats = ChannelStats { mean: [0.0; 4], std: [1.0; 4] };
+        for c in 0..4 {
+            let m = mean[c] / n;
+            stats.mean[c] = m as f32;
+            stats.std[c] = ((ms[c] / n - m * m).max(1e-16)).sqrt() as f32;
+        }
+        Corpus { pairs, stats }
+    }
+
+    /// PDE coefficients of pair `i` (boundary conditions can differ per
+    /// pair in the Table 4 sweep).
+    pub fn params(&self, i: usize) -> RbcParamsF32 {
+        let meta = &self.pairs[i].0.meta;
+        RbcParamsF32::from_ra_pr(meta.ra, meta.pr)
+    }
+}
+
+/// Adam-based trainer for MeshfreeFlowNet.
+pub struct Trainer {
+    /// The model being trained.
+    pub model: MeshfreeFlowNet,
+    /// Optimizer state.
+    pub opt: Adam,
+    /// Loop hyperparameters.
+    pub cfg: TrainConfig,
+}
+
+impl Trainer {
+    /// Wraps a model with an Adam optimizer configured from `cfg`.
+    pub fn new(model: MeshfreeFlowNet, cfg: TrainConfig) -> Self {
+        let opt = Adam::new(&model.store, AdamConfig { lr: cfg.lr, ..Default::default() });
+        Trainer { model, opt, cfg }
+    }
+
+    /// One gradient step on one batch; returns the loss components.
+    pub fn step(
+        &mut self,
+        batch: &mfn_data::Batch,
+        params: RbcParamsF32,
+        stats: ChannelStats,
+    ) -> StepLosses {
+        let mut g = Graph::new();
+        let (loss, comps) = self.model.loss_on_batch(&mut g, batch, params, stats, true);
+        g.backward(loss);
+        let mut grads = g.param_grads(&self.model.store);
+        if self.cfg.grad_clip > 0.0 {
+            clip_grad_norm(&mut grads, self.cfg.grad_clip);
+        }
+        self.opt.step(&mut self.model.store, &grads);
+        comps
+    }
+
+    /// Trains for `cfg.epochs` over the corpus, drawing each batch from a
+    /// random dataset pair.
+    pub fn train(&mut self, corpus: &Corpus) -> Vec<EpochRecord> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed);
+        let samplers: Vec<PatchSampler<'_>> = corpus
+            .pairs
+            .iter()
+            .map(|(hr, lr)| PatchSampler::new(hr, lr, self.model.cfg.patch))
+            .collect();
+        let mut records = Vec::with_capacity(self.cfg.epochs);
+        for epoch in 0..self.cfg.epochs {
+            if self.cfg.lr_decay != 1.0 && epoch > 0 {
+                let lr = self.opt.config().lr * self.cfg.lr_decay;
+                self.opt.set_lr(lr);
+            }
+            let start = Instant::now();
+            let (mut tl, mut pl, mut el) = (0.0f32, 0.0f32, 0.0f32);
+            for _ in 0..self.cfg.batches_per_epoch {
+                let di = rng.gen_range(0..samplers.len());
+                let batch = make_batch(&samplers[di], self.cfg.batch_size, &mut rng);
+                let comps = self.step(&batch, corpus.params(di), corpus.stats);
+                tl += comps.total;
+                pl += comps.prediction;
+                el += comps.equation;
+            }
+            let nb = self.cfg.batches_per_epoch as f32;
+            records.push(EpochRecord {
+                epoch,
+                loss: tl / nb,
+                prediction: pl / nb,
+                equation: el / nb,
+                seconds: start.elapsed().as_secs_f64(),
+            });
+        }
+        records
+    }
+}
+
+/// Adam-based trainer for Baseline (II) (patch → HR-patch regression).
+pub struct BaselineTrainer {
+    /// The baseline model.
+    pub model: BaselineII,
+    /// Optimizer state.
+    pub opt: Adam,
+    /// Loop hyperparameters.
+    pub cfg: TrainConfig,
+}
+
+impl BaselineTrainer {
+    /// Wraps a Baseline (II) model with Adam.
+    pub fn new(model: BaselineII, cfg: TrainConfig) -> Self {
+        let opt = Adam::new(&model.store, AdamConfig { lr: cfg.lr, ..Default::default() });
+        BaselineTrainer { model, opt, cfg }
+    }
+
+    /// Trains over the corpus with random patch targets.
+    pub fn train(&mut self, corpus: &Corpus) -> Vec<EpochRecord> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed);
+        let spec = self.model.cfg.patch;
+        let factors = self.model.factors;
+        let mut records = Vec::with_capacity(self.cfg.epochs);
+        for epoch in 0..self.cfg.epochs {
+            let start = Instant::now();
+            let mut tl = 0.0f32;
+            for _ in 0..self.cfg.batches_per_epoch {
+                let di = rng.gen_range(0..corpus.pairs.len());
+                let (hr, lr) = &corpus.pairs[di];
+                let origin = [
+                    rng.gen_range(0..=lr.meta.nt - spec.nt),
+                    rng.gen_range(0..=lr.meta.nz - spec.nz),
+                    rng.gen_range(0..=lr.meta.nx - spec.nx),
+                ];
+                let input =
+                    crate::model::extract_patch(lr, origin, spec, corpus.stats);
+                let target = hr_target_patch(hr, origin, spec, factors, corpus.stats);
+                let mut g = Graph::new();
+                let loss = self.model.loss(&mut g, &input, &target, true);
+                tl += g.value(loss).item();
+                g.backward(loss);
+                let mut grads = g.param_grads(&self.model.store);
+                if self.cfg.grad_clip > 0.0 {
+                    clip_grad_norm(&mut grads, self.cfg.grad_clip);
+                }
+                self.opt.step(&mut self.model.store, &grads);
+            }
+            let nb = self.cfg.batches_per_epoch as f32;
+            records.push(EpochRecord {
+                epoch,
+                loss: tl / nb,
+                prediction: tl / nb,
+                equation: 0.0,
+                seconds: start.elapsed().as_secs_f64(),
+            });
+        }
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MfnConfig;
+    use mfn_data::{downsample, PatchSpec};
+    use mfn_solver::{simulate, RbcConfig};
+
+    fn tiny_corpus() -> Corpus {
+        let sim = simulate(
+            &RbcConfig { nx: 16, nz: 9, ra: 1e5, dt_max: 2e-3, ..Default::default() },
+            0.1,
+            9,
+        );
+        let hr = Dataset::from_simulation(&sim);
+        let lr = downsample(&hr, 2, 2);
+        Corpus::new(vec![(hr, lr)])
+    }
+
+    fn tiny_model() -> MeshfreeFlowNet {
+        let mut cfg = MfnConfig::small();
+        cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 4, queries: 16 };
+        cfg.base_channels = 4;
+        cfg.latent_channels = 8;
+        cfg.mlp_hidden = vec![16, 16];
+        cfg.levels = 2;
+        MeshfreeFlowNet::new(cfg)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let corpus = tiny_corpus();
+        let mut trainer = Trainer::new(
+            tiny_model(),
+            TrainConfig {
+                epochs: 15,
+                batches_per_epoch: 8,
+                batch_size: 4,
+                lr: 1e-2,
+                ..Default::default()
+            },
+        );
+        let records = trainer.train(&corpus);
+        assert_eq!(records.len(), 15);
+        let first = records[0].loss;
+        let last = records.last().expect("records").loss;
+        assert!(
+            last < 0.75 * first,
+            "loss did not drop: {first} -> {last} ({records:?})"
+        );
+    }
+
+    #[test]
+    fn equation_loss_tracked_when_gamma_positive() {
+        let corpus = tiny_corpus();
+        let mut model = tiny_model();
+        model.cfg.gamma = 0.05;
+        let mut trainer = Trainer::new(
+            model,
+            TrainConfig { epochs: 2, batches_per_epoch: 2, batch_size: 1, ..Default::default() },
+        );
+        let records = trainer.train(&corpus);
+        assert!(records.iter().all(|r| r.equation > 0.0));
+    }
+
+    #[test]
+    fn baseline_training_reduces_loss() {
+        let corpus = tiny_corpus();
+        let mut cfg = MfnConfig::small();
+        cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 4, queries: 8 };
+        cfg.base_channels = 4;
+        cfg.latent_channels = 8;
+        cfg.levels = 2;
+        let b2 = BaselineII::new(cfg, [2, 2, 2]);
+        let mut trainer = BaselineTrainer::new(
+            b2,
+            TrainConfig { epochs: 6, batches_per_epoch: 6, lr: 3e-3, ..Default::default() },
+        );
+        let records = trainer.train(&corpus);
+        let first = records[0].loss;
+        let last = records.last().expect("records").loss;
+        assert!(last < 0.9 * first, "baseline loss did not drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn lr_decay_anneals_the_optimizer() {
+        let corpus = tiny_corpus();
+        let mut trainer = Trainer::new(
+            tiny_model(),
+            TrainConfig {
+                epochs: 5,
+                batches_per_epoch: 1,
+                batch_size: 2,
+                lr: 1e-2,
+                lr_decay: 0.5,
+                ..Default::default()
+            },
+        );
+        trainer.train(&corpus);
+        // After 5 epochs with decay 0.5 applied from epoch 1: lr = 1e-2 * 0.5^4.
+        let expect = 1e-2f32 * 0.5f32.powi(4);
+        let got = trainer.opt.config().lr;
+        assert!((got - expect).abs() < 1e-6, "lr {got} vs {expect}");
+        // Default (decay = 1.0) leaves lr untouched.
+        let mut t2 = Trainer::new(
+            tiny_model(),
+            TrainConfig { epochs: 3, batches_per_epoch: 1, batch_size: 2, lr: 1e-2, ..Default::default() },
+        );
+        t2.train(&corpus);
+        assert_eq!(t2.opt.config().lr, 1e-2);
+    }
+
+    #[test]
+    fn corpus_stats_pool_across_pairs() {
+        let sim = simulate(
+            &RbcConfig { nx: 16, nz: 9, ra: 1e5, dt_max: 2e-3, ..Default::default() },
+            0.05,
+            5,
+        );
+        let hr = Dataset::from_simulation(&sim);
+        let lr = downsample(&hr, 2, 2);
+        let single = Corpus::new(vec![(hr.clone(), lr.clone())]);
+        let double = Corpus::new(vec![(hr.clone(), lr.clone()), (hr, lr)]);
+        for c in 0..4 {
+            assert!((single.stats.mean[c] - double.stats.mean[c]).abs() < 1e-5);
+            assert!((single.stats.std[c] - double.stats.std[c]).abs() < 1e-4);
+        }
+    }
+}

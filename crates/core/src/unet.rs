@@ -1,0 +1,280 @@
+//! The Context Generation Network: a residual 3D U-Net (paper Sec. 4.1,
+//! Fig. 5).
+//!
+//! Contractive path: a stem ResBlock followed by `levels` stages of
+//! (anisotropic max-pool → ResBlock with doubled channels). Expansive path:
+//! nearest-neighbour upsampling, skip concatenation with the matching
+//! contractive feature map, and a ResBlock halving the channels. A final
+//! 1×1×1 convolution maps to the `n_c` latent channels of the Latent Context
+//! Grid, which has the same `[nt, nz, nx]` extent as the LR input patch.
+
+use crate::config::MfnConfig;
+use mfn_autodiff::{BatchNorm3d, Conv3dLayer, Graph, ParamStore, Var};
+use rand::Rng;
+
+/// One residual block: `1×1×1 → BN → ReLU → 3×3×3 → BN → ReLU → 1×1×1 → BN`,
+/// additive skip (with a 1×1×1 projection when channel counts differ),
+/// final ReLU.
+#[derive(Debug, Clone)]
+pub struct ResBlock3d {
+    conv1: Conv3dLayer,
+    bn1: BatchNorm3d,
+    conv2: Conv3dLayer,
+    bn2: BatchNorm3d,
+    conv3: Conv3dLayer,
+    bn3: BatchNorm3d,
+    /// Channel projection on the skip path, present iff `cin != cout`.
+    skip: Option<Conv3dLayer>,
+    /// Mid-block channel width (the 3×3×3 conv's width).
+    mid: usize,
+}
+
+impl ResBlock3d {
+    /// Registers a residual block mapping `cin` → `cout` channels.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        cin: usize,
+        cout: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mid = cout.max(1);
+        ResBlock3d {
+            conv1: Conv3dLayer::new(store, &format!("{name}.conv1"), cin, mid, [1, 1, 1], rng),
+            bn1: BatchNorm3d::new(store, &format!("{name}.bn1"), mid),
+            conv2: Conv3dLayer::new(store, &format!("{name}.conv2"), mid, mid, [3, 3, 3], rng),
+            bn2: BatchNorm3d::new(store, &format!("{name}.bn2"), mid),
+            conv3: Conv3dLayer::new(store, &format!("{name}.conv3"), mid, cout, [1, 1, 1], rng),
+            bn3: BatchNorm3d::new(store, &format!("{name}.bn3"), cout),
+            skip: if cin != cout {
+                Some(Conv3dLayer::new(store, &format!("{name}.skip"), cin, cout, [1, 1, 1], rng))
+            } else {
+                None
+            },
+            mid,
+        }
+    }
+
+    /// Records the block's forward pass.
+    pub fn forward(
+        &mut self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Var,
+        training: bool,
+    ) -> Var {
+        let mut h = self.conv1.forward(g, store, x);
+        h = self.bn1.forward(g, store, h, training);
+        h = g.relu(h);
+        h = self.conv2.forward(g, store, h);
+        h = self.bn2.forward(g, store, h, training);
+        h = g.relu(h);
+        h = self.conv3.forward(g, store, h);
+        h = self.bn3.forward(g, store, h, training);
+        let shortcut = match &self.skip {
+            Some(proj) => proj.forward(g, store, x),
+            None => x,
+        };
+        let sum = g.add(h, shortcut);
+        g.relu(sum)
+    }
+
+    /// Mid-block width (diagnostics).
+    pub fn mid_channels(&self) -> usize {
+        self.mid
+    }
+
+    /// Appends references to this block's batch-norm layers (for state
+    /// checkpointing, in deterministic order).
+    pub fn collect_bn<'a>(&'a self, out: &mut Vec<&'a BatchNorm3d>) {
+        out.push(&self.bn1);
+        out.push(&self.bn2);
+        out.push(&self.bn3);
+    }
+
+    /// Mutable version of [`ResBlock3d::collect_bn`].
+    pub fn collect_bn_mut<'a>(&'a mut self, out: &mut Vec<&'a mut BatchNorm3d>) {
+        out.push(&mut self.bn1);
+        out.push(&mut self.bn2);
+        out.push(&mut self.bn3);
+    }
+}
+
+/// The full residual 3D U-Net.
+#[derive(Debug, Clone)]
+pub struct UNet3d {
+    stem: ResBlock3d,
+    /// Contractive blocks, one per level (applied after pooling).
+    down: Vec<ResBlock3d>,
+    /// Expansive blocks, one per level (applied after upsample+concat).
+    up: Vec<ResBlock3d>,
+    /// Final 1×1×1 projection to the latent channels.
+    head: Conv3dLayer,
+    /// Per-level pooling factors `[t, z, x]`.
+    pool: Vec<[usize; 3]>,
+}
+
+impl UNet3d {
+    /// Registers the U-Net described by `cfg`.
+    pub fn new<R: Rng>(store: &mut ParamStore, cfg: &MfnConfig, rng: &mut R) -> Self {
+        let pool = cfg.pool_factors();
+        let levels = cfg.levels;
+        let c0 = cfg.base_channels;
+        let stem = ResBlock3d::new(store, "unet.stem", cfg.in_channels, c0, rng);
+        let mut down = Vec::with_capacity(levels);
+        for l in 0..levels {
+            let cin = c0 << l;
+            let cout = c0 << (l + 1);
+            down.push(ResBlock3d::new(store, &format!("unet.down{l}"), cin, cout, rng));
+        }
+        let mut up = Vec::with_capacity(levels);
+        for l in (0..levels).rev() {
+            // Input: upsampled (c0<<(l+1)) concat skip (c0<<l) -> output c0<<l.
+            let cin = (c0 << (l + 1)) + (c0 << l);
+            let cout = c0 << l;
+            up.push(ResBlock3d::new(store, &format!("unet.up{l}"), cin, cout, rng));
+        }
+        let head =
+            Conv3dLayer::new(store, "unet.head", c0, cfg.latent_channels, [1, 1, 1], rng);
+        UNet3d { stem, down, up, head, pool }
+    }
+
+    /// Appends references to every batch-norm layer of the U-Net, in a
+    /// deterministic order (stem, contractive, expansive).
+    pub fn collect_bn<'a>(&'a self, out: &mut Vec<&'a BatchNorm3d>) {
+        self.stem.collect_bn(out);
+        for b in &self.down {
+            b.collect_bn(out);
+        }
+        for b in &self.up {
+            b.collect_bn(out);
+        }
+    }
+
+    /// Mutable version of [`UNet3d::collect_bn`].
+    pub fn collect_bn_mut<'a>(&'a mut self, out: &mut Vec<&'a mut BatchNorm3d>) {
+        self.stem.collect_bn_mut(out);
+        for b in &mut self.down {
+            b.collect_bn_mut(out);
+        }
+        for b in &mut self.up {
+            b.collect_bn_mut(out);
+        }
+    }
+
+    /// Records the forward pass: `x: [N, Cin, nt, nz, nx]` →
+    /// latent grid `[N, n_c, nt, nz, nx]`.
+    pub fn forward(
+        &mut self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Var,
+        training: bool,
+    ) -> Var {
+        let mut h = self.stem.forward(g, store, x, training);
+        let mut skips: Vec<Var> = Vec::with_capacity(self.down.len());
+        for (l, block) in self.down.iter_mut().enumerate() {
+            skips.push(h);
+            h = g.maxpool3d(h, self.pool[l]);
+            h = block.forward(g, store, h, training);
+        }
+        for (i, block) in self.up.iter_mut().enumerate() {
+            let l = self.down.len() - 1 - i; // level being undone
+            h = g.upsample3d(h, self.pool[l]);
+            let skip = skips[l];
+            h = g.concat(&[h, skip], 1);
+            h = block.forward(g, store, h, training);
+        }
+        self.head.forward(g, store, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfn_tensor::Tensor;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_cfg() -> MfnConfig {
+        MfnConfig::small()
+    }
+
+    #[test]
+    fn resblock_preserves_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut block = ResBlock3d::new(&mut store, "b", 3, 5, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[2, 3, 2, 4, 4]));
+        let y = block.forward(&mut g, &store, x, true);
+        assert_eq!(g.value(y).dims(), &[2, 5, 2, 4, 4]);
+    }
+
+    #[test]
+    fn resblock_identity_channels_skips_projection() {
+        let mut store = ParamStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let block = ResBlock3d::new(&mut store, "b", 4, 4, &mut rng);
+        assert!(block.skip.is_none());
+        let block2 = ResBlock3d::new(&mut store, "b2", 4, 8, &mut rng);
+        assert!(block2.skip.is_some());
+    }
+
+    #[test]
+    fn unet_latent_grid_matches_input_extent() {
+        let cfg = small_cfg();
+        let mut store = ParamStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut unet = UNet3d::new(&mut store, &cfg, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[1, 4, cfg.patch.nt, cfg.patch.nz, cfg.patch.nx]));
+        let latent = unet.forward(&mut g, &store, x, true);
+        assert_eq!(
+            g.value(latent).dims(),
+            &[1, cfg.latent_channels, cfg.patch.nt, cfg.patch.nz, cfg.patch.nx]
+        );
+    }
+
+    #[test]
+    fn unet_eval_mode_is_deterministic() {
+        let cfg = small_cfg();
+        let mut store = ParamStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut unet = UNet3d::new(&mut store, &cfg, &mut rng);
+        let x0 = Tensor::randn(&[1, 4, cfg.patch.nt, cfg.patch.nz, cfg.patch.nx], 1.0, &mut rng);
+        let run = |unet: &mut UNet3d| {
+            let mut g = Graph::new();
+            let x = g.constant(x0.clone());
+            let y = unet.forward(&mut g, &store, x, false);
+            g.value(y).clone()
+        };
+        let a = run(&mut unet);
+        let b = run(&mut unet);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unet_gradients_reach_all_params() {
+        let cfg = small_cfg();
+        let mut store = ParamStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut unet = UNet3d::new(&mut store, &cfg, &mut rng);
+        let mut g = Graph::new();
+        let x0 = Tensor::randn(&[2, 4, cfg.patch.nt, cfg.patch.nz, cfg.patch.nx], 1.0, &mut rng);
+        let x = g.constant(x0);
+        let y = unet.forward(&mut g, &store, x, true);
+        let sq = g.mul(y, y);
+        let loss = g.sum(sq);
+        g.backward(loss);
+        let grads = g.param_grads(&store);
+        let mut nonzero = 0;
+        for gr in &grads {
+            if gr.max_abs() > 0.0 {
+                nonzero += 1;
+            }
+        }
+        // Every parameter tensor should receive some gradient.
+        assert_eq!(nonzero, grads.len(), "{nonzero}/{} params got gradient", grads.len());
+    }
+}

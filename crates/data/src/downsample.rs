@@ -1,0 +1,133 @@
+//! Low-resolution dataset construction (paper Sec. 3.2).
+//!
+//! The paper creates its LR training inputs by downsampling the HR solution
+//! with factors `d_t = 4` in time and `d_s = 8` in space. We use strided
+//! subsampling (every `f`-th grid point/frame), which matches the paper's
+//! description of "downsampling" and keeps LR grid points coincident with HR
+//! grid points, so the LR grid geometry stays exact.
+
+use crate::dataset::{Dataset, DatasetMeta, CHANNELS};
+
+/// Strided downsampling by `ft` in time and `fs` in both spatial directions.
+///
+/// LR sample `(f, j, i)` equals HR sample `(f·ft, j·fs, i·fs)`; the LR
+/// extents are the largest strided grids that fit. Normalization statistics
+/// are recomputed on the LR data.
+///
+/// # Panics
+/// Panics if a factor is zero or leaves fewer than 2 points along any axis.
+pub fn downsample(hr: &Dataset, ft: usize, fs: usize) -> Dataset {
+    assert!(ft >= 1 && fs >= 1, "factors must be positive");
+    let nt = (hr.meta.nt - 1) / ft + 1;
+    let nz = (hr.meta.nz - 1) / fs + 1;
+    let nx = hr.meta.nx / fs; // periodic direction: plain stride, no endpoint
+    assert!(nt >= 2, "too few LR frames");
+    assert!(nz >= 2 && nx >= 2, "too few LR grid points");
+    let mut data = vec![0.0f32; nt * CHANNELS * nz * nx];
+    for f in 0..nt {
+        for c in 0..CHANNELS {
+            for j in 0..nz {
+                for i in 0..nx {
+                    let v = hr.at(f * ft, c, j * fs, i * fs);
+                    data[((f * CHANNELS + c) * nz + j) * nx + i] = v;
+                }
+            }
+        }
+    }
+    // The last LR frame sits at HR frame (nt-1)*ft, which may be before the
+    // HR end; duration shrinks accordingly. Spatial lengths follow the same
+    // logic: z keeps the node-grid convention, x keeps full periodic length
+    // only if fs divides nx (asserted by construction of the solver grids).
+    let duration = hr.dt() * ((nt - 1) * ft) as f64;
+    let lz = hr.dz() * ((nz - 1) * fs) as f64;
+    let lx = hr.dx() * (nx * fs) as f64;
+    let mut out = Dataset::from_parts(
+        DatasetMeta {
+            nt,
+            nz,
+            nx,
+            lx,
+            lz,
+            duration,
+            ra: hr.meta.ra,
+            pr: hr.meta.pr,
+            seed: hr.meta.seed,
+            channel_mean: hr.meta.channel_mean,
+            channel_std: hr.meta.channel_std,
+        },
+        data,
+    );
+    out.refresh_stats();
+    out
+}
+
+/// The paper's default factors: `d_t = 4`, `d_s = 8`.
+pub const PAPER_DT_FACTOR: usize = 4;
+/// Spatial downsampling factor from the paper.
+pub const PAPER_DS_FACTOR: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CH_T;
+    use mfn_solver::{simulate, RbcConfig};
+
+    fn make_hr() -> Dataset {
+        let sim = simulate(
+            &RbcConfig { nx: 32, nz: 17, ra: 1e5, dt_max: 2e-3, ..Default::default() },
+            0.08,
+            9,
+        );
+        Dataset::from_simulation(&sim)
+    }
+
+    #[test]
+    fn shapes_and_values() {
+        let hr = make_hr();
+        let lr = downsample(&hr, 2, 4);
+        assert_eq!(lr.meta.nt, 5);
+        assert_eq!(lr.meta.nz, 5);
+        assert_eq!(lr.meta.nx, 8);
+        for f in 0..lr.meta.nt {
+            for j in 0..lr.meta.nz {
+                for i in 0..lr.meta.nx {
+                    assert_eq!(lr.at(f, CH_T, j, i), hr.at(f * 2, CH_T, j * 4, i * 4));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_is_consistent() {
+        let hr = make_hr();
+        let lr = downsample(&hr, 2, 4);
+        // LR grid spacings are exactly factor × HR spacings.
+        assert!((lr.dt() - 2.0 * hr.dt()).abs() < 1e-12);
+        assert!((lr.dz() - 4.0 * hr.dz()).abs() < 1e-12);
+        assert!((lr.dx() - 4.0 * hr.dx()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_factors_preserve() {
+        let hr = make_hr();
+        let same = downsample(&hr, 1, 1);
+        assert_eq!(same.meta.nt, hr.meta.nt);
+        assert_eq!(same.data, hr.data);
+    }
+
+    #[test]
+    fn stats_recomputed() {
+        let hr = make_hr();
+        let lr = downsample(&hr, 2, 4);
+        // Stats exist and are finite; T std > 0 since convection is seeded.
+        assert!(lr.meta.channel_std[CH_T] > 0.0);
+        assert!(lr.meta.channel_mean.iter().all(|m| m.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "too few")]
+    fn over_aggressive_factor_panics() {
+        let hr = make_hr();
+        downsample(&hr, 100, 1);
+    }
+}

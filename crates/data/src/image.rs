@@ -1,0 +1,94 @@
+//! Contour-panel dumps for the Fig. 6 reproduction.
+//!
+//! Writes grayscale PGM images (universally viewable, zero dependencies) of
+//! individual channel frames, normalized to the frame's value range, plus a
+//! CSV dump for plotting pipelines.
+
+use crate::dataset::Dataset;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes one channel of one frame as a binary PGM (P5) image.
+///
+/// Values are linearly mapped from the frame's `[min, max]` to `[0, 255]`;
+/// row 0 (the hot bottom wall) is drawn at the image bottom.
+pub fn write_pgm(ds: &Dataset, frame: usize, channel: usize, path: &Path) -> io::Result<()> {
+    let (nz, nx) = (ds.meta.nz, ds.meta.nx);
+    let field = ds.channel_frame(frame, channel);
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &v in field {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = (hi - lo).max(1e-12);
+    let mut out = Vec::with_capacity(nz * nx + 32);
+    out.extend_from_slice(format!("P5\n{nx} {nz}\n255\n").as_bytes());
+    for j in (0..nz).rev() {
+        for i in 0..nx {
+            let v = field[j * nx + i];
+            out.push(((v - lo) / range * 255.0).round().clamp(0.0, 255.0) as u8);
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&out)
+}
+
+/// Writes one channel of one frame as CSV (`nz` rows × `nx` columns).
+pub fn write_csv(ds: &Dataset, frame: usize, channel: usize, path: &Path) -> io::Result<()> {
+    let (nz, nx) = (ds.meta.nz, ds.meta.nx);
+    let field = ds.channel_frame(frame, channel);
+    let mut s = String::with_capacity(nz * nx * 12);
+    for j in 0..nz {
+        for i in 0..nx {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{:.6e}", field[j * nx + i]));
+        }
+        s.push('\n');
+    }
+    std::fs::write(path, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfn_solver::{simulate, RbcConfig};
+
+    fn ds() -> Dataset {
+        let sim = simulate(
+            &RbcConfig { nx: 16, nz: 9, ra: 1e5, ..Default::default() },
+            0.02,
+            3,
+        );
+        Dataset::from_simulation(&sim)
+    }
+
+    #[test]
+    fn pgm_has_correct_header_and_size() {
+        let d = ds();
+        let dir = std::env::temp_dir().join("mfn_img_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join("t.pgm");
+        write_pgm(&d, 1, 0, &p).expect("write");
+        let bytes = std::fs::read(&p).expect("read");
+        let header = b"P5\n16 9\n255\n";
+        assert_eq!(&bytes[..header.len()], header);
+        assert_eq!(bytes.len(), header.len() + 16 * 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_rows_and_columns() {
+        let d = ds();
+        let dir = std::env::temp_dir().join("mfn_csv_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join("t.csv");
+        write_csv(&d, 0, 2, &p).expect("write");
+        let content = std::fs::read_to_string(&p).expect("read");
+        let rows: Vec<&str> = content.lines().collect();
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows[0].split(',').count(), 16);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

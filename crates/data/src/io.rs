@@ -1,0 +1,98 @@
+//! Dataset persistence: a little-endian `f32` binary payload plus a JSON
+//! metadata sidecar — no external formats, fully self-describing.
+
+use crate::dataset::{Dataset, DatasetMeta};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying the payload format (version 1).
+const MAGIC: &[u8; 8] = b"MFNDATA1";
+
+/// Saves a dataset as `<path>` (binary) and `<path>.json` (metadata).
+pub fn save_dataset(ds: &Dataset, path: &Path) -> io::Result<()> {
+    let meta_json = serde_json::to_string_pretty(&ds.meta)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path.with_extension("json"), meta_json)?;
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(ds.data.len() as u64).to_le_bytes())?;
+    for &v in &ds.data {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Loads a dataset written by [`save_dataset`].
+pub fn load_dataset(path: &Path) -> io::Result<Dataset> {
+    let meta_json = std::fs::read_to_string(path.with_extension("json"))?;
+    let meta: DatasetMeta = serde_json::from_str(&meta_json)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic bytes"));
+    }
+    let mut len_bytes = [0u8; 8];
+    r.read_exact(&mut len_bytes)?;
+    let len = u64::from_le_bytes(len_bytes) as usize;
+    let expected = meta.nt * crate::dataset::CHANNELS * meta.nz * meta.nx;
+    if len != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("payload length {len} does not match metadata ({expected})"),
+        ));
+    }
+    let mut bytes = vec![0u8; len * 4];
+    r.read_exact(&mut bytes)?;
+    let data: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(Dataset::from_parts(meta, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfn_solver::{simulate, RbcConfig};
+
+    #[test]
+    fn roundtrip() {
+        let sim = simulate(
+            &RbcConfig { nx: 16, nz: 9, ra: 1e4, ..Default::default() },
+            0.02,
+            3,
+        );
+        let ds = Dataset::from_simulation(&sim);
+        let dir = std::env::temp_dir().join("mfn_io_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("ds.bin");
+        save_dataset(&ds, &path).expect("save");
+        let back = load_dataset(&path).expect("load");
+        assert_eq!(back.meta, ds.meta);
+        assert_eq!(back.data, ds.data);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_magic() {
+        let dir = std::env::temp_dir().join("mfn_io_test_bad");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("bad.bin");
+        let sim = simulate(
+            &RbcConfig { nx: 16, nz: 9, ra: 1e4, ..Default::default() },
+            0.02,
+            3,
+        );
+        let ds = Dataset::from_simulation(&sim);
+        save_dataset(&ds, &path).expect("save");
+        // Corrupt the magic.
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[0] = b'X';
+        std::fs::write(&path, bytes).expect("write");
+        assert!(load_dataset(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

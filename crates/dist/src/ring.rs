@@ -1,0 +1,244 @@
+//! Bandwidth-optimal ring all-reduce.
+//!
+//! The paper trains with synchronous data-parallel SGD where "gradients are
+//! averaged across all devices with an all-reduce operation" (Sec. 3.4,
+//! NCCL). This module implements the same communication schedule NCCL uses —
+//! reduce-scatter followed by all-gather around a ring — with worker threads
+//! standing in for GPUs and crossbeam channels for NVLink. Each of the
+//! `2(n−1)` steps moves `B/n` elements, so total bytes on the wire are
+//! `2B(n−1)/n` per worker: bandwidth-optimal and independent of `n` for
+//! large `n`.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// One worker's endpoint of a ring. Created in bulk by [`ring`].
+pub struct RingHandle {
+    rank: usize,
+    n: usize,
+    /// Sender to the next worker in the ring (`(rank + 1) % n`).
+    to_next: Sender<Vec<f32>>,
+    /// Receiver from the previous worker (`(rank + n - 1) % n`).
+    from_prev: Receiver<Vec<f32>>,
+}
+
+/// Creates the endpoints of an `n`-worker ring.
+pub fn ring(n: usize) -> Vec<RingHandle> {
+    assert!(n >= 1, "ring needs at least one worker");
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (s, r) = unbounded::<Vec<f32>>();
+        senders.push(s);
+        receivers.push(r);
+    }
+    // Worker i sends into channel i (read by worker i+1).
+    let mut handles: Vec<RingHandle> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<Receiver<Vec<f32>>>> =
+        receivers.into_iter().map(Some).collect();
+    for (rank, to_next) in senders.into_iter().enumerate() {
+        let prev = (rank + n - 1) % n;
+        let from_prev = receivers[prev].take().expect("each receiver taken once");
+        handles.push(RingHandle { rank, n, to_next, from_prev });
+    }
+    handles
+}
+
+/// The element range of chunk `c` for a buffer of `len` split `n` ways
+/// (first `len % n` chunks get one extra element).
+fn chunk_range(len: usize, n: usize, c: usize) -> std::ops::Range<usize> {
+    let base = len / n;
+    let extra = len % n;
+    let start = c * base + c.min(extra);
+    let size = base + usize::from(c < extra);
+    start..start + size
+}
+
+impl RingHandle {
+    /// This worker's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Ring size.
+    pub fn world(&self) -> usize {
+        self.n
+    }
+
+    /// In-place all-reduce (sum). Every worker must call this with a buffer
+    /// of identical length; on return all buffers hold the element-wise sum.
+    ///
+    /// # Panics
+    /// Panics if a peer disconnects mid-reduce.
+    pub fn all_reduce_sum(&self, buf: &mut [f32]) {
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+        let len = buf.len();
+        // Reduce-scatter: after step s, worker i holds the partial sum of
+        // chunk (i - s) accumulated over s+1 workers; after n-1 steps worker
+        // i holds the complete sum of chunk (i + 1) mod n.
+        for s in 0..n - 1 {
+            let send_c = (self.rank + n - s) % n;
+            let recv_c = (self.rank + n - s - 1) % n;
+            let out = buf[chunk_range(len, n, send_c)].to_vec();
+            self.to_next.send(out).expect("ring peer hung up");
+            let inc = self.from_prev.recv().expect("ring peer hung up");
+            let r = chunk_range(len, n, recv_c);
+            debug_assert_eq!(inc.len(), r.len());
+            for (dst, src) in buf[r].iter_mut().zip(&inc) {
+                *dst += src;
+            }
+        }
+        // All-gather: circulate the completed chunks.
+        for s in 0..n - 1 {
+            let send_c = (self.rank + 1 + n - s) % n;
+            let recv_c = (self.rank + n - s) % n;
+            let out = buf[chunk_range(len, n, send_c)].to_vec();
+            self.to_next.send(out).expect("ring peer hung up");
+            let inc = self.from_prev.recv().expect("ring peer hung up");
+            let r = chunk_range(len, n, recv_c);
+            debug_assert_eq!(inc.len(), r.len());
+            buf[r].copy_from_slice(&inc);
+        }
+    }
+
+    /// All-reduce followed by division by the world size (gradient
+    /// averaging — what `DistributedDataParallel` does).
+    pub fn all_reduce_mean(&self, buf: &mut [f32]) {
+        self.all_reduce_sum(buf);
+        let inv = 1.0 / self.n as f32;
+        for v in buf.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn run_all_reduce(n: usize, len: usize, seed: u64) {
+        let handles = ring(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let mut expect = vec![0.0f32; len];
+        for inp in &inputs {
+            for (e, v) in expect.iter_mut().zip(inp) {
+                *e += v;
+            }
+        }
+        let results: Vec<Vec<f32>> = std::thread::scope(|scope| {
+            let joins: Vec<_> = handles
+                .into_iter()
+                .zip(inputs.clone())
+                .map(|(h, mut buf)| {
+                    scope.spawn(move || {
+                        h.all_reduce_sum(&mut buf);
+                        buf
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().expect("worker panicked")).collect()
+        });
+        for (w, r) in results.iter().enumerate() {
+            for (i, (a, b)) in r.iter().zip(&expect).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-4 * (1.0 + b.abs()),
+                    "n={n} len={len} worker {w} elem {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_matches_serial_sum() {
+        for n in 1..=5 {
+            for len in [1usize, 2, 3, 7, 64, 1000] {
+                run_all_reduce(n, len, (n * 1000 + len) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_shorter_than_world() {
+        // len < n leaves some chunks empty — must still work.
+        run_all_reduce(5, 2, 99);
+        run_all_reduce(4, 3, 100);
+    }
+
+    #[test]
+    fn mean_divides_by_world() {
+        let handles = ring(4);
+        let results: Vec<Vec<f32>> = std::thread::scope(|scope| {
+            let joins: Vec<_> = handles
+                .into_iter()
+                .map(|h| {
+                    scope.spawn(move || {
+                        let mut buf = vec![2.0f32; 10];
+                        h.all_reduce_mean(&mut buf);
+                        buf
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().expect("worker")).collect()
+        });
+        for r in results {
+            for v in r {
+                assert!((v - 2.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_reduces_stay_consistent() {
+        // Back-to-back all-reduces must not cross-contaminate.
+        let handles = ring(3);
+        let results: Vec<(f32, f32)> = std::thread::scope(|scope| {
+            let joins: Vec<_> = handles
+                .into_iter()
+                .map(|h| {
+                    scope.spawn(move || {
+                        let mut a = vec![h.rank() as f32; 8];
+                        h.all_reduce_sum(&mut a);
+                        let mut b = vec![1.0f32; 5];
+                        h.all_reduce_sum(&mut b);
+                        (a[0], b[0])
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().expect("worker")).collect()
+        });
+        for (a, b) in results {
+            assert!((a - 3.0).abs() < 1e-6); // 0+1+2
+            assert!((b - 3.0).abs() < 1e-6); // 1*3
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_partition_buffer() {
+        for len in [0usize, 1, 5, 17, 100] {
+            for n in 1..=6 {
+                let mut covered = 0;
+                for c in 0..n {
+                    let r = chunk_range(len, n, c);
+                    assert_eq!(r.start, covered, "len={len} n={n} c={c}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_is_identity() {
+        let handles = ring(1);
+        let mut buf = vec![1.0, 2.0, 3.0];
+        handles[0].all_reduce_sum(&mut buf);
+        assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+    }
+}

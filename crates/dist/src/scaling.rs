@@ -1,0 +1,190 @@
+//! The analytic throughput model used to extend measured scaling curves to
+//! the paper's 128-GPU regime (Fig. 7a).
+//!
+//! The host has far fewer cores than Cori had GPUs, so we *measure* up to
+//! the core count and *model* beyond it (a substitution documented in
+//! DESIGN.md). The model captures exactly the mechanism the paper describes:
+//! per-step time is compute plus the *exposed* part of the ring all-reduce,
+//! where communication of one layer's gradients overlaps with backprop of
+//! the previous layer.
+
+/// Calibrated throughput model for synchronous data-parallel training with
+/// ring all-reduce.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingModel {
+    /// Per-worker compute seconds per step (forward + backward + optimizer).
+    pub t_compute: f64,
+    /// Gradient bytes exchanged per step.
+    pub grad_bytes: f64,
+    /// Link bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Fraction of communication hidden under backprop (0 = fully exposed,
+    /// 1 = fully overlapped).
+    pub overlap: f64,
+    /// Samples per worker per step.
+    pub batch: f64,
+}
+
+impl ScalingModel {
+    /// Ring all-reduce wire time for `n` workers: `2 (n−1)/n · B / bw`.
+    pub fn comm_time(&self, n: usize) -> f64 {
+        if n <= 1 {
+            0.0
+        } else {
+            2.0 * (n as f64 - 1.0) / n as f64 * self.grad_bytes / self.bandwidth
+        }
+    }
+
+    /// Seconds per synchronous step with `n` workers.
+    pub fn step_time(&self, n: usize) -> f64 {
+        let exposed = (self.comm_time(n) - self.overlap * self.t_compute).max(0.0);
+        self.t_compute + exposed
+    }
+
+    /// Aggregate throughput (samples/second) with `n` workers.
+    pub fn throughput(&self, n: usize) -> f64 {
+        n as f64 * self.batch / self.step_time(n)
+    }
+
+    /// Scaling efficiency vs. ideal linear scaling from one worker.
+    pub fn efficiency(&self, n: usize) -> f64 {
+        self.throughput(n) / (n as f64 * self.throughput(1))
+    }
+
+    /// Calibrates the model from measured `(workers, samples/sec)` points.
+    ///
+    /// `t_compute` comes from the 1-worker point; the bandwidth is fitted so
+    /// the model passes through the largest measured worker count (given an
+    /// assumed overlap fraction). With only a 1-worker measurement the link
+    /// is assumed fast enough for ~97% efficiency at 128 workers (the
+    /// paper's observed figure).
+    pub fn calibrate(
+        measured: &[(usize, f64)],
+        grad_bytes: f64,
+        batch: f64,
+        overlap: f64,
+    ) -> Self {
+        assert!(!measured.is_empty(), "need at least the single-worker measurement");
+        let single = measured
+            .iter()
+            .find(|(n, _)| *n == 1)
+            .unwrap_or(&measured[0]);
+        let t_compute = batch * single.0 as f64 / single.1;
+        let mut model = ScalingModel {
+            t_compute,
+            grad_bytes,
+            bandwidth: f64::INFINITY,
+            overlap,
+            batch,
+        };
+        let largest = measured.iter().max_by_key(|(n, _)| *n).expect("non-empty");
+        if largest.0 > 1 {
+            // Solve step_time(n) = n*batch/throughput for the bandwidth.
+            let (n, thr) = (largest.0, largest.1);
+            let step = n as f64 * batch / thr;
+            let exposed = step - t_compute;
+            let wire = exposed + overlap * t_compute;
+            if wire > 0.0 {
+                model.bandwidth =
+                    2.0 * (n as f64 - 1.0) / n as f64 * grad_bytes / wire;
+            }
+        } else {
+            // No multi-worker measurement: pick a bandwidth giving the
+            // paper's ~96.8% efficiency at 128 workers.
+            let target_eff = 0.968;
+            let n = 128.0;
+            let exposed = t_compute * (1.0 - target_eff) / target_eff;
+            let wire = exposed + overlap * t_compute;
+            model.bandwidth = 2.0 * (n - 1.0) / n * grad_bytes / wire;
+        }
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ScalingModel {
+        ScalingModel {
+            t_compute: 0.1,
+            grad_bytes: 4e6,
+            bandwidth: 1e9,
+            overlap: 0.8,
+            batch: 8.0,
+        }
+    }
+
+    #[test]
+    fn single_worker_has_no_comm() {
+        let m = model();
+        assert_eq!(m.comm_time(1), 0.0);
+        assert!((m.step_time(1) - m.t_compute).abs() < 1e-15);
+        assert!((m.efficiency(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_time_saturates_with_n() {
+        let m = model();
+        let t2 = m.comm_time(2);
+        let t128 = m.comm_time(128);
+        assert!(t128 > t2);
+        // Bounded by 2B/bw.
+        assert!(t128 < 2.0 * m.grad_bytes / m.bandwidth + 1e-12);
+    }
+
+    #[test]
+    fn efficiency_monotonically_decreases() {
+        let m = ScalingModel { overlap: 0.0, ..model() };
+        let mut prev = 1.01;
+        for n in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+            let e = m.efficiency(n);
+            assert!(e <= prev + 1e-12, "efficiency rose at {n}: {e} > {prev}");
+            assert!(e > 0.0 && e <= 1.0 + 1e-12);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn full_overlap_gives_ideal_scaling_when_comm_fits() {
+        let m = ScalingModel { overlap: 1.0, bandwidth: 1e12, ..model() };
+        for n in [2usize, 16, 128] {
+            assert!((m.efficiency(n) - 1.0).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn throughput_never_exceeds_ideal_linear() {
+        let m = model();
+        let ideal_1 = m.throughput(1);
+        for n in [2usize, 8, 32, 128, 512] {
+            assert!(
+                m.throughput(n) <= n as f64 * ideal_1 + 1e-9,
+                "superlinear at {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibrate_reproduces_measured_points() {
+        let truth = model();
+        let measured: Vec<(usize, f64)> =
+            [1usize, 8].iter().map(|&n| (n, truth.throughput(n))).collect();
+        let fit = ScalingModel::calibrate(&measured, truth.grad_bytes, truth.batch, truth.overlap);
+        assert!((fit.t_compute - truth.t_compute).abs() < 1e-9);
+        for &(n, thr) in &measured {
+            assert!(
+                (fit.throughput(n) - thr).abs() < 1e-6 * thr,
+                "n={n}: {} vs {thr}",
+                fit.throughput(n)
+            );
+        }
+    }
+
+    #[test]
+    fn calibrate_single_point_targets_paper_efficiency() {
+        let fit = ScalingModel::calibrate(&[(1, 80.0)], 4e6, 8.0, 0.8);
+        let eff = fit.efficiency(128);
+        assert!((eff - 0.968).abs() < 0.01, "efficiency {eff}");
+    }
+}

@@ -1,0 +1,184 @@
+//! 1D turbulence energy spectra.
+//!
+//! The Rayleigh–Bénard domain is periodic only in `x`, so — as is standard for
+//! channel-like flows — we compute the one-dimensional energy spectrum `E(k)`
+//! along `x` and average it over the wall-normal rows. The spectrum is
+//! normalized so that `sum_k E(k) = 0.5 * <u_i u_i>` (the total kinetic energy
+//! per unit mass), which is the convention the integral-scale formula in the
+//! paper's Sec. 3.3 expects.
+
+use crate::complex::Complex;
+use crate::fft::RealFftPlan;
+
+/// The 1D kinetic-energy spectrum of a set of velocity components.
+#[derive(Debug, Clone)]
+pub struct EnergySpectrum {
+    /// Wavenumber magnitudes: `k[i] = 2*pi*i / Lx` for bin `i`.
+    pub wavenumbers: Vec<f64>,
+    /// Energy per bin; `energy.len() == nx/2 + 1`.
+    pub energy: Vec<f64>,
+}
+
+impl EnergySpectrum {
+    /// Total kinetic energy `sum_k E(k)`; equals `0.5 <u_i u_i>` up to FFT
+    /// round-off.
+    pub fn total_energy(&self) -> f64 {
+        self.energy.iter().sum()
+    }
+
+    /// The integral length scale
+    /// `L = pi / (2 u_rms^2) * sum_{k>0} E(k)/k` (discrete form of the
+    /// integral in Sec. 3.3 of the paper), where `u_rms^2 = (2/3) * 2 * E_tot`
+    /// is *not* used here; the caller passes `u_rms` computed from its own
+    /// convention so the metric definitions stay in one place.
+    pub fn integral_scale(&self, u_rms: f64) -> f64 {
+        if u_rms <= 0.0 {
+            return 0.0;
+        }
+        let integral: f64 = self
+            .wavenumbers
+            .iter()
+            .zip(&self.energy)
+            .skip(1) // k = 0 carries the mean flow, excluded from the integral
+            .map(|(&k, &e)| e / k)
+            .sum();
+        std::f64::consts::PI / (2.0 * u_rms * u_rms) * integral
+    }
+}
+
+/// Computes the 1D energy spectrum along the periodic `x` direction.
+///
+/// `components` are velocity-component fields, each stored row-major as
+/// `[nz][nx]` (so `field[z * nx + x]`). `lx` is the physical length of the
+/// periodic direction. Rows are transformed independently and the resulting
+/// per-mode energies averaged over `z`.
+///
+/// # Panics
+/// Panics if any field's length is not `nz * nx` or if `nx` is not a power of
+/// two.
+pub fn energy_spectrum_x(components: &[&[f64]], nz: usize, nx: usize, lx: f64) -> EnergySpectrum {
+    assert!(!components.is_empty(), "need at least one velocity component");
+    for c in components {
+        assert_eq!(c.len(), nz * nx, "field shape mismatch");
+    }
+    let plan = RealFftPlan::new(nx);
+    let nbins = plan.spectrum_len();
+    let mut energy = vec![0.0; nbins];
+    let mut row = vec![0.0f64; nx];
+    for comp in components {
+        for z in 0..nz {
+            row.copy_from_slice(&comp[z * nx..(z + 1) * nx]);
+            let spec = plan.forward(&row);
+            accumulate_row_energy(&spec, nx, &mut energy);
+        }
+    }
+    let norm = 1.0 / nz as f64;
+    for e in energy.iter_mut() {
+        *e *= norm;
+    }
+    let dk = 2.0 * std::f64::consts::PI / lx;
+    let wavenumbers = (0..nbins).map(|i| i as f64 * dk).collect();
+    EnergySpectrum { wavenumbers, energy }
+}
+
+/// Adds one row's spectral energy into `energy`, with the normalization that
+/// makes `sum_k E(k) = 0.5 * mean(u^2)` for that row. Interior bins are
+/// doubled to account for the conjugate-symmetric negative wavenumbers.
+fn accumulate_row_energy(spec: &[Complex], nx: usize, energy: &mut [f64]) {
+    let n2 = (nx * nx) as f64;
+    for (k, z) in spec.iter().enumerate() {
+        let mult = if k == 0 || k == nx / 2 { 1.0 } else { 2.0 };
+        energy[k] += 0.5 * mult * z.norm_sqr() / n2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectrum_energy_matches_physical_energy() {
+        // A field with a couple of modes: check sum_k E(k) == 0.5 <u^2>.
+        let (nz, nx) = (4, 64);
+        let lx = 4.0;
+        let mut u = vec![0.0; nz * nx];
+        for z in 0..nz {
+            for x in 0..nx {
+                let xx = x as f64 / nx as f64;
+                u[z * nx + x] = 1.3 * (2.0 * std::f64::consts::PI * 3.0 * xx).sin()
+                    + 0.4 * (2.0 * std::f64::consts::PI * 7.0 * xx).cos()
+                    + 0.1;
+            }
+        }
+        let spec = energy_spectrum_x(&[&u], nz, nx, lx);
+        let phys: f64 = 0.5 * u.iter().map(|v| v * v).sum::<f64>() / (nz * nx) as f64;
+        assert!((spec.total_energy() - phys).abs() < 1e-12, "{} vs {phys}", spec.total_energy());
+    }
+
+    #[test]
+    fn single_mode_concentrates_energy() {
+        let (nz, nx) = (2, 32);
+        let mut u = vec![0.0; nz * nx];
+        for z in 0..nz {
+            for x in 0..nx {
+                u[z * nx + x] =
+                    (2.0 * std::f64::consts::PI * 5.0 * x as f64 / nx as f64).sin() * 2.0;
+            }
+        }
+        let spec = energy_spectrum_x(&[&u], nz, nx, 1.0);
+        // sin amplitude 2 -> mean square 2, KE = 1, all in bin 5.
+        assert!((spec.energy[5] - 1.0).abs() < 1e-12);
+        for (k, &e) in spec.energy.iter().enumerate() {
+            if k != 5 {
+                assert!(e.abs() < 1e-12, "bin {k} leaked {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn wavenumbers_scale_with_domain_length() {
+        let u = vec![0.0; 16];
+        let s1 = energy_spectrum_x(&[&u], 1, 16, 1.0);
+        let s4 = energy_spectrum_x(&[&u], 1, 16, 4.0);
+        assert!((s1.wavenumbers[1] - 2.0 * std::f64::consts::PI).abs() < 1e-12);
+        assert!((s4.wavenumbers[1] - std::f64::consts::PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_scale_of_single_mode() {
+        // For energy E0 entirely at wavenumber k0: L = pi/(2 urms^2) * E0/k0.
+        let (nz, nx) = (1, 64);
+        let mut u = vec![0.0; nz * nx];
+        for x in 0..nx {
+            u[x] = (2.0 * std::f64::consts::PI * 4.0 * x as f64 / nx as f64).sin();
+        }
+        let lx = 2.0;
+        let spec = energy_spectrum_x(&[&u], nz, nx, lx);
+        let k0 = spec.wavenumbers[4];
+        let e0 = spec.energy[4];
+        let urms = 0.7;
+        let expect = std::f64::consts::PI / (2.0 * urms * urms) * e0 / k0;
+        assert!((spec.integral_scale(urms) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_scale_zero_for_zero_velocity() {
+        let u = vec![0.0; 32];
+        let spec = energy_spectrum_x(&[&u], 1, 32, 1.0);
+        assert_eq!(spec.integral_scale(0.0), 0.0);
+        assert_eq!(spec.integral_scale(1.0), 0.0);
+    }
+
+    #[test]
+    fn multiple_components_sum() {
+        let (nz, nx) = (2, 16);
+        let u: Vec<f64> = (0..nz * nx).map(|i| (i as f64 * 0.3).sin()).collect();
+        let w: Vec<f64> = (0..nz * nx).map(|i| (i as f64 * 0.11).cos()).collect();
+        let su = energy_spectrum_x(&[&u], nz, nx, 1.0);
+        let sw = energy_spectrum_x(&[&w], nz, nx, 1.0);
+        let both = energy_spectrum_x(&[&u, &w], nz, nx, 1.0);
+        for k in 0..both.energy.len() {
+            assert!((both.energy[k] - su.energy[k] - sw.energy[k]).abs() < 1e-12);
+        }
+    }
+}

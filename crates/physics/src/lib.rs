@@ -1,0 +1,20 @@
+//! # mfn-physics
+//!
+//! The physics toolbox of the MeshfreeFlowNet reproduction:
+//!
+//! - [`stats`]: the nine turbulence metrics of paper Sec. 3.3 (total kinetic
+//!   energy, RMS velocity, dissipation, Taylor microscale, Taylor-scale
+//!   Reynolds number, Kolmogorov time/length, integral scale, eddy turnover);
+//! - [`scores`]: NMAE and R² scoring of metric series — the numbers printed
+//!   in Tables 1–4;
+//! - [`residual`]: the Rayleigh–Bénard PDE residual definitions shared by
+//!   the training equation loss, the jet-based inference evaluation, and the
+//!   solver cross-check.
+
+pub mod residual;
+pub mod scores;
+pub mod stats;
+
+pub use residual::{grid_residuals, residuals, PointState, RbcParams};
+pub use scores::{nmae, r2, score_metric_series, MetricScore};
+pub use stats::{flow_stats, FlowStats, METRIC_NAMES};

@@ -1,0 +1,151 @@
+//! Error scores used throughout the paper's tables: normalized mean absolute
+//! error (NMAE) and the coefficient of determination (R²), evaluated between
+//! a ground-truth series and a predicted series of a physical metric.
+
+/// Normalized mean absolute error:
+/// `mean(|pred - gt|) / (max(gt) - min(gt))`.
+///
+/// The tables report `100 × NMAE`. Returns 0 for empty input; if the ground
+/// truth is constant the normalizer falls back to `max(|gt|, 1)` so the score
+/// stays finite.
+pub fn nmae(gt: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(gt.len(), pred.len(), "series length mismatch");
+    if gt.is_empty() {
+        return 0.0;
+    }
+    let mae =
+        gt.iter().zip(pred).map(|(a, b)| (a - b).abs()).sum::<f64>() / gt.len() as f64;
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in gt {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = hi - lo;
+    let denom = if range > 1e-12 {
+        range
+    } else {
+        gt.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1.0)
+    };
+    mae / denom
+}
+
+/// Coefficient of determination `R² = 1 − SS_res / SS_tot`.
+///
+/// Matches the convention of the paper's tables: can be arbitrarily negative
+/// for bad predictions (e.g. Baseline (I) rows). A constant ground truth with
+/// non-zero residual yields `-inf`-ish behaviour; we guard by returning 0
+/// when `SS_tot` vanishes and the residual does too, else a large negative.
+pub fn r2(gt: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(gt.len(), pred.len(), "series length mismatch");
+    if gt.is_empty() {
+        return 0.0;
+    }
+    let mean = gt.iter().sum::<f64>() / gt.len() as f64;
+    let ss_tot: f64 = gt.iter().map(|&v| (v - mean) * (v - mean)).sum();
+    let ss_res: f64 = gt.iter().zip(pred).map(|(a, b)| (a - b) * (a - b)).sum();
+    if ss_tot <= 1e-24 {
+        if ss_res <= 1e-24 {
+            return 1.0;
+        }
+        return f64::NEG_INFINITY.max(-1e12);
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// A named `(100×NMAE, R²)` pair — one table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricScore {
+    /// Metric name (one of [`crate::stats::METRIC_NAMES`]).
+    pub name: String,
+    /// `100 × NMAE`, as printed in the tables.
+    pub nmae_pct: f64,
+    /// R² score.
+    pub r2: f64,
+}
+
+/// Scores every metric column of a pair of stat series.
+///
+/// `gt` and `pred` are per-snapshot metric arrays (see
+/// [`crate::stats::FlowStats::as_array`]); returns one [`MetricScore`] per
+/// metric plus the average R² (the tables' last column).
+pub fn score_metric_series(gt: &[[f64; 9]], pred: &[[f64; 9]]) -> (Vec<MetricScore>, f64) {
+    assert_eq!(gt.len(), pred.len(), "series length mismatch");
+    let mut scores = Vec::with_capacity(9);
+    let mut r2_sum = 0.0;
+    for m in 0..9 {
+        let g: Vec<f64> = gt.iter().map(|row| row[m]).collect();
+        let p: Vec<f64> = pred.iter().map(|row| row[m]).collect();
+        let score = MetricScore {
+            name: crate::stats::METRIC_NAMES[m].to_string(),
+            nmae_pct: 100.0 * nmae(&g, &p),
+            r2: r2(&g, &p),
+        };
+        r2_sum += score.r2;
+        scores.push(score);
+    }
+    (scores, r2_sum / 9.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores() {
+        let gt = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(nmae(&gt, &gt), 0.0);
+        assert_eq!(r2(&gt, &gt), 1.0);
+    }
+
+    #[test]
+    fn nmae_is_range_normalized() {
+        let gt = [0.0, 10.0];
+        let pred = [1.0, 11.0]; // MAE 1, range 10
+        assert!((nmae(&gt, &pred) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let gt = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!(r2(&gt, &pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_can_be_negative() {
+        let gt = [1.0, 2.0, 3.0];
+        let pred = [30.0, -10.0, 5.0];
+        assert!(r2(&gt, &pred) < -1.0);
+    }
+
+    #[test]
+    fn constant_ground_truth_guards() {
+        let gt = [5.0, 5.0, 5.0];
+        assert_eq!(r2(&gt, &gt), 1.0);
+        assert!(r2(&gt, &[5.0, 6.0, 5.0]) < -1e6);
+        // NMAE normalizer falls back to |gt|.
+        assert!((nmae(&gt, &[6.0, 6.0, 6.0]) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_scoring_shapes() {
+        let gt = vec![[1.0; 9], [2.0; 9], [3.0; 9]];
+        let mut pred = gt.clone();
+        pred[0][0] = 1.5;
+        let (scores, avg) = score_metric_series(&gt, &pred);
+        assert_eq!(scores.len(), 9);
+        assert!(scores[0].nmae_pct > 0.0);
+        for s in &scores[1..] {
+            assert_eq!(s.nmae_pct, 0.0);
+            assert_eq!(s.r2, 1.0);
+        }
+        assert!(avg < 1.0 && avg > 0.8);
+        assert_eq!(scores[0].name, "Etot");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        nmae(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,199 @@
+//! The physics-based evaluation metrics of paper Sec. 3.3.
+//!
+//! Every metric is computed from a single `(u, w)` velocity snapshot on the
+//! solver grid, with `ν` being the dimensionless momentum diffusivity `R*`.
+//! Velocity gradients use the same mixed spectral/finite-difference operators
+//! as the solver, and the integral scale uses the 1D kinetic-energy spectrum
+//! along the periodic direction from `mfn-fft`.
+
+use mfn_fft::energy_spectrum_x;
+use mfn_solver::{ddx, ddz, Domain};
+
+/// The nine named flow metrics of Table 1 (left-to-right order).
+pub const METRIC_NAMES: [&str; 9] =
+    ["Etot", "urms", "dissipation", "taylor_microscale", "re_lambda", "kolmogorov_time", "kolmogorov_length", "integral_scale", "eddy_turnover"];
+
+/// All nine turbulence statistics for one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowStats {
+    /// Total kinetic energy `E_tot = ½⟨u_i u_i⟩`.
+    pub etot: f64,
+    /// RMS velocity `u_rms = sqrt((2/3) E_tot)`.
+    pub urms: f64,
+    /// Dissipation `ε = 2ν⟨S_ij S_ij⟩`.
+    pub dissipation: f64,
+    /// Taylor microscale `λ = sqrt(15 ν u_rms² / ε)`.
+    pub taylor_microscale: f64,
+    /// Taylor-scale Reynolds number `Re_λ = u_rms λ / ν`.
+    pub re_lambda: f64,
+    /// Kolmogorov time scale `τ_η = sqrt(ν/ε)`.
+    pub kolmogorov_time: f64,
+    /// Kolmogorov length scale `η = (ν³/ε)^{1/4}`.
+    pub kolmogorov_length: f64,
+    /// Turbulent integral scale `L = π/(2 u_rms²) ∫ E(k)/k dk`.
+    pub integral_scale: f64,
+    /// Large-eddy turnover time `T_L = L / u_rms`.
+    pub eddy_turnover: f64,
+}
+
+impl FlowStats {
+    /// The metrics as an array in [`METRIC_NAMES`] order.
+    pub fn as_array(&self) -> [f64; 9] {
+        [
+            self.etot,
+            self.urms,
+            self.dissipation,
+            self.taylor_microscale,
+            self.re_lambda,
+            self.kolmogorov_time,
+            self.kolmogorov_length,
+            self.integral_scale,
+            self.eddy_turnover,
+        ]
+    }
+}
+
+/// Guard against division by ~zero dissipation/velocity in quiescent flows.
+const TINY: f64 = 1e-30;
+
+/// Computes all metrics from a `(u, w)` snapshot.
+///
+/// `nu` is the kinematic viscosity; in the dimensionless Rayleigh–Bénard
+/// system this is `R* = (Ra/Pr)^{-1/2}` ([`mfn_solver::RbcConfig::r_star`]).
+pub fn flow_stats(domain: &Domain, u: &[f64], w: &[f64], nu: f64) -> FlowStats {
+    assert_eq!(u.len(), domain.n(), "u shape mismatch");
+    assert_eq!(w.len(), domain.n(), "w shape mismatch");
+    assert!(nu > 0.0, "viscosity must be positive");
+    let n = domain.n() as f64;
+
+    let etot = 0.5 * u.iter().zip(w).map(|(&a, &b)| a * a + b * b).sum::<f64>() / n;
+    let urms = (2.0 / 3.0 * etot).max(0.0).sqrt();
+
+    // Rate-of-strain tensor contraction: S_ij S_ij = u_x² + w_z² + ½(u_z + w_x)².
+    let ux = ddx(domain, u);
+    let uz = ddz(domain, u);
+    let wx = ddx(domain, w);
+    let wz = ddz(domain, w);
+    let mut sij2 = 0.0f64;
+    for k in 0..domain.n() {
+        let s12 = 0.5 * (uz[k] + wx[k]);
+        sij2 += ux[k] * ux[k] + wz[k] * wz[k] + 2.0 * s12 * s12;
+    }
+    sij2 /= n;
+    let dissipation = 2.0 * nu * sij2;
+
+    let eps = dissipation.max(TINY);
+    let taylor_microscale = (15.0 * nu * urms * urms / eps).sqrt();
+    let re_lambda = urms * taylor_microscale / nu;
+    let kolmogorov_time = (nu / eps).sqrt();
+    let kolmogorov_length = (nu.powi(3) / eps).powf(0.25);
+
+    let spectrum = energy_spectrum_x(&[u, w], domain.nz, domain.nx, domain.lx);
+    let integral_scale = spectrum.integral_scale(urms.max(TINY.sqrt()));
+    let eddy_turnover = integral_scale / urms.max(TINY.sqrt());
+
+    FlowStats {
+        etot,
+        urms,
+        dissipation,
+        taylor_microscale,
+        re_lambda,
+        kolmogorov_time,
+        kolmogorov_length,
+        integral_scale,
+        eddy_turnover,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(domain: &Domain, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+        let mut out = vec![0.0; domain.n()];
+        for j in 0..domain.nz {
+            for i in 0..domain.nx {
+                out[j * domain.nx + i] = f(domain.x(i), domain.z(j));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn uniform_flow_statistics() {
+        // Constant u = 2, w = 0: E = 2, urms = sqrt(4/3), zero dissipation.
+        let d = Domain::new(32, 17, 4.0, 1.0);
+        let u = vec![2.0; d.n()];
+        let w = vec![0.0; d.n()];
+        let s = flow_stats(&d, &u, &w, 0.01);
+        assert!((s.etot - 2.0).abs() < 1e-12);
+        assert!((s.urms - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(s.dissipation.abs() < 1e-10);
+    }
+
+    #[test]
+    fn shear_flow_dissipation() {
+        // u = a z, w = 0 (interior): S12 = a/2, SijSij = a²/2, eps = nu a².
+        let d = Domain::new(32, 65, 4.0, 1.0);
+        let a = 3.0;
+        let u = fill(&d, |_, z| a * z);
+        let w = vec![0.0; d.n()];
+        let nu = 0.05;
+        let s = flow_stats(&d, &u, &w, nu);
+        assert!(
+            (s.dissipation - nu * a * a).abs() < 1e-8,
+            "eps {} expect {}",
+            s.dissipation,
+            nu * a * a
+        );
+    }
+
+    #[test]
+    fn sinusoidal_flow_full_consistency() {
+        // u = A sin(kx): checks the derived scales against hand formulas.
+        let d = Domain::new(64, 33, 4.0, 1.0);
+        let kx = 2.0 * std::f64::consts::PI * 2.0 / d.lx;
+        let amp = 1.5;
+        let u = fill(&d, |x, _| amp * (kx * x).sin());
+        let w = vec![0.0; d.n()];
+        let nu = 0.02;
+        let s = flow_stats(&d, &u, &w, nu);
+        let etot = 0.25 * amp * amp; // ½⟨u²⟩ = ½·A²/2
+        assert!((s.etot - etot).abs() < 1e-10);
+        // SijSij = ⟨u_x²⟩ = A²k²/2, eps = 2ν·that = ν A² k².
+        let eps = nu * amp * amp * kx * kx;
+        assert!((s.dissipation - eps).abs() < 1e-8);
+        let urms = (2.0 / 3.0 * etot).sqrt();
+        assert!((s.taylor_microscale - (15.0 * nu * urms * urms / eps).sqrt()).abs() < 1e-10);
+        assert!((s.re_lambda - urms * s.taylor_microscale / nu).abs() < 1e-10);
+        assert!((s.kolmogorov_time - (nu / eps).sqrt()).abs() < 1e-12);
+        assert!((s.kolmogorov_length - (nu.powi(3) / eps).powf(0.25)).abs() < 1e-12);
+        // Integral scale of a single mode: L = pi/(2 urms²)·E0/k.
+        let expect_l = std::f64::consts::PI / (2.0 * urms * urms) * etot / kx;
+        assert!((s.integral_scale - expect_l).abs() < 1e-8, "{} vs {expect_l}", s.integral_scale);
+        assert!((s.eddy_turnover - s.integral_scale / urms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quiescent_flow_does_not_produce_nans() {
+        let d = Domain::new(16, 9, 4.0, 1.0);
+        let zeros = vec![0.0; d.n()];
+        let s = flow_stats(&d, &zeros, &zeros, 0.01);
+        for v in s.as_array() {
+            assert!(v.is_finite(), "non-finite metric: {s:?}");
+        }
+        assert_eq!(s.etot, 0.0);
+    }
+
+    #[test]
+    fn metric_array_order_matches_names() {
+        assert_eq!(METRIC_NAMES.len(), 9);
+        let d = Domain::new(16, 9, 4.0, 1.0);
+        let u = fill(&d, |x, _| (x * 2.0).sin());
+        let w = fill(&d, |x, z| (x + z).cos() * 0.1);
+        let s = flow_stats(&d, &u, &w, 0.01);
+        let arr = s.as_array();
+        assert_eq!(arr[0], s.etot);
+        assert_eq!(arr[8], s.eddy_turnover);
+    }
+}

@@ -1,0 +1,20 @@
+//! # mfn-solver
+//!
+//! A from-scratch 2D Rayleigh–Bénard convection solver — the substitute for
+//! the Dedalus spectral code the paper uses to generate its dataset
+//! (Sec. 3.2). The solver is pseudo-spectral in the periodic `x` direction,
+//! second-order finite-difference in the wall-normal `z` direction, with
+//! Crank–Nicolson diffusion, AB2 advection, and a projection method whose
+//! per-wavenumber Poisson/Helmholtz systems are tridiagonal solves
+//! parallelized with rayon.
+//!
+//! Entry point: [`simulate`] produces the `(T, p, u, w)` snapshot sequence
+//! that `mfn-data` turns into training datasets.
+
+pub mod ops;
+pub mod rbc;
+pub mod tridiag;
+
+pub use ops::{ddx, ddz, d2dx2, d2dz2, dealias_x, laplacian, Domain};
+pub use rbc::{simulate, RbcConfig, RbcSolver, Simulation, Snapshot, T_BOTTOM, T_TOP};
+pub use tridiag::{solve_complex, Tridiag};

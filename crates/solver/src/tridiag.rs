@@ -1,0 +1,198 @@
+//! Tridiagonal solvers (Thomas algorithm), real and complex.
+//!
+//! The Fourier–finite-difference solver reduces every implicit step to a
+//! family of independent tridiagonal systems in `z` — one Helmholtz solve
+//! `(a I + b D_zz) f = rhs` per x-wavenumber per field — so this little
+//! module is the linear-algebra core of the whole CFD substrate.
+
+use mfn_fft::Complex;
+
+/// A real tridiagonal system stored by its three diagonals.
+#[derive(Debug, Clone)]
+pub struct Tridiag {
+    /// Sub-diagonal, `lower[i]` multiplies `x[i-1]` in row `i` (`lower[0]` unused).
+    pub lower: Vec<f64>,
+    /// Main diagonal.
+    pub diag: Vec<f64>,
+    /// Super-diagonal, `upper[i]` multiplies `x[i+1]` in row `i` (last unused).
+    pub upper: Vec<f64>,
+}
+
+impl Tridiag {
+    /// Creates an `n × n` zero system.
+    pub fn zeros(n: usize) -> Self {
+        Tridiag { lower: vec![0.0; n], diag: vec![0.0; n], upper: vec![0.0; n] }
+    }
+
+    /// System size.
+    pub fn len(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Whether the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.diag.is_empty()
+    }
+
+    /// Solves `A x = rhs` by the Thomas algorithm (no pivoting; valid for the
+    /// diagonally-dominant Helmholtz/Poisson systems we build).
+    ///
+    /// # Panics
+    /// Panics if sizes mismatch or a pivot vanishes.
+    pub fn solve(&self, rhs: &[f64]) -> Vec<f64> {
+        let n = self.len();
+        assert_eq!(rhs.len(), n, "rhs length mismatch");
+        assert!(n > 0, "empty system");
+        let mut c = vec![0.0f64; n];
+        let mut d = vec![0.0f64; n];
+        let mut piv = self.diag[0];
+        assert!(piv.abs() > 1e-300, "zero pivot at row 0");
+        c[0] = self.upper[0] / piv;
+        d[0] = rhs[0] / piv;
+        for i in 1..n {
+            piv = self.diag[i] - self.lower[i] * c[i - 1];
+            assert!(piv.abs() > 1e-300, "zero pivot at row {i}");
+            c[i] = if i + 1 < n { self.upper[i] / piv } else { 0.0 };
+            d[i] = (rhs[i] - self.lower[i] * d[i - 1]) / piv;
+        }
+        let mut x = d;
+        for i in (0..n - 1).rev() {
+            let next = x[i + 1];
+            x[i] -= c[i] * next;
+        }
+        x
+    }
+
+    /// Matrix–vector product (used by tests to verify solves).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.len();
+        assert_eq!(x.len(), n);
+        (0..n)
+            .map(|i| {
+                let mut v = self.diag[i] * x[i];
+                if i > 0 {
+                    v += self.lower[i] * x[i - 1];
+                }
+                if i + 1 < n {
+                    v += self.upper[i] * x[i + 1];
+                }
+                v
+            })
+            .collect()
+    }
+}
+
+/// Solves a *real-coefficient* tridiagonal system with complex right-hand
+/// side (the per-mode Helmholtz systems have real matrices but complex
+/// Fourier-coefficient RHS). Solving the real and imaginary parts shares one
+/// factorization sweep.
+pub fn solve_complex(a: &Tridiag, rhs: &[Complex]) -> Vec<Complex> {
+    let n = a.len();
+    assert_eq!(rhs.len(), n);
+    let mut c = vec![0.0f64; n];
+    let mut d = vec![Complex::ZERO; n];
+    let mut piv = a.diag[0];
+    assert!(piv.abs() > 1e-300, "zero pivot at row 0");
+    c[0] = a.upper[0] / piv;
+    d[0] = rhs[0] / piv;
+    for i in 1..n {
+        piv = a.diag[i] - a.lower[i] * c[i - 1];
+        assert!(piv.abs() > 1e-300, "zero pivot at row {i}");
+        c[i] = if i + 1 < n { a.upper[i] / piv } else { 0.0 };
+        d[i] = (rhs[i] - d[i - 1] * a.lower[i]) / piv;
+    }
+    let mut x = d;
+    for i in (0..n - 1).rev() {
+        let next = x[i + 1];
+        x[i] -= next * c[i];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_dd_system(n: usize, seed: u64) -> Tridiag {
+        // Diagonally dominant => Thomas is stable and exact-ish.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut t = Tridiag::zeros(n);
+        for i in 0..n {
+            t.lower[i] = if i > 0 { rng.gen_range(-1.0..1.0) } else { 0.0 };
+            t.upper[i] = if i + 1 < n { rng.gen_range(-1.0..1.0) } else { 0.0 };
+            t.diag[i] = 3.0 + rng.gen_range(0.0..1.0);
+        }
+        t
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        for &n in &[1usize, 2, 3, 17, 64] {
+            let t = random_dd_system(n, n as u64);
+            let mut rng = ChaCha8Rng::seed_from_u64(100 + n as u64);
+            let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let rhs = t.matvec(&x_true);
+            let x = t.solve(&rhs);
+            for (a, b) in x.iter().zip(&x_true) {
+                assert!((a - b).abs() < 1e-10, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_system() {
+        let mut t = Tridiag::zeros(4);
+        t.diag = vec![1.0; 4];
+        let rhs = vec![1.0, -2.0, 3.0, -4.0];
+        assert_eq!(t.solve(&rhs), rhs);
+    }
+
+    #[test]
+    fn second_difference_poisson() {
+        // -u'' = pi^2 sin(pi z) on [0,1], u(0)=u(1)=0 -> u = sin(pi z).
+        let n = 200;
+        let h = 1.0 / (n as f64 + 1.0);
+        let mut t = Tridiag::zeros(n);
+        for i in 0..n {
+            t.diag[i] = 2.0 / (h * h);
+            if i > 0 {
+                t.lower[i] = -1.0 / (h * h);
+            }
+            if i + 1 < n {
+                t.upper[i] = -1.0 / (h * h);
+            }
+        }
+        let pi = std::f64::consts::PI;
+        let rhs: Vec<f64> =
+            (1..=n).map(|i| pi * pi * (pi * i as f64 * h).sin()).collect();
+        let u = t.solve(&rhs);
+        for (i, &ui) in u.iter().enumerate() {
+            let exact = (pi * (i as f64 + 1.0) * h).sin();
+            assert!((ui - exact).abs() < 1e-3, "z={}: {ui} vs {exact}", (i + 1) as f64 * h);
+        }
+    }
+
+    #[test]
+    fn complex_solve_matches_split_real_solves() {
+        let n = 33;
+        let t = random_dd_system(n, 7);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let rhs: Vec<Complex> =
+            (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+        let x = solve_complex(&t, &rhs);
+        let re = t.solve(&rhs.iter().map(|z| z.re).collect::<Vec<_>>());
+        let im = t.solve(&rhs.iter().map(|z| z.im).collect::<Vec<_>>());
+        for i in 0..n {
+            assert!((x[i].re - re[i]).abs() < 1e-12);
+            assert!((x[i].im - im[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length mismatch")]
+    fn length_mismatch_panics() {
+        Tridiag::zeros(3).solve(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,597 @@
+//! 3D convolution, pooling, and upsampling kernels (NCDHW layout).
+//!
+//! These are the compute-heavy primitives behind the Context Generation
+//! Network (the 3D U-Net of paper Fig. 5). All kernels use stride 1 and
+//! "same" zero padding with odd kernel sizes, which is exactly what the
+//! architecture needs (1×1×1 and 3×3×3 convolutions). Forward and both
+//! backward kernels are written directly (no im2col) and parallelized with
+//! rayon over the batch × channel grid, which at U-Net sizes keeps every core
+//! busy without materializing large intermediates.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Shape metadata for one conv3d application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv3dDims {
+    /// Batch size.
+    pub n: usize,
+    /// Input channels.
+    pub cin: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Spatial extents `[d, h, w]` (identical for input and output: same padding).
+    pub spatial: [usize; 3],
+    /// Kernel extents `[kd, kh, kw]` — each must be odd.
+    pub kernel: [usize; 3],
+}
+
+impl Conv3dDims {
+    /// Validates and extracts the dimension bundle from an input/weight pair.
+    ///
+    /// # Panics
+    /// Panics on rank mismatch, channel mismatch, or even kernel sizes.
+    pub fn infer(input: &Tensor, weight: &Tensor) -> Self {
+        assert_eq!(input.shape().rank(), 5, "conv3d input must be [N,C,D,H,W]");
+        assert_eq!(weight.shape().rank(), 5, "conv3d weight must be [Co,Ci,kd,kh,kw]");
+        let (n, cin) = (input.dims()[0], input.dims()[1]);
+        let spatial = [input.dims()[2], input.dims()[3], input.dims()[4]];
+        let (cout, cin_w) = (weight.dims()[0], weight.dims()[1]);
+        let kernel = [weight.dims()[2], weight.dims()[3], weight.dims()[4]];
+        assert_eq!(cin, cin_w, "conv3d channel mismatch: input {cin}, weight {cin_w}");
+        for k in kernel {
+            assert!(k % 2 == 1, "conv3d kernels must be odd for same padding, got {kernel:?}");
+        }
+        Conv3dDims { n, cin, cout, spatial, kernel }
+    }
+
+    fn pad(&self) -> [usize; 3] {
+        [self.kernel[0] / 2, self.kernel[1] / 2, self.kernel[2] / 2]
+    }
+
+    fn vol(&self) -> usize {
+        self.spatial.iter().product()
+    }
+}
+
+/// Forward 3D convolution with stride 1 and same zero padding.
+///
+/// `input: [N, Cin, D, H, W]`, `weight: [Cout, Cin, kd, kh, kw]` →
+/// `[N, Cout, D, H, W]`.
+pub fn conv3d(input: &Tensor, weight: &Tensor) -> Tensor {
+    let dims = Conv3dDims::infer(input, weight);
+    let [sd, sh, sw] = dims.spatial;
+    let [kd, kh, kw] = dims.kernel;
+    let [pd, ph, pw] = dims.pad();
+    let vol = dims.vol();
+    let x = input.data();
+    let wgt = weight.data();
+    let mut out = vec![0.0f32; dims.n * dims.cout * vol];
+
+    out.par_chunks_mut(vol).enumerate().for_each(|(chunk, o)| {
+        let n = chunk / dims.cout;
+        let co = chunk % dims.cout;
+        for ci in 0..dims.cin {
+            let xin = &x[(n * dims.cin + ci) * vol..(n * dims.cin + ci + 1) * vol];
+            let wv = &wgt[((co * dims.cin + ci) * kd * kh * kw)..((co * dims.cin + ci + 1) * kd * kh * kw)];
+            for zd in 0..kd {
+                for zh in 0..kh {
+                    for zw in 0..kw {
+                        let wval = wv[(zd * kh + zh) * kw + zw];
+                        if wval == 0.0 {
+                            continue;
+                        }
+                        // Output index (d,h,w) reads input (d+zd-pd, h+zh-ph, w+zw-pw).
+                        let d_lo = pd.saturating_sub(zd);
+                        let d_hi = (sd + pd - zd).min(sd);
+                        let h_lo = ph.saturating_sub(zh);
+                        let h_hi = (sh + ph - zh).min(sh);
+                        let w_lo = pw.saturating_sub(zw);
+                        let w_hi = (sw + pw - zw).min(sw);
+                        for d in d_lo..d_hi {
+                            let id = d + zd - pd;
+                            for h in h_lo..h_hi {
+                                let ih = h + zh - ph;
+                                let orow = (d * sh + h) * sw;
+                                let irow = (id * sh + ih) * sw;
+                                for w in w_lo..w_hi {
+                                    o[orow + w] += wval * xin[irow + w + zw - pw];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    Tensor::from_vec(out, &[dims.n, dims.cout, sd, sh, sw])
+}
+
+/// Gradient of [`conv3d`] with respect to its input.
+///
+/// `grad_out: [N, Cout, D, H, W]` → `[N, Cin, D, H, W]`.
+pub fn conv3d_grad_input(grad_out: &Tensor, weight: &Tensor, dims: Conv3dDims) -> Tensor {
+    let [sd, sh, sw] = dims.spatial;
+    let [kd, kh, kw] = dims.kernel;
+    let [pd, ph, pw] = dims.pad();
+    let vol = dims.vol();
+    assert_eq!(grad_out.dims(), &[dims.n, dims.cout, sd, sh, sw]);
+    let g = grad_out.data();
+    let wgt = weight.data();
+    let mut out = vec![0.0f32; dims.n * dims.cin * vol];
+
+    out.par_chunks_mut(vol).enumerate().for_each(|(chunk, o)| {
+        let n = chunk / dims.cin;
+        let ci = chunk % dims.cin;
+        for co in 0..dims.cout {
+            let gout = &g[(n * dims.cout + co) * vol..(n * dims.cout + co + 1) * vol];
+            let wv = &wgt[((co * dims.cin + ci) * kd * kh * kw)..((co * dims.cin + ci + 1) * kd * kh * kw)];
+            for zd in 0..kd {
+                for zh in 0..kh {
+                    for zw in 0..kw {
+                        let wval = wv[(zd * kh + zh) * kw + zw];
+                        if wval == 0.0 {
+                            continue;
+                        }
+                        // grad_in[i] += grad_out[i - z + p] * w[z]; bounds on the
+                        // *output* index od = id - zd + pd.
+                        let d_lo = zd.saturating_sub(pd);
+                        let d_hi = (sd + zd).min(sd + pd).saturating_sub(pd).min(sd);
+                        let h_lo = zh.saturating_sub(ph);
+                        let h_hi = (sh + zh).min(sh + ph).saturating_sub(ph).min(sh);
+                        let w_lo = zw.saturating_sub(pw);
+                        let w_hi = (sw + zw).min(sw + pw).saturating_sub(pw).min(sw);
+                        for id in d_lo..d_hi {
+                            let od = id + pd - zd;
+                            if od >= sd {
+                                continue;
+                            }
+                            for ih in h_lo..h_hi {
+                                let oh = ih + ph - zh;
+                                if oh >= sh {
+                                    continue;
+                                }
+                                let irow = (id * sh + ih) * sw;
+                                let orow = (od * sh + oh) * sw;
+                                for iw in w_lo..w_hi {
+                                    let ow = iw + pw - zw;
+                                    if ow < sw {
+                                        o[irow + iw] += wval * gout[orow + ow];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    Tensor::from_vec(out, &[dims.n, dims.cin, sd, sh, sw])
+}
+
+/// Gradient of [`conv3d`] with respect to its weights.
+///
+/// Returns `[Cout, Cin, kd, kh, kw]`.
+pub fn conv3d_grad_weight(input: &Tensor, grad_out: &Tensor, dims: Conv3dDims) -> Tensor {
+    let [sd, sh, sw] = dims.spatial;
+    let [kd, kh, kw] = dims.kernel;
+    let [pd, ph, pw] = dims.pad();
+    let vol = dims.vol();
+    assert_eq!(grad_out.dims(), &[dims.n, dims.cout, sd, sh, sw]);
+    let x = input.data();
+    let g = grad_out.data();
+    let ksize = kd * kh * kw;
+    let mut out = vec![0.0f32; dims.cout * dims.cin * ksize];
+
+    out.par_chunks_mut(dims.cin * ksize).enumerate().for_each(|(co, wslab)| {
+        for n in 0..dims.n {
+            let gout = &g[(n * dims.cout + co) * vol..(n * dims.cout + co + 1) * vol];
+            for ci in 0..dims.cin {
+                let xin = &x[(n * dims.cin + ci) * vol..(n * dims.cin + ci + 1) * vol];
+                let wv = &mut wslab[ci * ksize..(ci + 1) * ksize];
+                for zd in 0..kd {
+                    for zh in 0..kh {
+                        for zw in 0..kw {
+                            let d_lo = pd.saturating_sub(zd);
+                            let d_hi = (sd + pd - zd).min(sd);
+                            let h_lo = ph.saturating_sub(zh);
+                            let h_hi = (sh + ph - zh).min(sh);
+                            let w_lo = pw.saturating_sub(zw);
+                            let w_hi = (sw + pw - zw).min(sw);
+                            let mut acc = 0.0f32;
+                            for d in d_lo..d_hi {
+                                let id = d + zd - pd;
+                                for h in h_lo..h_hi {
+                                    let ih = h + zh - ph;
+                                    let orow = (d * sh + h) * sw;
+                                    let irow = (id * sh + ih) * sw;
+                                    for w in w_lo..w_hi {
+                                        acc += gout[orow + w] * xin[irow + w + zw - pw];
+                                    }
+                                }
+                            }
+                            wv[(zd * kh + zh) * kw + zw] += acc;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    Tensor::from_vec(out, &[dims.cout, dims.cin, kd, kh, kw])
+}
+
+/// Forward 3D convolution via im2col + GEMM: lowers the input into a
+/// `[N·D·H·W, Cin·kd·kh·kw]` patch matrix and multiplies by the flattened
+/// kernel. Trades memory (the lowered matrix) for a single large
+/// rayon-parallel GEMM — typically faster than [`conv3d`] for wide channel
+/// counts, slower for 1×1×1 kernels. Produces bit-comparable results (same
+/// f32 sums in a different association order; see the equivalence test).
+pub fn conv3d_im2col(input: &Tensor, weight: &Tensor) -> Tensor {
+    let dims = Conv3dDims::infer(input, weight);
+    let [sd, sh, sw] = dims.spatial;
+    let [kd, kh, kw] = dims.kernel;
+    let (pd, ph, pw) = (kd / 2, kh / 2, kw / 2);
+    let vol = dims.vol();
+    let ksize = dims.cin * kd * kh * kw;
+    let x = input.data();
+
+    // Lower: row per output position, column per (ci, zd, zh, zw).
+    let mut cols = vec![0.0f32; dims.n * vol * ksize];
+    cols.par_chunks_mut(vol * ksize).enumerate().for_each(|(n, slab)| {
+        for d in 0..sd {
+            for h in 0..sh {
+                for w in 0..sw {
+                    let row = &mut slab[((d * sh + h) * sw + w) * ksize
+                        ..((d * sh + h) * sw + w + 1) * ksize];
+                    let mut col = 0;
+                    for ci in 0..dims.cin {
+                        let xin = &x[(n * dims.cin + ci) * vol..(n * dims.cin + ci + 1) * vol];
+                        for zd in 0..kd {
+                            let id = d as isize + zd as isize - pd as isize;
+                            for zh in 0..kh {
+                                let ih = h as isize + zh as isize - ph as isize;
+                                for zw in 0..kw {
+                                    let iw = w as isize + zw as isize - pw as isize;
+                                    row[col] = if id >= 0
+                                        && ih >= 0
+                                        && iw >= 0
+                                        && (id as usize) < sd
+                                        && (ih as usize) < sh
+                                        && (iw as usize) < sw
+                                    {
+                                        xin[((id as usize) * sh + ih as usize) * sw
+                                            + iw as usize]
+                                    } else {
+                                        0.0
+                                    };
+                                    col += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    // GEMM: [N·vol, ksize] @ [ksize, Cout] — use A @ B^T with the kernel in
+    // its native [Cout, ksize] layout.
+    let cols_t = Tensor::from_vec(cols, &[dims.n * vol, ksize]);
+    let w_flat = Tensor::from_vec(weight.data().to_vec(), &[dims.cout, ksize]);
+    let out_nv_co = crate::linalg::matmul_nt(&cols_t, &w_flat); // [N·vol, Cout]
+    // Transpose back to NCDHW.
+    let o = out_nv_co.data();
+    let mut out = vec![0.0f32; dims.n * dims.cout * vol];
+    out.par_chunks_mut(vol).enumerate().for_each(|(chunk, dst)| {
+        let n = chunk / dims.cout;
+        let co = chunk % dims.cout;
+        for p in 0..vol {
+            dst[p] = o[(n * vol + p) * dims.cout + co];
+        }
+    });
+    Tensor::from_vec(out, &[dims.n, dims.cout, sd, sh, sw])
+}
+
+/// Non-overlapping 3D max pooling by integer factors `[fd, fh, fw]`.
+///
+/// Returns the pooled tensor and the flat argmax index (into the input
+/// buffer) per output element, for use by the backward pass.
+///
+/// # Panics
+/// Panics if a spatial extent is not divisible by its factor.
+pub fn maxpool3d(input: &Tensor, factors: [usize; 3]) -> (Tensor, Vec<u32>) {
+    assert_eq!(input.shape().rank(), 5, "maxpool3d input must be [N,C,D,H,W]");
+    let [fd, fh, fw] = factors;
+    let (n, c) = (input.dims()[0], input.dims()[1]);
+    let (d, h, w) = (input.dims()[2], input.dims()[3], input.dims()[4]);
+    assert!(
+        d % fd == 0 && h % fh == 0 && w % fw == 0,
+        "maxpool3d: dims [{d},{h},{w}] not divisible by factors {factors:?}"
+    );
+    let (od, oh, ow) = (d / fd, h / fh, w / fw);
+    let x = input.data();
+    let ovol = od * oh * ow;
+    let mut out = vec![0.0f32; n * c * ovol];
+    let mut idx = vec![0u32; n * c * ovol];
+    out.par_chunks_mut(ovol).zip(idx.par_chunks_mut(ovol)).enumerate().for_each(
+        |(chunk, (o, ix))| {
+            let base = chunk * d * h * w; // start of this (n,c) slab in input
+            for zd in 0..od {
+                for zh in 0..oh {
+                    for zw in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_i = 0usize;
+                        for dd in 0..fd {
+                            for hh in 0..fh {
+                                for ww in 0..fw {
+                                    let i = base
+                                        + ((zd * fd + dd) * h + (zh * fh + hh)) * w
+                                        + (zw * fw + ww);
+                                    if x[i] > best {
+                                        best = x[i];
+                                        best_i = i;
+                                    }
+                                }
+                            }
+                        }
+                        let oi = (zd * oh + zh) * ow + zw;
+                        o[oi] = best;
+                        ix[oi] = best_i as u32;
+                    }
+                }
+            }
+        },
+    );
+    (Tensor::from_vec(out, &[n, c, od, oh, ow]), idx)
+}
+
+/// Backward of [`maxpool3d`]: scatters output gradients to the recorded
+/// argmax positions. `input_numel` is the element count of the pooled input.
+pub fn maxpool3d_backward(grad_out: &Tensor, indices: &[u32], input_dims: &[usize]) -> Tensor {
+    let numel: usize = input_dims.iter().product();
+    assert_eq!(grad_out.numel(), indices.len());
+    let mut grad_in = vec![0.0f32; numel];
+    for (&g, &i) in grad_out.data().iter().zip(indices) {
+        grad_in[i as usize] += g;
+    }
+    Tensor::from_vec(grad_in, input_dims)
+}
+
+/// Nearest-neighbor 3D upsampling by integer factors `[fd, fh, fw]`.
+pub fn upsample_nearest3d(input: &Tensor, factors: [usize; 3]) -> Tensor {
+    assert_eq!(input.shape().rank(), 5, "upsample3d input must be [N,C,D,H,W]");
+    let [fd, fh, fw] = factors;
+    let (n, c) = (input.dims()[0], input.dims()[1]);
+    let (d, h, w) = (input.dims()[2], input.dims()[3], input.dims()[4]);
+    let (od, oh, ow) = (d * fd, h * fh, w * fw);
+    let x = input.data();
+    let ovol = od * oh * ow;
+    let ivol = d * h * w;
+    let mut out = vec![0.0f32; n * c * ovol];
+    out.par_chunks_mut(ovol).enumerate().for_each(|(chunk, o)| {
+        let xin = &x[chunk * ivol..(chunk + 1) * ivol];
+        for zd in 0..od {
+            for zh in 0..oh {
+                let irow = ((zd / fd) * h + zh / fh) * w;
+                let orow = (zd * oh + zh) * ow;
+                for zw in 0..ow {
+                    o[orow + zw] = xin[irow + zw / fw];
+                }
+            }
+        }
+    });
+    Tensor::from_vec(out, &[n, c, od, oh, ow])
+}
+
+/// Backward of [`upsample_nearest3d`]: sums gradients over each upsampled
+/// block (the adjoint of replication).
+pub fn upsample_nearest3d_backward(grad_out: &Tensor, factors: [usize; 3]) -> Tensor {
+    let [fd, fh, fw] = factors;
+    let (n, c) = (grad_out.dims()[0], grad_out.dims()[1]);
+    let (od, oh, ow) = (grad_out.dims()[2], grad_out.dims()[3], grad_out.dims()[4]);
+    assert!(od % fd == 0 && oh % fh == 0 && ow % fw == 0);
+    let (d, h, w) = (od / fd, oh / fh, ow / fw);
+    let g = grad_out.data();
+    let ivol = d * h * w;
+    let ovol = od * oh * ow;
+    let mut out = vec![0.0f32; n * c * ivol];
+    out.par_chunks_mut(ivol).enumerate().for_each(|(chunk, o)| {
+        let gout = &g[chunk * ovol..(chunk + 1) * ovol];
+        for zd in 0..od {
+            for zh in 0..oh {
+                let orow = (zd * oh + zh) * ow;
+                let irow = ((zd / fd) * h + zh / fh) * w;
+                for zw in 0..ow {
+                    o[irow + zw / fw] += gout[orow + zw];
+                }
+            }
+        }
+    });
+    Tensor::from_vec(out, &[n, c, d, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Reference conv3d: direct translation of the definition, no tricks.
+    fn conv3d_naive(input: &Tensor, weight: &Tensor) -> Tensor {
+        let dims = Conv3dDims::infer(input, weight);
+        let [sd, sh, sw] = dims.spatial;
+        let [kd, kh, kw] = dims.kernel;
+        let (pd, ph, pw) = (kd / 2, kh / 2, kw / 2);
+        let mut out = Tensor::zeros(&[dims.n, dims.cout, sd, sh, sw]);
+        for n in 0..dims.n {
+            for co in 0..dims.cout {
+                for d in 0..sd {
+                    for h in 0..sh {
+                        for w in 0..sw {
+                            let mut acc = 0.0;
+                            for ci in 0..dims.cin {
+                                for zd in 0..kd {
+                                    for zh in 0..kh {
+                                        for zw in 0..kw {
+                                            let id = d as isize + zd as isize - pd as isize;
+                                            let ih = h as isize + zh as isize - ph as isize;
+                                            let iw = w as isize + zw as isize - pw as isize;
+                                            if id < 0
+                                                || ih < 0
+                                                || iw < 0
+                                                || id >= sd as isize
+                                                || ih >= sh as isize
+                                                || iw >= sw as isize
+                                            {
+                                                continue;
+                                            }
+                                            acc += input.at(&[
+                                                n,
+                                                ci,
+                                                id as usize,
+                                                ih as usize,
+                                                iw as usize,
+                                            ]) * weight.at(&[co, ci, zd, zh, zw]);
+                                        }
+                                    }
+                                }
+                            }
+                            *out.at_mut(&[n, co, d, h, w]) = acc;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn conv3d_matches_naive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        for &(k, c) in &[([1usize, 1, 1], (2usize, 3usize)), ([3, 3, 3], (2, 2)), ([1, 3, 3], (3, 1))] {
+            let input = Tensor::randn(&[2, c.0, 3, 4, 5], 1.0, &mut rng);
+            let weight = Tensor::randn(&[c.1, c.0, k[0], k[1], k[2]], 1.0, &mut rng);
+            assert_close(&conv3d(&input, &weight), &conv3d_naive(&input, &weight), 1e-4);
+        }
+    }
+
+    #[test]
+    fn conv3d_identity_kernel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let input = Tensor::randn(&[1, 1, 4, 4, 4], 1.0, &mut rng);
+        let weight = Tensor::ones(&[1, 1, 1, 1, 1]);
+        assert_close(&conv3d(&input, &weight), &input, 1e-6);
+    }
+
+    /// Numerical gradient check of both conv3d backward kernels.
+    #[test]
+    fn conv3d_gradients_match_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let input = Tensor::randn(&[1, 2, 2, 3, 3], 0.5, &mut rng);
+        let weight = Tensor::randn(&[2, 2, 3, 3, 3], 0.5, &mut rng);
+        let dims = Conv3dDims::infer(&input, &weight);
+        // Loss = sum(conv(x, w) * r) for a fixed random r.
+        let r = Tensor::randn(&[1, 2, 2, 3, 3], 1.0, &mut rng);
+        let loss = |x: &Tensor, w: &Tensor| conv3d(x, w).mul(&r).sum() as f64;
+
+        let gx = conv3d_grad_input(&r, &weight, dims);
+        let gw = conv3d_grad_weight(&input, &r, dims);
+        let eps = 1e-3f32;
+        for i in (0..input.numel()).step_by(7) {
+            let mut xp = input.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = input.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp, &weight) - loss(&xm, &weight)) / (2.0 * eps as f64);
+            assert!((fd as f32 - gx.data()[i]).abs() < 2e-2, "input grad {i}: {fd} vs {}", gx.data()[i]);
+        }
+        for i in (0..weight.numel()).step_by(13) {
+            let mut wp = weight.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = weight.clone();
+            wm.data_mut()[i] -= eps;
+            let fd = (loss(&input, &wp) - loss(&input, &wm)) / (2.0 * eps as f64);
+            assert!((fd as f32 - gw.data()[i]).abs() < 2e-2, "weight grad {i}: {fd} vs {}", gw.data()[i]);
+        }
+    }
+
+    #[test]
+    fn im2col_matches_direct_conv() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for &(k, cin, cout) in &[
+            ([1usize, 1, 1], 3usize, 5usize),
+            ([3, 3, 3], 2, 4),
+            ([1, 3, 3], 4, 2),
+        ] {
+            let input = Tensor::randn(&[2, cin, 3, 4, 5], 1.0, &mut rng);
+            let weight = Tensor::randn(&[cout, cin, k[0], k[1], k[2]], 1.0, &mut rng);
+            let direct = conv3d(&input, &weight);
+            let lowered = conv3d_im2col(&input, &weight);
+            assert_eq!(direct.dims(), lowered.dims());
+            for (a, b) in direct.data().iter().zip(lowered.data()) {
+                assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "{a} vs {b} (k={k:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let input = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 2, 2, 4]);
+        let (out, idx) = maxpool3d(&input, [2, 2, 2]);
+        assert_eq!(out.dims(), &[1, 1, 1, 1, 2]);
+        // Max over each 2x2x2 block: block0 covers cols 0..2 -> max 13, block1 cols 2..4 -> 15.
+        assert_eq!(out.data(), &[13.0, 15.0]);
+        let g = Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 1, 1, 2]);
+        let gi = maxpool3d_backward(&g, &idx, &[1, 1, 2, 2, 4]);
+        assert_eq!(gi.data()[13], 1.0);
+        assert_eq!(gi.data()[15], 2.0);
+        assert_eq!(gi.sum(), 3.0);
+    }
+
+    #[test]
+    fn maxpool_anisotropic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let input = Tensor::randn(&[2, 3, 4, 6, 8], 1.0, &mut rng);
+        let (out, _) = maxpool3d(&input, [1, 2, 4]);
+        assert_eq!(out.dims(), &[2, 3, 4, 3, 2]);
+        // Pooling can only keep values that exist in the input.
+        for &v in out.data() {
+            assert!(input.data().contains(&v));
+        }
+    }
+
+    #[test]
+    fn upsample_then_pool_is_identity_scaled() {
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let input = Tensor::randn(&[1, 2, 2, 2, 2], 1.0, &mut rng);
+        let up = upsample_nearest3d(&input, [2, 2, 2]);
+        assert_eq!(up.dims(), &[1, 2, 4, 4, 4]);
+        // Every 2x2x2 block of `up` is constant, so maxpool inverts it.
+        let (back, _) = maxpool3d(&up, [2, 2, 2]);
+        assert_close(&back, &input, 1e-6);
+    }
+
+    #[test]
+    fn upsample_backward_is_adjoint() {
+        // <up(x), y> == <x, up_backward(y)> — the defining adjoint property.
+        let mut rng = ChaCha8Rng::seed_from_u64(15);
+        let x = Tensor::randn(&[1, 1, 2, 3, 2], 1.0, &mut rng);
+        let f = [2, 1, 3];
+        let y = Tensor::randn(&[1, 1, 4, 3, 6], 1.0, &mut rng);
+        let lhs = upsample_nearest3d(&x, f).mul(&y).sum();
+        let rhs = x.mul(&upsample_nearest3d_backward(&y, f)).sum();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn maxpool_rejects_indivisible() {
+        maxpool3d(&Tensor::zeros(&[1, 1, 3, 4, 4]), [2, 2, 2]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # mfn-tensor
+//!
+//! Dense `f32` tensors and the rayon-parallel compute kernels that back the
+//! MeshfreeFlowNet neural-network stack:
+//!
+//! - [`Tensor`]: contiguous row-major storage with element-wise ops,
+//!   concat/split, and seeded random initialization;
+//! - [`linalg`]: GEMM kernels (`A@B`, `Aᵀ@B`, `A@Bᵀ`) for the continuous
+//!   decoding MLP;
+//! - [`conv`]: 3D convolution (forward + both backwards), max pooling and
+//!   nearest-neighbor upsampling for the 3D U-Net encoder.
+//!
+//! The `mfn-autodiff` crate wraps these kernels with a reverse-mode tape;
+//! this crate itself is AD-agnostic.
+
+pub mod conv;
+pub mod linalg;
+pub mod shape;
+pub mod tensor;
+
+pub use conv::{
+    conv3d, conv3d_grad_input, conv3d_im2col, conv3d_grad_weight, maxpool3d, maxpool3d_backward,
+    upsample_nearest3d, upsample_nearest3d_backward, Conv3dDims,
+};
+pub use linalg::{matmul, matmul_nt, matmul_tn, matvec};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,229 @@
+//! Rayon-parallel dense matrix multiplication kernels.
+//!
+//! The continuous decoding network is dominated by batched fully-connected
+//! layers, i.e. `[rows, in] x [in, out]` GEMMs with `rows` in the tens of
+//! thousands (query points × 8 cell vertices). We parallelize over output
+//! rows with rayon and keep the inner loops in a cache-friendly `ikj` order so
+//! LLVM can vectorize the innermost accumulation.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Threshold (in multiply-adds) below which we stay single-threaded: tiny
+/// GEMMs are faster without the fork-join overhead.
+const PAR_FLOP_THRESHOLD: usize = 64 * 1024;
+
+/// `C = A @ B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+/// Panics if the shapes are not rank-2 and compatible.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let a = a.data();
+    let bd = b.data();
+    let row = |i: usize, out_row: &mut [f32]| {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(brow) {
+                *o += aip * bv;
+            }
+        }
+    };
+    if m * n * k >= PAR_FLOP_THRESHOLD {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| row(i, out_row));
+    } else {
+        for (i, out_row) in out.chunks_mut(n).enumerate() {
+            row(i, out_row);
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A^T @ B` for `A: [k, m]`, `B: [k, n]` — the gradient-of-weights shape
+/// in a linear layer backward pass, computed without materializing `A^T`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "matmul_tn lhs");
+    let (k2, n) = dims2(b, "matmul_tn rhs");
+    assert_eq!(k, k2, "matmul_tn inner dimension mismatch");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    let row = |i: usize, out_row: &mut [f32]| {
+        for p in 0..k {
+            let av = ad[p * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    };
+    if m * n * k >= PAR_FLOP_THRESHOLD {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| row(i, out_row));
+    } else {
+        for (i, out_row) in out.chunks_mut(n).enumerate() {
+            row(i, out_row);
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A @ B^T` for `A: [m, k]`, `B: [n, k]` — the gradient-of-input shape in
+/// a linear layer backward pass, computed without materializing `B^T`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_nt lhs");
+    let (n, k2) = dims2(b, "matmul_nt rhs");
+    assert_eq!(k, k2, "matmul_nt inner dimension mismatch");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    let row = |i: usize, out_row: &mut [f32]| {
+        let arow = &ad[i * k..(i + 1) * k];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    };
+    if m * n * k >= PAR_FLOP_THRESHOLD {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| row(i, out_row));
+    } else {
+        for (i, out_row) in out.chunks_mut(n).enumerate() {
+            row(i, out_row);
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix–vector product `A @ x` for `A: [m, n]`, `x: [n]`.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    let (m, n) = dims2(a, "matvec lhs");
+    assert_eq!(x.numel(), n, "matvec vector length mismatch");
+    let ad = a.data();
+    let xd = x.data();
+    let out: Vec<f32> = (0..m)
+        .map(|i| {
+            let row = &ad[i * n..(i + 1) * n];
+            row.iter().zip(xd).map(|(&a, &b)| a * b).sum()
+        })
+        .collect();
+    Tensor::from_vec(out, &[m])
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "{what} must be rank 2, got {:?}", t.dims());
+    (t.dims()[0], t.dims()[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                *out.at_mut(&[i, j]) = acc;
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_small_exact() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = Tensor::from_vec(vec![7., 8., 9., 10., 11., 12.], &[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_matches_naive_large() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = Tensor::randn(&[67, 31], 1.0, &mut rng);
+        let b = Tensor::randn(&[31, 53], 1.0, &mut rng);
+        assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_naive() {
+        // Large enough to cross PAR_FLOP_THRESHOLD.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = Tensor::randn(&[128, 64], 1.0, &mut rng);
+        let b = Tensor::randn(&[64, 96], 1.0, &mut rng);
+        assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = Tensor::randn(&[19, 11], 1.0, &mut rng);
+        let b = Tensor::randn(&[19, 7], 1.0, &mut rng);
+        assert_close(&matmul_tn(&a, &b), &matmul(&a.transpose2(), &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let a = Tensor::randn(&[13, 17], 1.0, &mut rng);
+        let b = Tensor::randn(&[9, 17], 1.0, &mut rng);
+        assert_close(&matmul_nt(&a, &b), &matmul(&a, &b.transpose2()), 1e-4);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a = Tensor::randn(&[8, 5], 1.0, &mut rng);
+        let x = Tensor::randn(&[5], 1.0, &mut rng);
+        let expect = matmul(&a, &x.clone().reshape(&[5, 1]));
+        let got = matvec(&a, &x);
+        for i in 0..8 {
+            assert!((got.data()[i] - expect.data()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let a = Tensor::randn(&[5, 5], 1.0, &mut rng);
+        let mut eye = Tensor::zeros(&[5, 5]);
+        for i in 0..5 {
+            *eye.at_mut(&[i, i]) = 1.0;
+        }
+        assert_close(&matmul(&a, &eye), &a, 1e-6);
+        assert_close(&matmul(&eye, &a), &a, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_shapes_panic() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+}

@@ -1,0 +1,404 @@
+//! The dense `f32` tensor type and its element-wise operations.
+
+use crate::shape::Shape;
+use rand::Rng;
+use std::fmt;
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// This is the storage type shared by the whole neural-network stack. It is
+/// deliberately plain — owned `Vec<f32>` plus a [`Shape`] — so that the
+/// autodiff tape can clone, move, and mutate buffers without aliasing
+/// headaches, and so the rayon kernels in [`crate::linalg`] and
+/// [`crate::conv`] can split the flat buffer freely.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat buffer and a shape.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.numel()`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(data.len(), shape.numel(), "data length does not match shape {dims:?}");
+        Tensor { data, shape }
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor { data: vec![0.0; shape.numel()], shape }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Tensor { data: vec![value; shape.numel()], shape }
+    }
+
+    /// A scalar (rank-0) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { data: vec![value], shape: Shape::new(&[]) }
+    }
+
+    /// Standard-normal samples scaled by `std`, drawn from `rng`
+    /// (Box–Muller; avoids depending on `rand_distr`).
+    pub fn randn<R: Rng>(dims: &[usize], std: f32, rng: &mut R) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < n {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Tensor { data, shape }
+    }
+
+    /// Uniform samples in `[lo, hi)`.
+    pub fn rand_uniform<R: Rng>(dims: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.numel()).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor { data, shape }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the flat buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The single value of a rank-0 or single-element tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on tensor with {} elements", self.data.len());
+        self.data[0]
+    }
+
+    /// Element at a multi-dimensional index.
+    #[inline]
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable element at a multi-dimensional index.
+    #[inline]
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Reinterprets the buffer with a new shape of equal element count.
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, dims: &[usize]) -> Self {
+        let new = Shape::new(dims);
+        assert_eq!(new.numel(), self.data.len(), "reshape to {dims:?} changes element count");
+        self.shape = new;
+        self
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+    }
+
+    /// Element-wise combination of two same-shaped tensors.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Tensor { data, shape: self.shape.clone() }
+    }
+
+    /// `self + other`, element-wise.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// `self - other`, element-wise.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// `self * other`, element-wise (Hadamard product).
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// `self * s`, scalar multiplication.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += s * other` (AXPY).
+    pub fn axpy(&mut self, s: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Sum of all elements (f64 accumulator for stability).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|&x| x as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Largest absolute element, or 0 for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sqr(&self) -> f32 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() as f32
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Concatenates tensors along `axis`. All other dimensions must agree.
+    pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
+        assert!(!tensors.is_empty(), "concat of zero tensors");
+        let rank = tensors[0].shape.rank();
+        assert!(axis < rank, "concat axis {axis} out of range for rank {rank}");
+        let mut out_dims = tensors[0].dims().to_vec();
+        out_dims[axis] = tensors.iter().map(|t| t.dims()[axis]).sum();
+        for t in tensors {
+            assert_eq!(t.shape.rank(), rank, "concat rank mismatch");
+            for d in 0..rank {
+                if d != axis {
+                    assert_eq!(t.dims()[d], out_dims[d], "concat dim {d} mismatch");
+                }
+            }
+        }
+        // outer = product of dims before axis, inner = product after.
+        let outer: usize = out_dims[..axis].iter().product();
+        let inner: usize = out_dims[axis + 1..].iter().product();
+        let mut data = Vec::with_capacity(out_dims.iter().product());
+        for o in 0..outer {
+            for t in tensors {
+                let len = t.dims()[axis] * inner;
+                let start = o * len;
+                data.extend_from_slice(&t.data[start..start + len]);
+            }
+        }
+        Tensor::from_vec(data, &out_dims)
+    }
+
+    /// Splits a tensor along `axis` into chunks of the given sizes
+    /// (the inverse of [`Tensor::concat`]).
+    pub fn split(&self, axis: usize, sizes: &[usize]) -> Vec<Tensor> {
+        let rank = self.shape.rank();
+        assert!(axis < rank);
+        assert_eq!(sizes.iter().sum::<usize>(), self.dims()[axis], "split sizes must cover axis");
+        let outer: usize = self.dims()[..axis].iter().product();
+        let inner: usize = self.dims()[axis + 1..].iter().product();
+        let axis_len = self.dims()[axis];
+        let mut parts: Vec<(Vec<f32>, Vec<usize>)> = sizes
+            .iter()
+            .map(|&s| {
+                let mut dims = self.dims().to_vec();
+                dims[axis] = s;
+                (Vec::with_capacity(outer * s * inner), dims)
+            })
+            .collect();
+        for o in 0..outer {
+            let mut off = o * axis_len * inner;
+            for (p, &s) in parts.iter_mut().zip(sizes) {
+                p.0.extend_from_slice(&self.data[off..off + s * inner]);
+                off += s * inner;
+            }
+        }
+        parts.into_iter().map(|(d, dims)| Tensor::from_vec(d, &dims)).collect()
+    }
+
+    /// 2D transpose of a rank-2 tensor.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "transpose2 requires rank 2");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape.dims())?;
+        if self.numel() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{} elements]", self.numel())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros(&[2, 3]).sum(), 0.0);
+        assert_eq!(Tensor::ones(&[2, 3]).sum(), 6.0);
+        assert_eq!(Tensor::full(&[4], 2.5).sum(), 10.0);
+        assert_eq!(Tensor::scalar(3.0).item(), 3.0);
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let t = Tensor::randn(&[10_000], 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+        let mut c = a.clone();
+        c.axpy(0.5, &b);
+        assert_eq!(c.data(), &[3.0, 4.5, 6.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        let r = t.clone().reshape(&[3, 2]);
+        assert_eq!(r.dims(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "changes element count")]
+    fn reshape_rejects_bad_count() {
+        Tensor::zeros(&[2, 3]).reshape(&[4]);
+    }
+
+    #[test]
+    fn indexing() {
+        let t = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 4]);
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+        assert_eq!(t.at(&[1, 2, 3]), 23.0);
+        let mut t = t;
+        *t.at_mut(&[1, 0, 0]) = -1.0;
+        assert_eq!(t.at(&[1, 0, 0]), -1.0);
+    }
+
+    #[test]
+    fn concat_axis0_and_axis1() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]);
+        let b = Tensor::from_vec(vec![5., 6., 7., 8.], &[2, 2]);
+        let c0 = Tensor::concat(&[&a, &b], 0);
+        assert_eq!(c0.dims(), &[4, 2]);
+        assert_eq!(c0.data(), &[1., 2., 3., 4., 5., 6., 7., 8.]);
+        let c1 = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(c1.dims(), &[2, 4]);
+        assert_eq!(c1.data(), &[1., 2., 5., 6., 3., 4., 7., 8.]);
+    }
+
+    #[test]
+    fn split_inverts_concat() {
+        let a = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[2, 3, 2]);
+        let parts = a.split(1, &[1, 2]);
+        let back = Tensor::concat(&[&parts[0], &parts[1]], 1);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn transpose2_roundtrip() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        let t = a.transpose2();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+        assert_eq!(t.transpose2(), a);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![-3.0, 1.0, 2.0], &[3]);
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.max_abs(), 3.0);
+        assert_eq!(t.norm_sqr(), 14.0);
+        assert!(!t.has_non_finite());
+        let bad = Tensor::from_vec(vec![f32::NAN], &[1]);
+        assert!(bad.has_non_finite());
+    }
+}

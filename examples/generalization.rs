@@ -1,0 +1,78 @@
+//! Generalization to unseen initial and boundary conditions — a compact
+//! version of the paper's Sec. 5.3 (Tables 3 and 4).
+//!
+//! Part 1 (unseen ICs): train on 1 vs. 3 datasets with different random
+//! initial perturbations and evaluate on a held-out initial condition.
+//!
+//! Part 2 (unseen BCs): train on several Rayleigh numbers and test on
+//! Rayleigh numbers inside and outside the training range.
+//!
+//! Run with: `cargo run --release --example generalization`
+
+use meshfreeflownet::core::{
+    evaluate_pair, table_header, Corpus, MeshfreeFlowNet, MfnConfig, TrainConfig, Trainer,
+};
+use meshfreeflownet::data::{downsample, Dataset};
+use meshfreeflownet::solver::{simulate, RbcConfig};
+
+fn make_pair(ra: f64, seed: u64) -> (Dataset, Dataset) {
+    let cfg = RbcConfig { nx: 64, nz: 17, ra, dt_max: 2e-3, seed, ..Default::default() };
+    let sim = simulate(&cfg, 6.0, 25);
+    let hr = Dataset::from_simulation(&sim);
+    let lr = downsample(&hr, 2, 2);
+    (hr, lr)
+}
+
+fn train_and_eval(corpus: &Corpus, test: &(Dataset, Dataset), label: &str) {
+    let tc = TrainConfig {
+        epochs: 15,
+        batches_per_epoch: 8,
+        batch_size: 4,
+        lr: 1e-2,
+        ..Default::default()
+    };
+    let mut mcfg = MfnConfig::small();
+    mcfg.gamma = MfnConfig::GAMMA_STAR;
+    let mut trainer = Trainer::new(MeshfreeFlowNet::new(mcfg), tc);
+    trainer.train(corpus);
+    let (hr, lr) = test;
+    let sr = trainer.model.super_resolve(lr, &hr.meta, corpus.stats);
+    let nu = (hr.meta.pr / hr.meta.ra).sqrt();
+    println!("{}", evaluate_pair(label, hr, &sr, nu, 6).format());
+}
+
+fn main() {
+    println!("== Part 1: unseen initial conditions (paper Table 3) ==");
+    let test_ic = make_pair(1e6, 999); // held-out IC
+    println!("{}", table_header());
+    let one = Corpus::new(vec![make_pair(1e6, 1)]);
+    train_and_eval(&one, &test_ic, "trained on 1 dataset");
+    let many = Corpus::new((1..=3).map(|s| make_pair(1e6, s)).collect());
+    train_and_eval(&many, &test_ic, "trained on 3 datasets");
+
+    println!("\n== Part 2: unseen boundary conditions / Rayleigh sweep (paper Table 4) ==");
+    // Train on Ra in {2e5, 8e5, 3e6}, test inside and outside the range.
+    let train_ras = [2e5, 8e5, 3e6];
+    let corpus = Corpus::new(train_ras.iter().map(|&ra| make_pair(ra, 5)).collect());
+    println!("training on Ra = {train_ras:?}");
+    let tc = TrainConfig {
+        epochs: 15,
+        batches_per_epoch: 9,
+        batch_size: 4,
+        lr: 1e-2,
+        ..Default::default()
+    };
+    let mut mcfg = MfnConfig::small();
+    mcfg.gamma = MfnConfig::GAMMA_STAR;
+    let mut trainer = Trainer::new(MeshfreeFlowNet::new(mcfg), tc);
+    trainer.train(&corpus);
+    println!("{}", table_header());
+    for (label, ra) in
+        [("Ra=1e5 (below range)", 1e5), ("Ra=1e6 (in range)", 1e6), ("Ra=1e7 (above range)", 1e7)]
+    {
+        let (hr, lr) = make_pair(ra, 777);
+        let sr = trainer.model.super_resolve(&lr, &hr.meta, corpus.stats);
+        let nu = (hr.meta.pr / hr.meta.ra).sqrt();
+        println!("{}", evaluate_pair(label, &hr, &sr, nu, 6).format());
+    }
+}

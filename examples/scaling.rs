@@ -1,0 +1,74 @@
+//! Data-parallel scaling — a compact version of the paper's Sec. 5.4
+//! (Fig. 7): measured throughput across worker counts on this host, ring
+//! all-reduce and all, then the calibrated analytic extension to 128 workers
+//! with the scaling-efficiency figure the paper reports (96.8%).
+//!
+//! Run with: `cargo run --release --example scaling`
+
+use meshfreeflownet::core::{Corpus, MfnConfig, TrainConfig};
+use meshfreeflownet::data::{downsample, Dataset, PatchSpec};
+use meshfreeflownet::dist::{train_data_parallel, ScalingModel};
+use meshfreeflownet::solver::{simulate, RbcConfig};
+
+fn main() {
+    let cfg = RbcConfig { nx: 32, nz: 17, ra: 1e6, dt_max: 2e-3, ..Default::default() };
+    println!("simulating training data ...");
+    let sim = simulate(&cfg, 2.0, 17);
+    let hr = Dataset::from_simulation(&sim);
+    let lr = downsample(&hr, 2, 2);
+    let corpus = Corpus::new(vec![(hr, lr)]);
+
+    let mut mcfg = MfnConfig::small();
+    mcfg.patch = PatchSpec { nt: 4, nz: 8, nx: 8, queries: 64 };
+    let tc = TrainConfig {
+        epochs: 2,
+        batches_per_epoch: 6,
+        batch_size: 2,
+        lr: 5e-3,
+        ..Default::default()
+    };
+
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
+    let mut counts = vec![1usize, 2];
+    let mut w = 4;
+    while w <= cores {
+        counts.push(w);
+        w *= 2;
+    }
+    println!("measuring throughput on {counts:?} workers ({cores} cores available)\n");
+    println!("{:>8} {:>16} {:>12} {:>12}", "workers", "samples/s", "speedup", "efficiency");
+    let mut measured = Vec::new();
+    let mut grad_elems = 0usize;
+    for &n in &counts {
+        let r = train_data_parallel(&corpus, &mcfg, &tc, n);
+        grad_elems = r.grad_elems;
+        measured.push((n, r.throughput));
+        let base = measured[0].1;
+        println!(
+            "{:>8} {:>16.1} {:>12.2} {:>11.1}%",
+            n,
+            r.throughput,
+            r.throughput / base,
+            100.0 * r.throughput / (n as f64 * base)
+        );
+    }
+
+    // Calibrated analytic extension (Fig. 7a beyond the host's cores).
+    let model = ScalingModel::calibrate(
+        &measured,
+        (grad_elems * 4) as f64,
+        (tc.batch_size) as f64,
+        0.8,
+    );
+    println!("\ncalibrated model: t_compute = {:.4}s, bandwidth = {:.2e} B/s", model.t_compute, model.bandwidth);
+    println!("{:>8} {:>16} {:>12}", "workers", "model samples/s", "efficiency");
+    for n in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        println!(
+            "{:>8} {:>16.1} {:>11.1}%",
+            n,
+            model.throughput(n),
+            100.0 * model.efficiency(n)
+        );
+    }
+    println!("\npaper reference: 96.80% efficiency at 128 GPUs (Fig. 7a)");
+}

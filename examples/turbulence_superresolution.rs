@@ -1,0 +1,90 @@
+//! Turbulent-flow super-resolution with PDE constraints: a compact version
+//! of the paper's core experiment (Tables 1–2) comparing
+//!
+//! - Baseline (I): trilinear interpolation,
+//! - Baseline (II): U-Net with a convolutional decoder,
+//! - MeshfreeFlowNet with γ = 0 (no physics), and
+//! - MeshfreeFlowNet with γ = γ* = 0.0125 (the paper's optimum),
+//!
+//! and additionally demonstrates the *mesh-free* property: sampling the
+//! trained model at an arbitrary resolution the training grid never had.
+//!
+//! Run with: `cargo run --release --example turbulence_superresolution`
+
+use meshfreeflownet::core::{
+    baseline_trilinear, evaluate_pair, table_header, BaselineII, BaselineTrainer, Corpus,
+    MeshfreeFlowNet, MfnConfig, TrainConfig, Trainer,
+};
+use meshfreeflownet::data::{downsample, Dataset};
+use meshfreeflownet::solver::{simulate, RbcConfig};
+
+fn main() {
+    let cfg =
+        RbcConfig { nx: 64, nz: 17, ra: 1e6, dt_max: 2e-3, seed: 11, ..Default::default() };
+    println!("simulating Rayleigh-Benard (Ra = {:.0e}) ...", cfg.ra);
+    let sim = simulate(&cfg, 8.0, 33);
+    let hr = Dataset::from_simulation(&sim);
+    let lr = downsample(&hr, 2, 2);
+    let corpus = Corpus::new(vec![(hr.clone(), lr.clone())]);
+    let nu = (cfg.pr / cfg.ra).sqrt();
+    let tc = TrainConfig {
+        epochs: 18,
+        batches_per_epoch: 8,
+        batch_size: 4,
+        lr: 1e-2,
+        ..Default::default()
+    };
+
+    // MeshfreeFlowNet, γ = 0 and γ = γ*.
+    let mut rows = Vec::new();
+    for (label, gamma) in [("MFN γ=0", 0.0f32), ("MFN γ=γ*", MfnConfig::GAMMA_STAR)] {
+        let mut mcfg = MfnConfig::small();
+        mcfg.gamma = gamma;
+        println!("training {label} ...");
+        let mut trainer = Trainer::new(MeshfreeFlowNet::new(mcfg), tc);
+        trainer.train(&corpus);
+        let sr = trainer.model.super_resolve(&lr, &hr.meta, corpus.stats);
+        rows.push(evaluate_pair(label, &hr, &sr, nu, 8));
+        if gamma > 0.0 {
+            // Mesh-free demonstration: decode on a grid 3x finer than HR.
+            let mut fine_meta = hr.meta.clone();
+            fine_meta.nz = (hr.meta.nz - 1) * 3 + 1;
+            fine_meta.nx = hr.meta.nx * 3;
+            let fine = trainer.model.super_resolve(&lr, &fine_meta, corpus.stats);
+            println!(
+                "  mesh-free decode at {}x{} (HR was {}x{}): finite = {}",
+                fine.meta.nz,
+                fine.meta.nx,
+                hr.meta.nz,
+                hr.meta.nx,
+                fine.data.iter().all(|v| v.is_finite())
+            );
+        }
+    }
+
+    // Baseline (II): conv-decoder U-Net with the same backbone.
+    println!("training Baseline (II) ...");
+    let mut b2cfg = MfnConfig::small();
+    b2cfg.gamma = 0.0;
+    let b2 = BaselineII::new(b2cfg, [2, 2, 2]);
+    let mut b2t = BaselineTrainer::new(b2, tc);
+    b2t.train(&corpus);
+    let b2sr = b2t.model.super_resolve(&lr, &hr.meta, corpus.stats);
+    rows.push(evaluate_pair("Baseline (II) U-Net", &hr, &b2sr, nu, 8));
+
+    // Baseline (I): trilinear.
+    let b1 = baseline_trilinear(&lr, &hr);
+    rows.push(evaluate_pair("Baseline (I) trilinear", &hr, &b1, nu, 8));
+
+    println!("\n{}", table_header());
+    for row in &rows {
+        println!("{}", row.format());
+    }
+    println!(
+        "\n(cells are 100xNMAE with R² in parentheses. NOTE: this demo uses mild 2x/2x \
+         downsampling so it finishes in minutes — a regime where trilinear interpolation \
+         is genuinely strong. The paper's 4x/8x regime, where trilinear collapses and \
+         MeshfreeFlowNet wins on all metrics, is reproduced by `repro table2`; see \
+         EXPERIMENTS.md.)"
+    );
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the MeshfreeFlowNet reproduction's public API.
+pub use mfn_autodiff as autodiff;
+pub use mfn_core as core;
+pub use mfn_data as data;
+pub use mfn_dist as dist;
+pub use mfn_fft as fft;
+pub use mfn_physics as physics;
+pub use mfn_solver as solver;
+pub use mfn_tensor as tensor;

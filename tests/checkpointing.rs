@@ -1,0 +1,69 @@
+//! Integration test: train → checkpoint → restore → identical inference.
+
+use meshfreeflownet::core::{ChannelStats, Corpus, MeshfreeFlowNet, MfnConfig, TrainConfig, Trainer};
+use meshfreeflownet::data::{downsample, Dataset, PatchSpec};
+use meshfreeflownet::solver::{simulate, RbcConfig};
+
+fn tiny_cfg() -> MfnConfig {
+    let mut cfg = MfnConfig::small();
+    cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 8, queries: 16 };
+    cfg.base_channels = 4;
+    cfg.latent_channels = 8;
+    cfg.mlp_hidden = vec![16, 16];
+    cfg.levels = 2;
+    cfg
+}
+
+#[test]
+fn trained_model_roundtrips_through_checkpoint() {
+    let sim = simulate(
+        &RbcConfig { nx: 32, nz: 9, ra: 1e5, dt_max: 2e-3, ..Default::default() },
+        0.3,
+        9,
+    );
+    let hr = Dataset::from_simulation(&sim);
+    let lr = downsample(&hr, 2, 2);
+    let corpus = Corpus::new(vec![(hr.clone(), lr.clone())]);
+
+    let mut trainer = Trainer::new(
+        MeshfreeFlowNet::new(tiny_cfg()),
+        TrainConfig { epochs: 3, batches_per_epoch: 4, batch_size: 2, lr: 5e-3, ..Default::default() },
+    );
+    trainer.train(&corpus);
+
+    let dir = std::env::temp_dir().join("mfn_ckpt_integration");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("trained.ckpt");
+    trainer.model.save(&path).expect("save");
+
+    // A fresh model (different seed → different init) restored from the
+    // checkpoint must produce bit-identical super-resolution output —
+    // including the batch-norm running statistics, which are part of the
+    // saved state alongside the trainable parameters.
+    let mut fresh_cfg = tiny_cfg();
+    fresh_cfg.seed = 12345;
+    let mut fresh = MeshfreeFlowNet::new(fresh_cfg);
+    let stats = ChannelStats::from_meta(&hr.meta);
+    let before = fresh.super_resolve(&lr, &hr.meta, stats);
+    fresh.load(&path).expect("load");
+
+    let a = trainer.model.super_resolve(&lr, &hr.meta, stats);
+    let b = fresh.super_resolve(&lr, &hr.meta, stats);
+    assert_ne!(before.data, b.data, "load had no effect");
+    assert_eq!(a.data, b.data, "restored model differs from the trained one");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_rejects_different_architecture() {
+    let model = MeshfreeFlowNet::new(tiny_cfg());
+    let dir = std::env::temp_dir().join("mfn_ckpt_arch");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("m.ckpt");
+    model.save(&path).expect("save");
+    let mut bigger_cfg = tiny_cfg();
+    bigger_cfg.latent_channels = 16;
+    let mut bigger = MeshfreeFlowNet::new(bigger_cfg);
+    assert!(bigger.load(&path).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

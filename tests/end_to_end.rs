@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: the full simulate → downsample → train →
+//! super-resolve → score pipeline, exercised end-to-end at a tiny scale.
+
+use meshfreeflownet::core::{
+    baseline_trilinear, evaluate_pair, ChannelStats, Corpus, MeshfreeFlowNet, MfnConfig,
+    TrainConfig, Trainer,
+};
+use meshfreeflownet::data::{downsample, Dataset, PatchSpec};
+use meshfreeflownet::solver::{simulate, RbcConfig};
+
+fn tiny_cfg() -> MfnConfig {
+    let mut cfg = MfnConfig::small();
+    cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 8, queries: 32 };
+    cfg.base_channels = 4;
+    cfg.latent_channels = 8;
+    cfg.mlp_hidden = vec![24, 16];
+    cfg.levels = 2;
+    cfg
+}
+
+fn tiny_data(seed: u64) -> (Dataset, Dataset) {
+    let sim = simulate(
+        &RbcConfig { nx: 32, nz: 9, ra: 1e5, dt_max: 2e-3, seed, ..Default::default() },
+        0.4,
+        9,
+    );
+    let hr = Dataset::from_simulation(&sim);
+    let lr = downsample(&hr, 2, 2);
+    (hr, lr)
+}
+
+#[test]
+fn full_pipeline_trains_and_scores() {
+    let pair = tiny_data(3);
+    let corpus = Corpus::new(vec![pair.clone()]);
+    let mut trainer = Trainer::new(
+        MeshfreeFlowNet::new(tiny_cfg()),
+        TrainConfig { epochs: 10, batches_per_epoch: 6, batch_size: 4, lr: 1e-2, ..Default::default() },
+    );
+    let records = trainer.train(&corpus);
+    assert!(records.last().expect("records").loss < records[0].loss);
+    let (hr, lr) = &pair;
+    let sr = trainer.model.super_resolve(lr, &hr.meta, corpus.stats);
+    let nu = (hr.meta.pr / hr.meta.ra).sqrt();
+    let row = evaluate_pair("mfn", hr, &sr, nu, 2);
+    assert_eq!(row.scores.len(), 9);
+    assert!(row.scores.iter().all(|s| s.nmae_pct.is_finite()));
+}
+
+#[test]
+fn equation_loss_regularizes_not_destroys() {
+    // γ = γ* training must converge to a similar prediction loss as γ = 0
+    // (within a factor), per the paper's Table 1 top rows.
+    let pair = tiny_data(4);
+    let corpus = Corpus::new(vec![pair]);
+    let tc = TrainConfig {
+        epochs: 10,
+        batches_per_epoch: 6,
+        batch_size: 4,
+        lr: 1e-2,
+        ..Default::default()
+    };
+    let mut cfg0 = tiny_cfg();
+    cfg0.gamma = 0.0;
+    let mut t0 = Trainer::new(MeshfreeFlowNet::new(cfg0), tc);
+    let r0 = t0.train(&corpus);
+    let mut cfg1 = tiny_cfg();
+    cfg1.gamma = MfnConfig::GAMMA_STAR;
+    let mut t1 = Trainer::new(MeshfreeFlowNet::new(cfg1), tc);
+    let r1 = t1.train(&corpus);
+    let p0 = r0.last().expect("r0").prediction;
+    let p1 = r1.last().expect("r1").prediction;
+    assert!(
+        p1 < 3.0 * p0 + 0.05,
+        "equation loss wrecked training: pred {p1} vs {p0}"
+    );
+    // And the equation loss itself must have decreased during training.
+    assert!(
+        r1.last().expect("r1").equation < 2.0 * r1[0].equation,
+        "equation residual exploded: {} -> {}",
+        r1[0].equation,
+        r1.last().expect("r1").equation
+    );
+}
+
+#[test]
+fn trilinear_baseline_is_exact_on_shared_grid_points() {
+    let (hr, lr) = tiny_data(5);
+    let b1 = baseline_trilinear(&lr, &hr);
+    for f in (0..hr.meta.nt).step_by(2) {
+        for j in (0..hr.meta.nz).step_by(2) {
+            for i in (0..hr.meta.nx).step_by(2) {
+                for c in 0..4 {
+                    let d = (b1.at(f, c, j, i) - hr.at(f, c, j, i)).abs();
+                    assert!(d < 1e-5, "({f},{c},{j},{i}): {d}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dataset_roundtrip_preserves_training_inputs() {
+    let (hr, _) = tiny_data(6);
+    let dir = std::env::temp_dir().join("mfn_e2e_io");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("hr.bin");
+    meshfreeflownet::data::save_dataset(&hr, &path).expect("save");
+    let back = meshfreeflownet::data::load_dataset(&path).expect("load");
+    assert_eq!(back, hr);
+    // Downsampling the loaded dataset gives identical LR inputs.
+    let lr_a = downsample(&hr, 2, 2);
+    let lr_b = downsample(&back, 2, 2);
+    assert_eq!(lr_a, lr_b);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn super_resolution_is_deterministic() {
+    let (hr, lr) = tiny_data(7);
+    let stats = ChannelStats::from_meta(&hr.meta);
+    let mut m1 = MeshfreeFlowNet::new(tiny_cfg());
+    let mut m2 = MeshfreeFlowNet::new(tiny_cfg());
+    let a = m1.super_resolve(&lr, &hr.meta, stats);
+    let b = m2.super_resolve(&lr, &hr.meta, stats);
+    assert_eq!(a.data, b.data, "same seed + same input must give identical output");
+}
+
+#[test]
+fn mesh_free_decoding_at_arbitrary_resolution() {
+    // The defining property: decode on a grid the model never saw, finer
+    // than HR and with non-integer refinement of the LR spacing.
+    let (hr, lr) = tiny_data(8);
+    let stats = ChannelStats::from_meta(&hr.meta);
+    let mut model = MeshfreeFlowNet::new(tiny_cfg());
+    let mut fine_meta = hr.meta.clone();
+    fine_meta.nt = hr.meta.nt; // keep time frames
+    fine_meta.nz = 3 * (hr.meta.nz - 1) + 1;
+    fine_meta.nx = 3 * hr.meta.nx;
+    let fine = model.super_resolve(&lr, &fine_meta, stats);
+    assert_eq!(fine.meta.nz, 25);
+    assert_eq!(fine.meta.nx, 96);
+    assert!(fine.data.iter().all(|v| v.is_finite()));
+}
