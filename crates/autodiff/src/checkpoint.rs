@@ -47,10 +47,7 @@ pub fn load_params(store: &mut ParamStore, path: &Path) -> io::Result<()> {
     }
     let count = read_u64(&mut r)? as usize;
     if count != store.len() {
-        return Err(bad(&format!(
-            "checkpoint has {count} parameters, model has {}",
-            store.len()
-        )));
+        return Err(bad(&format!("checkpoint has {count} parameters, model has {}", store.len())));
     }
     for i in 0..count {
         let id = ParamId(i);

@@ -47,26 +47,61 @@ enum Op {
     /// Mean of all elements → scalar.
     Mean(Var),
     /// Concatenation along `axis`; stores each part's size on that axis.
-    Concat { inputs: Vec<Var>, axis: usize, sizes: Vec<usize> },
+    Concat {
+        inputs: Vec<Var>,
+        axis: usize,
+        sizes: Vec<usize>,
+    },
     /// Column slice `x[:, lo..hi]` of a rank-2 tensor.
-    SliceCols { input: Var, lo: usize, cols: usize },
+    SliceCols {
+        input: Var,
+        lo: usize,
+        cols: usize,
+    },
     Reshape(Var),
-    Conv3d { input: Var, weight: Var, dims: Conv3dDims },
-    MaxPool3d { input: Var, indices: Vec<u32>, in_dims: Vec<usize> },
-    Upsample3d { input: Var, factors: [usize; 3] },
+    Conv3d {
+        input: Var,
+        weight: Var,
+        dims: Conv3dDims,
+    },
+    MaxPool3d {
+        input: Var,
+        indices: Vec<u32>,
+        in_dims: Vec<usize>,
+    },
+    Upsample3d {
+        input: Var,
+        factors: [usize; 3],
+    },
     /// Batch normalization over all axes but the channel axis (dim 1), in
     /// training mode: saves the per-channel batch statistics for backward.
-    BatchNorm { input: Var, gamma: Var, beta: Var, mean: Vec<f32>, invstd: Vec<f32> },
+    BatchNorm {
+        input: Var,
+        gamma: Var,
+        beta: Var,
+        mean: Vec<f32>,
+        invstd: Vec<f32>,
+    },
     /// Frozen per-channel affine `y = x * scale[c] + shift[c]` (inference-mode
     /// batch norm); only `x` receives gradient (the shift needs no storage).
-    ChannelAffine { input: Var, scale: Vec<f32> },
+    ChannelAffine {
+        input: Var,
+        scale: Vec<f32>,
+    },
     /// Row gather from a 5D latent grid: row `m` of the output is
     /// `grid[n_m, :, d_m, h_m, w_m]` with the flat spatial index stored in
     /// `index[m]` (already combined as `n*vol + offset`).
-    GatherVertices { grid: Var, index: Vec<u32> },
+    GatherVertices {
+        grid: Var,
+        index: Vec<u32>,
+    },
     /// Blend groups of `group` consecutive rows with fixed weights:
     /// `out[q, c] = sum_v weights[q*group + v] * x[q*group + v, c]`.
-    VertexBlend { input: Var, weights: Vec<f32>, group: usize },
+    VertexBlend {
+        input: Var,
+        weights: Vec<f32>,
+        group: usize,
+    },
 }
 
 struct Node {
@@ -701,8 +736,7 @@ impl Graph {
                         let m_dyx = (sum_dyx[ci] / count as f64) as f32;
                         for k in 0..inner {
                             let xhat = (x[off + k] - mean[ci]) * invstd[ci];
-                            dx[off + k] =
-                                g[ci] * invstd[ci] * (dy[off + k] - m_dy - xhat * m_dyx);
+                            dx[off + k] = g[ci] * invstd[ci] * (dy[off + k] - m_dy - xhat * m_dyx);
                         }
                     }
                 }

@@ -49,6 +49,7 @@ impl Jet3 {
     }
 
     /// Jet sum.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, o: Jet3) -> Jet3 {
         Jet3 {
             v: self.v + o.v,
@@ -59,6 +60,7 @@ impl Jet3 {
 
     /// Jet product with the full second-order product rule
     /// `(fg)'' = f''g + 2f'g' + fg''` per direction.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, o: Jet3) -> Jet3 {
         let mut d = [0.0; 3];
         let mut dd = [0.0; 3];
@@ -166,11 +168,7 @@ pub fn linear_jet(w: &Tensor, b: &Tensor, x: &JetVec) -> JetVec {
 /// Element-wise activation over a jet vector.
 pub fn activation_jet(act: Activation, x: &JetVec) -> JetVec {
     let n = x.len();
-    let mut out = JetVec {
-        val: vec![0.0; n],
-        d: vec![[0.0; 3]; n],
-        dd: vec![[0.0; 3]; n],
-    };
+    let mut out = JetVec { val: vec![0.0; n], d: vec![[0.0; 3]; n], dd: vec![[0.0; 3]; n] };
     for i in 0..n {
         let j = x.jet(i).activate(act);
         out.val[i] = j.v;

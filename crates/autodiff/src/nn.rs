@@ -211,11 +211,8 @@ impl BatchNorm3d {
     pub fn forward_eval(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
         let gamma = store.get(self.gamma).data();
         let beta = store.get(self.beta).data();
-        let scale: Vec<f32> = gamma
-            .iter()
-            .zip(&self.running_var)
-            .map(|(&g, &v)| g / (v + self.eps).sqrt())
-            .collect();
+        let scale: Vec<f32> =
+            gamma.iter().zip(&self.running_var).map(|(&g, &v)| g / (v + self.eps).sqrt()).collect();
         let shift: Vec<f32> = beta
             .iter()
             .zip(&self.running_mean)
@@ -303,8 +300,8 @@ mod tests {
         let w = store.get(lin.weight);
         let b = store.get(lin.bias);
         for o in 0..2 {
-            let manual: f32 = (0..3).map(|i| w.at(&[o, i]) * (i as f32 + 1.0)).sum::<f32>()
-                + b.data()[o];
+            let manual: f32 =
+                (0..3).map(|i| w.at(&[o, i]) * (i as f32 + 1.0)).sum::<f32>() + b.data()[o];
             assert!((g.value(y).data()[o] - manual).abs() < 1e-5);
         }
     }

@@ -122,10 +122,15 @@ impl Sgd {
     }
 }
 
+/// Global L2 norm over a gradient list (accumulated in f64).
+pub fn grad_l2_norm(grads: &[Tensor]) -> f32 {
+    let total: f64 = grads.iter().map(|g| g.norm_sqr() as f64).sum();
+    total.sqrt() as f32
+}
+
 /// Clips a gradient list to a global L2 norm, returning the pre-clip norm.
 pub fn clip_grad_norm(grads: &mut [Tensor], max_norm: f32) -> f32 {
-    let total: f64 = grads.iter().map(|g| g.norm_sqr() as f64).sum();
-    let norm = total.sqrt() as f32;
+    let norm = grad_l2_norm(grads);
     if norm > max_norm && norm > 0.0 {
         let s = max_norm / norm;
         for g in grads.iter_mut() {
@@ -173,8 +178,7 @@ mod tests {
         // Hand-computed reference for lr=0.1, b1=0.9, b2=0.999, eps=0, g=1 twice.
         let mut store = ParamStore::new();
         let x = store.register("x", Tensor::scalar(0.0));
-        let mut opt =
-            Adam::new(&store, AdamConfig { lr: 0.1, eps: 0.0, ..Default::default() });
+        let mut opt = Adam::new(&store, AdamConfig { lr: 0.1, eps: 0.0, ..Default::default() });
         opt.step(&mut store, &[Tensor::scalar(1.0)]);
         // step 1: mhat = 1, vhat = 1 -> x = -0.1
         assert!((store.get(x).item() + 0.1).abs() < 1e-6);
@@ -223,10 +227,8 @@ mod tests {
     fn weight_decay_shrinks_params() {
         let mut store = ParamStore::new();
         let x = store.register("x", Tensor::scalar(10.0));
-        let mut opt = Adam::new(
-            &store,
-            AdamConfig { lr: 0.1, weight_decay: 0.1, ..Default::default() },
-        );
+        let mut opt =
+            Adam::new(&store, AdamConfig { lr: 0.1, weight_decay: 0.1, ..Default::default() });
         for _ in 0..2000 {
             opt.step(&mut store, &[Tensor::scalar(0.0)]);
         }

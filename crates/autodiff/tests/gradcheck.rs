@@ -34,10 +34,7 @@ fn gradcheck(x0: &Tensor, tol: f32, f: impl Fn(&mut Graph, Var) -> Var) {
         xm.data_mut()[i] -= eps;
         let fd = (eval(&xp) - eval(&xm)) / (2.0 * eps);
         let a = analytic.data()[i];
-        assert!(
-            (a - fd).abs() <= tol * (1.0 + fd.abs()),
-            "element {i}: analytic {a} vs fd {fd}"
-        );
+        assert!((a - fd).abs() <= tol * (1.0 + fd.abs()), "element {i}: analytic {a} vs fd {fd}");
     }
 }
 
@@ -356,4 +353,139 @@ fn no_grad_for_constants() {
     let loss = g.sum(y);
     g.backward(loss);
     assert!(g.try_grad(x).is_none());
+}
+
+/// Trilinear weights of a unit-cell point `(u, v, w)` over the 8 vertices in
+/// `(d, h, w)` bit order — the decoder's Eqn. 6 blending, reproduced here so
+/// the gradcheck exercises realistic (convex, partly zero) weight vectors.
+fn trilinear_weights(u: f32, v: f32, w: f32) -> Vec<f32> {
+    let mut ws = Vec::with_capacity(8);
+    for d in 0..2 {
+        for h in 0..2 {
+            for x in 0..2 {
+                let wd = if d == 1 { u } else { 1.0 - u };
+                let wh = if h == 1 { v } else { 1.0 - v };
+                let wx = if x == 1 { w } else { 1.0 - w };
+                ws.push(wd * wh * wx);
+            }
+        }
+    }
+    ws
+}
+
+#[test]
+fn conv3d_overlapping_windows_and_batch() {
+    // The basic conv3d checks use a kernel that exactly covers the input, so
+    // each input element feeds one output. Here the 1x3x3 kernel slides over
+    // a [2, 2, 2, 4, 4] batch: input gradients accumulate across overlapping
+    // windows and weight gradients sum over both batch entries.
+    let w = randn(&[3, 2, 1, 3, 3], 140);
+    gradcheck(&randn(&[2, 2, 2, 4, 4], 141), 2e-2, |g, x| {
+        let wv = g.constant(w.clone());
+        let y = g.conv3d(x, wv);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+    let x = randn(&[2, 2, 2, 4, 4], 142);
+    gradcheck(&randn(&[3, 2, 1, 3, 3], 143), 2e-2, |g, w| {
+        let xv = g.constant(x.clone());
+        let y = g.conv3d(xv, w);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn trilinear_decoder_path_batched_grid() {
+    // The decoder path: gather 8 cell vertices per query from a batched
+    // latent grid, trilinear-blend them, and push through a nonlinearity.
+    // Query 1 reads batch entry 0, query 2 reads batch entry 1 with u = 0,
+    // which zeroes half the weights and exercises the skip branch.
+    let vol = 2 * 2 * 2;
+    let mut index = Vec::new();
+    for n in 0..2u32 {
+        for v in 0..vol as u32 {
+            index.push(n * vol as u32 + v);
+        }
+    }
+    let mut weights = trilinear_weights(0.3, 0.6, 0.2);
+    weights.extend(trilinear_weights(0.0, 0.45, 0.8));
+    let target = randn(&[2, 3], 150);
+    gradcheck(&randn(&[2, 3, 2, 2, 2], 151), 1e-2, |g, grid| {
+        let rows = g.gather_vertices(grid, index.clone());
+        let blended = g.vertex_blend(rows, weights.clone(), 8);
+        let act = g.tanh(blended);
+        let t = g.constant(target.clone());
+        g.mse_loss(act, t)
+    });
+}
+
+#[test]
+fn fd_stencil_jet_path_accumulates_through_shared_grid() {
+    // The PDE-residual path: the equation loss decodes the same latent grid
+    // at stencil-shifted query points and combines them with central-
+    // difference coefficients. Gradients must accumulate into the one grid
+    // leaf through all three gathers.
+    let h = 0.05f32;
+    let index: Vec<u32> = (0..8).collect();
+    let center = trilinear_weights(0.5, 0.5, 0.5);
+    let plus = trilinear_weights(0.5, 0.5, 0.5 + h);
+    let minus = trilinear_weights(0.5, 0.5, 0.5 - h);
+    let target = randn(&[1, 2], 160);
+    gradcheck(&randn(&[1, 2, 2, 2, 2], 161), 2e-2, |g, grid| {
+        let decode = |g: &mut Graph, grid: Var, w: &[f32]| {
+            let rows = g.gather_vertices(grid, index.clone());
+            let blended = g.vertex_blend(rows, w.to_vec(), 8);
+            g.tanh(blended)
+        };
+        let fc = decode(g, grid, &center);
+        let fp = decode(g, grid, &plus);
+        let fm = decode(g, grid, &minus);
+        // residual = f + df/dw (central difference), squared against target.
+        let diff = g.sub(fp, fm);
+        let deriv = g.scale(diff, 1.0 / (2.0 * h));
+        let resid = g.add(fc, deriv);
+        let t = g.constant(target.clone());
+        g.mse_loss(resid, t)
+    });
+}
+
+#[test]
+fn batch_norm_with_captured_stats() {
+    // The `stats_out` branch must leave both the forward value and the
+    // gradient identical to the plain path, while capturing batch moments.
+    let gamma = Tensor::from_vec(vec![0.9, 1.4], &[2]);
+    let beta = Tensor::from_vec(vec![-0.3, 0.2], &[2]);
+    let x0 = randn(&[3, 2, 2, 2, 2], 170);
+    gradcheck(&x0, 5e-2, |g, x| {
+        let ga = g.constant(gamma.clone());
+        let be = g.constant(beta.clone());
+        let mut stats = (Vec::new(), Vec::new());
+        let y = g.batch_norm(x, ga, be, 1e-5, Some(&mut stats));
+        let t = g.constant(Tensor::ones(&[3, 2, 2, 2, 2]));
+        let d = g.sub(y, t);
+        let sq = g.mul(d, d);
+        g.sum(sq)
+    });
+    // Captured moments are the batch mean/variance per channel.
+    let mut g = Graph::new();
+    let x = g.leaf_with_grad(x0.clone());
+    let ga = g.constant(gamma.clone());
+    let be = g.constant(beta.clone());
+    let mut stats = (Vec::new(), Vec::new());
+    g.batch_norm(x, ga, be, 1e-5, Some(&mut stats));
+    let inner = 8;
+    for c in 0..2 {
+        let vals: Vec<f32> = (0..3)
+            .flat_map(|n| {
+                let off = (n * 2 + c) * inner;
+                x0.data()[off..off + inner].to_vec()
+            })
+            .collect();
+        let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+        let var: f32 =
+            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+        assert!((stats.0[c] - mean).abs() < 1e-4, "mean[{c}]");
+        assert!((stats.1[c] - var).abs() < 1e-4, "var[{c}]");
+    }
 }

@@ -51,16 +51,12 @@ fn bench_conv3d_im2col(c: &mut Criterion) {
     for &ch in &[8usize, 32] {
         let x = Tensor::randn(&[4, ch, 4, 16, 16], 1.0, &mut rng);
         let w = Tensor::randn(&[ch, ch, 3, 3, 3], 0.1, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("direct", ch),
-            &ch,
-            |bench, _| bench.iter(|| conv3d(black_box(&x), black_box(&w))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("im2col", ch),
-            &ch,
-            |bench, _| bench.iter(|| conv3d_im2col(black_box(&x), black_box(&w))),
-        );
+        group.bench_with_input(BenchmarkId::new("direct", ch), &ch, |bench, _| {
+            bench.iter(|| conv3d(black_box(&x), black_box(&w)))
+        });
+        group.bench_with_input(BenchmarkId::new("im2col", ch), &ch, |bench, _| {
+            bench.iter(|| conv3d_im2col(black_box(&x), black_box(&w)))
+        });
     }
     group.finish();
 }

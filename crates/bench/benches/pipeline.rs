@@ -7,6 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mfn_core::{ChannelStats, Corpus, MeshfreeFlowNet, MfnConfig, TrainConfig, Trainer};
 use mfn_data::{downsample, make_batch, Dataset, PatchSampler, PatchSpec};
 use mfn_solver::{simulate, RbcConfig};
+use mfn_telemetry::Recorder;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
@@ -53,6 +54,37 @@ fn bench_train_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same gradient step with telemetry variants: `null` (the default
+/// disabled recorder — the acceptance bar is within a few percent of the
+/// uninstrumented step, since recording is a single branch) and `memory`
+/// (the bounded ring buffer tests use).
+fn bench_train_step_telemetry(c: &mut Criterion) {
+    let (hr, lr) = data();
+    let corpus = Corpus::new(vec![(hr.clone(), lr.clone())]);
+    let mut group = c.benchmark_group("train_step_telemetry");
+    group.sample_size(10);
+    for name in ["null", "memory"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, &name| {
+            let recorder = match name {
+                "null" => Recorder::null(),
+                _ => Recorder::memory(1024).0,
+            };
+            let mut trainer = Trainer::new(
+                MeshfreeFlowNet::new(model_cfg(0.0)),
+                TrainConfig { lr: 1e-3, ..Default::default() },
+            )
+            .with_recorder(recorder);
+            let sampler = PatchSampler::new(&hr, &lr, trainer.model.cfg.patch);
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            bench.iter(|| {
+                let batch = make_batch(&sampler, 4, &mut rng);
+                black_box(trainer.step(&batch, corpus.params(0), corpus.stats))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Full-domain super-resolution of the LR dataset onto the HR grid.
 fn bench_super_resolve(c: &mut Criterion) {
     let (hr, lr) = data();
@@ -85,6 +117,6 @@ criterion_group! {
         .sample_size(10)
         .measurement_time(std::time::Duration::from_secs(5))
         .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_train_step, bench_super_resolve, bench_simulation
+    targets = bench_train_step, bench_train_step_telemetry, bench_super_resolve, bench_simulation
 }
 criterion_main!(pipeline);

@@ -25,18 +25,24 @@ fn main() {
                  [--duration S] [--ra RA] [--pr PR] [--seed S] [--ds-t F --ds-s F]";
     let parse = |argv: &[String], i: &mut usize, what: &str| -> String {
         *i += 1;
-        argv.get(*i).unwrap_or_else(|| {
-            eprintln!("error: {what} needs a value\n{usage}");
-            std::process::exit(2);
-        }).clone()
+        argv.get(*i)
+            .unwrap_or_else(|| {
+                eprintln!("error: {what} needs a value\n{usage}");
+                std::process::exit(2);
+            })
+            .clone()
     };
     while i < argv.len() {
         match argv[i].as_str() {
             "--out" => out = Some(PathBuf::from(parse(&argv, &mut i, "--out"))),
             "--nx" => cfg.nx = parse(&argv, &mut i, "--nx").parse().expect("--nx integer"),
             "--nz" => cfg.nz = parse(&argv, &mut i, "--nz").parse().expect("--nz integer"),
-            "--frames" => frames = parse(&argv, &mut i, "--frames").parse().expect("--frames integer"),
-            "--duration" => duration = parse(&argv, &mut i, "--duration").parse().expect("--duration float"),
+            "--frames" => {
+                frames = parse(&argv, &mut i, "--frames").parse().expect("--frames integer")
+            }
+            "--duration" => {
+                duration = parse(&argv, &mut i, "--duration").parse().expect("--duration float")
+            }
             "--ra" => cfg.ra = parse(&argv, &mut i, "--ra").parse().expect("--ra float"),
             "--pr" => cfg.pr = parse(&argv, &mut i, "--pr").parse().expect("--pr float"),
             "--seed" => cfg.seed = parse(&argv, &mut i, "--seed").parse().expect("--seed integer"),

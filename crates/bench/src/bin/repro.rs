@@ -22,12 +22,16 @@
 //!   --epochs N      override training epochs
 //!   --out DIR       output directory for fig6 panels / JSON records
 //!                   (default: results/)
+//!
+//! Every run also appends per-experiment wall-clock spans to
+//! `<out>/repro_telemetry.jsonl` (one JSON object per line).
 //! ```
 
 use mfn_bench::{
     ablation_activation, ablation_constraints, ablation_fd_step, fig6, fig7, print_rows, table1,
     table2, table3, table4, ExperimentScale, TABLE1_GAMMAS,
 };
+use mfn_telemetry::Recorder;
 use std::path::PathBuf;
 
 struct Args {
@@ -84,7 +88,8 @@ fn die(msg: &str) -> ! {
     std::process::exit(2)
 }
 
-const USAGE: &str = "usage: repro <table1|table2|table3|table4|fig6|fig7a|fig7b|fig7c|ablation|all> \
+const USAGE: &str =
+    "usage: repro <table1|table2|table3|table4|fig6|fig7a|fig7b|fig7c|ablation|all> \
                      [--quick|--paper-scale] [--epochs N] [--gammas A,B,...] [--out DIR]";
 
 fn run_fig7(args: &Args, which: char) {
@@ -157,6 +162,21 @@ fn print_fig7(points: &[mfn_bench::ScalingPoint], model: &mfn_dist::ScalingModel
 fn main() {
     let args = parse_args();
     let t0 = std::time::Instant::now();
+    // Per-experiment spans land next to the experiment outputs; telemetry
+    // failure (e.g. read-only out dir) must not block the run itself.
+    std::fs::create_dir_all(&args.out).ok();
+    let recorder = Recorder::jsonl(&args.out.join("repro_telemetry.jsonl"))
+        .unwrap_or_else(|_| Recorder::null());
+    let _experiment_span = recorder.span(match args.experiment.as_str() {
+        "table1" => "table1",
+        "table2" => "table2",
+        "table3" => "table3",
+        "table4" => "table4",
+        "fig6" => "fig6",
+        "ablation" => "ablation",
+        "fig7" | "fig7a" | "fig7b" | "fig7c" => "fig7",
+        _ => "all",
+    });
     match args.experiment.as_str() {
         "table1" => {
             let rows = table1(&args.scale, &args.gammas);
@@ -171,11 +191,7 @@ fn main() {
             print_rows("Table 3: unseen initial conditions", &rows);
         }
         "table4" => {
-            let rows = table4(
-                &args.scale,
-                &[2e5, 8e5, 3e6],
-                &[1e4, 1e5, 5e6, 1e7],
-            );
+            let rows = table4(&args.scale, &[2e5, 8e5, 3e6], &[1e4, 1e5, 5e6, 1e7]);
             print_rows("Table 4: Rayleigh-number generalization", &rows);
         }
         "fig6" => {
@@ -207,10 +223,7 @@ fn main() {
             print_rows("Table 1", &table1(&args.scale, &TABLE1_GAMMAS));
             print_rows("Table 2", &table2(&args.scale));
             print_rows("Table 3", &table3(&args.scale, 3));
-            print_rows(
-                "Table 4",
-                &table4(&args.scale, &[2e5, 8e5, 3e6], &[1e4, 1e5, 5e6, 1e7]),
-            );
+            print_rows("Table 4", &table4(&args.scale, &[2e5, 8e5, 3e6], &[1e4, 1e5, 5e6, 1e7]));
             fig6(&args.scale, &args.out.join("fig6")).expect("fig6 output");
             run_fig7(&args, 'a');
             run_fig7(&args, 'b');
@@ -218,5 +231,8 @@ fn main() {
         }
         other => die(&format!("unknown experiment {other}")),
     }
+    drop(_experiment_span);
+    recorder.gauge("total_seconds", t0.elapsed().as_secs_f64());
+    recorder.flush();
     eprintln!("\n[{}] completed in {:.0}s", args.experiment, t0.elapsed().as_secs_f64());
 }

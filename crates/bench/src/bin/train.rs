@@ -4,17 +4,21 @@
 //! ```text
 //! usage: train --hr PATH --lr PATH --ckpt PATH [--epochs N] [--gamma G]
 //!              [--rate LR] [--batch N] [--workers N] [--valid-frac F]
+//!              [--telemetry PATH]
 //! ```
 //!
 //! With `--workers > 1`, trains data-parallel with the ring all-reduce.
 //! With `--valid-frac`, holds out the trailing fraction of frames and
 //! reports the physics-metric scoreboard on the held-out range.
+//! With `--telemetry`, appends one JSON object per gradient step (losses,
+//! gradient norms, per-phase timings) to the given `.jsonl` file.
 
 use mfn_core::{
     evaluate_pair, table_header, Corpus, MeshfreeFlowNet, MfnConfig, TrainConfig, Trainer,
 };
 use mfn_data::{downsample, load_dataset, PatchSpec};
-use mfn_dist::train_data_parallel;
+use mfn_dist::train_data_parallel_recorded;
+use mfn_telemetry::Recorder;
 use std::path::PathBuf;
 
 struct Args {
@@ -25,12 +29,14 @@ struct Args {
     gamma: f32,
     workers: usize,
     valid_frac: f64,
+    telemetry: Option<PathBuf>,
 }
 
 fn parse() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: train --hr PATH [--lr PATH] --ckpt PATH [--epochs N] \
-                 [--gamma G] [--rate LR] [--batch N] [--workers N] [--valid-frac F]";
+                 [--gamma G] [--rate LR] [--batch N] [--workers N] [--valid-frac F] \
+                 [--telemetry PATH]";
     let mut hr = None;
     let mut lr = None;
     let mut ckpt = None;
@@ -45,13 +51,16 @@ fn parse() -> Args {
     let mut gamma = MfnConfig::GAMMA_STAR;
     let mut workers = 1usize;
     let mut valid_frac = 0.0f64;
+    let mut telemetry = None;
     let mut i = 0;
     let next = |argv: &[String], i: &mut usize, what: &str| -> String {
         *i += 1;
-        argv.get(*i).unwrap_or_else(|| {
-            eprintln!("error: {what} needs a value\n{usage}");
-            std::process::exit(2);
-        }).clone()
+        argv.get(*i)
+            .unwrap_or_else(|| {
+                eprintln!("error: {what} needs a value\n{usage}");
+                std::process::exit(2);
+            })
+            .clone()
     };
     while i < argv.len() {
         match argv[i].as_str() {
@@ -66,6 +75,7 @@ fn parse() -> Args {
             "--valid-frac" => {
                 valid_frac = next(&argv, &mut i, "--valid-frac").parse().expect("float")
             }
+            "--telemetry" => telemetry = Some(PathBuf::from(next(&argv, &mut i, "--telemetry"))),
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);
@@ -89,6 +99,7 @@ fn parse() -> Args {
         gamma,
         workers,
         valid_frac,
+        telemetry,
     }
 }
 
@@ -120,20 +131,32 @@ fn main() {
     mcfg.patch = patch;
     mcfg.gamma = args.gamma;
     let corpus = Corpus::new(vec![(hr.clone(), lr.clone())]);
+    let recorder = match &args.telemetry {
+        Some(path) => {
+            let r = Recorder::jsonl(path).expect("create telemetry file");
+            eprintln!("telemetry -> {}", path.display());
+            r
+        }
+        None => Recorder::null(),
+    };
 
     let model = if args.workers > 1 {
         eprintln!("data-parallel training on {} workers ...", args.workers);
-        let r = train_data_parallel(&corpus, &mcfg, &args.tc, args.workers);
+        let r =
+            train_data_parallel_recorded(&corpus, &mcfg, &args.tc, args.workers, recorder.clone());
         eprintln!(
             "throughput {:.1} samples/s, final loss {:.4}",
             r.throughput,
             r.epoch_losses.last().copied().unwrap_or(f32::NAN)
         );
+        let total_wait: f64 = r.allreduce_wait.iter().sum();
+        eprintln!("all-reduce wait: {:.3}s total across {} ranks", total_wait, r.workers);
         let mut m = MeshfreeFlowNet::new(mcfg);
         m.store.unflatten_into(&r.final_params);
         m
     } else {
-        let mut trainer = Trainer::new(MeshfreeFlowNet::new(mcfg), args.tc);
+        let mut trainer =
+            Trainer::new(MeshfreeFlowNet::new(mcfg), args.tc).with_recorder(recorder.clone());
         let recs = trainer.train(&corpus);
         for r in recs.iter().step_by((recs.len() / 8).max(1)) {
             eprintln!(
@@ -143,6 +166,7 @@ fn main() {
         }
         trainer.model
     };
+    recorder.flush();
     let mut model = model;
     model.save(&args.ckpt).expect("save checkpoint");
     eprintln!("checkpoint written to {}", args.ckpt.display());

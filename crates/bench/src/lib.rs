@@ -13,8 +13,8 @@
 //! EXPERIMENTS.md.
 
 use mfn_core::{
-    baseline_trilinear, evaluate_pair, table_header, BaselineII, BaselineTrainer, Corpus,
-    EvalRow, MeshfreeFlowNet, MfnConfig, TrainConfig, Trainer,
+    baseline_trilinear, evaluate_pair, table_header, BaselineII, BaselineTrainer, Corpus, EvalRow,
+    MeshfreeFlowNet, MfnConfig, TrainConfig, Trainer,
 };
 use mfn_data::{downsample, Dataset, PatchSpec};
 use mfn_dist::{train_data_parallel, DistRunResult, ScalingModel};
@@ -152,14 +152,8 @@ impl ExperimentScale {
 
     /// Simulates one HR/LR dataset pair at this scale.
     pub fn build_pair(&self, ra: f64, seed: u64) -> (Dataset, Dataset) {
-        let cfg = RbcConfig {
-            nx: self.nx,
-            nz: self.nz,
-            ra,
-            dt_max: 2e-3,
-            seed,
-            ..Default::default()
-        };
+        let cfg =
+            RbcConfig { nx: self.nx, nz: self.nz, ra, dt_max: 2e-3, seed, ..Default::default() };
         let sim = simulate(&cfg, self.duration, self.frames);
         let hr = Dataset::from_simulation(&sim);
         let lr = downsample(&hr, self.ds_t, self.ds_s);
@@ -227,13 +221,7 @@ pub fn table2(scale: &ExperimentScale) -> Vec<EvalRow> {
     eprintln!("[table2] MeshfreeFlowNet gamma = 0");
     rows.push(train_and_score(scale, &corpus, &pair, 0.0, "MFN, gamma=0"));
     eprintln!("[table2] MeshfreeFlowNet gamma = gamma*");
-    rows.push(train_and_score(
-        scale,
-        &corpus,
-        &pair,
-        MfnConfig::GAMMA_STAR,
-        "MFN, gamma=g*",
-    ));
+    rows.push(train_and_score(scale, &corpus, &pair, MfnConfig::GAMMA_STAR, "MFN, gamma=g*"));
     rows
 }
 
@@ -246,8 +234,7 @@ pub fn table3(scale: &ExperimentScale, n_many: usize) -> Vec<EvalRow> {
     let one = Corpus::new(vec![scale.build_pair(1e6, 1)]);
     rows.push(train_and_score(scale, &one, &test, MfnConfig::GAMMA_STAR, "1 dataset"));
     eprintln!("[table3] training on {n_many} datasets ...");
-    let many =
-        Corpus::new((1..=n_many as u64).map(|s| scale.build_pair(1e6, s)).collect());
+    let many = Corpus::new((1..=n_many as u64).map(|s| scale.build_pair(1e6, s)).collect());
     rows.push(train_and_score(
         scale,
         &many,
@@ -263,11 +250,7 @@ pub fn table3(scale: &ExperimentScale, n_many: usize) -> Vec<EvalRow> {
 pub fn table4(scale: &ExperimentScale, train_ras: &[f64], test_ras: &[f64]) -> Vec<EvalRow> {
     eprintln!("[table4] training on Ra = {train_ras:?} ...");
     let corpus = Corpus::new(
-        train_ras
-            .iter()
-            .enumerate()
-            .map(|(i, &ra)| scale.build_pair(ra, 10 + i as u64))
-            .collect(),
+        train_ras.iter().enumerate().map(|(i, &ra)| scale.build_pair(ra, 10 + i as u64)).collect(),
     );
     let mut trainer = Trainer::new(
         MeshfreeFlowNet::new(scale.model_config(MfnConfig::GAMMA_STAR)),
@@ -353,14 +336,9 @@ pub fn fig7(scale: &ExperimentScale, max_workers: usize) -> (Vec<ScalingPoint>, 
             epoch_wall: r.epoch_wall,
         });
     }
-    let measured: Vec<(usize, f64)> =
-        points.iter().map(|p| (p.workers, p.throughput)).collect();
-    let model = ScalingModel::calibrate(
-        &measured,
-        (grad_elems * 4) as f64,
-        tc.batch_size as f64,
-        0.8,
-    );
+    let measured: Vec<(usize, f64)> = points.iter().map(|p| (p.workers, p.throughput)).collect();
+    let model =
+        ScalingModel::calibrate(&measured, (grad_elems * 4) as f64, tc.batch_size as f64, 0.8);
     (points, model)
 }
 

@@ -142,8 +142,8 @@ impl BaselineII {
                                 for dx in 0..px {
                                     let i = (x0 * fx + dx).min(hr_meta.nx - 1);
                                     let v = yv.at(&[0, c, dt, dz, dx]);
-                                    out[((f * CHANNELS + c) * hr_meta.nz + j) * hr_meta.nx
-                                        + i] = v * stats.std[c] + stats.mean[c];
+                                    out[((f * CHANNELS + c) * hr_meta.nz + j) * hr_meta.nx + i] =
+                                        v * stats.std[c] + stats.mean[c];
                                 }
                             }
                         }

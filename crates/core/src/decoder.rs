@@ -70,8 +70,7 @@ pub fn plan_queries(
         let (ix, fx) = locate(local[2], nx);
         for v in 0..VERTICES {
             let (dt, dz, dx) = ((v >> 2) & 1, (v >> 1) & 1, v & 1);
-            let flat = b as u32 * vol
-                + (((it + dt) * nz + (iz + dz)) * nx + (ix + dx)) as u32;
+            let flat = b as u32 * vol + (((it + dt) * nz + (iz + dz)) * nx + (ix + dx)) as u32;
             plan.index.push(flat);
             plan.rel.push(ft - dt as f32);
             plan.rel.push(fz - dz as f32);
@@ -110,17 +109,10 @@ impl ContinuousDecoder {
 
     /// Tape path: decodes a plan against a latent grid node
     /// `latent: [N, n_c, nt, nz, nx]`, returning predictions `[Q, out]`.
-    pub fn decode(
-        &self,
-        g: &mut Graph,
-        store: &ParamStore,
-        latent: Var,
-        plan: &QueryPlan,
-    ) -> Var {
+    pub fn decode(&self, g: &mut Graph, store: &ParamStore, latent: Var, plan: &QueryPlan) -> Var {
         assert!(!plan.is_empty(), "empty query plan");
         let rows = g.gather_vertices(latent, plan.index.clone());
-        let coords =
-            g.constant(Tensor::from_vec(plan.rel.clone(), &[plan.index.len(), 3]));
+        let coords = g.constant(Tensor::from_vec(plan.rel.clone(), &[plan.index.len(), 3]));
         let inp = g.concat(&[coords, rows], 1);
         let out = self.mlp.forward(g, store, inp);
         g.vertex_blend(out, plan.weights.clone(), VERTICES)
@@ -238,13 +230,12 @@ mod tests {
         // A query exactly on vertex (1,2,3) of a [4,8,8] grid.
         let local = [1.0 / 3.0, 2.0 / 7.0, 3.0 / 7.0];
         let plan = plan_queries([4, 8, 8], [(0usize, local)]);
-        let hot: Vec<usize> =
-            (0..8).filter(|&v| plan.weights[v].abs() > 1e-5).collect();
+        let hot: Vec<usize> = (0..8).filter(|&v| plan.weights[v].abs() > 1e-5).collect();
         assert_eq!(hot.len(), 1);
         let v = hot[0];
         assert!((plan.weights[v] - 1.0).abs() < 1e-5);
         // That vertex must be (1,2,3) flattened on [4,8,8].
-        assert_eq!(plan.index[v], ((1 * 8 + 2) * 8 + 3) as u32);
+        assert_eq!(plan.index[v], ((8 + 2) * 8 + 3) as u32);
         // Its relative coordinates are 0.
         for a in 0..3 {
             assert!(plan.rel[v * 3 + a].abs() < 1e-5);
@@ -279,12 +270,12 @@ mod tests {
         let l = g.constant(latent.clone());
         let y = dec.decode(&mut g, &store, l, &plan);
         let jets = dec.decode_jet(&store, &latent, 0, local, [1.0, 1.0, 1.0]);
-        for o in 0..4 {
+        for (o, jet) in jets.iter().enumerate() {
             assert!(
-                (g.value(y).data()[o] - jets[o].v).abs() < 1e-4,
+                (g.value(y).data()[o] - jet.v).abs() < 1e-4,
                 "channel {o}: tape {} jet {}",
                 g.value(y).data()[o],
-                jets[o].v
+                jet.v
             );
         }
     }

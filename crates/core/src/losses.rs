@@ -32,12 +32,8 @@ pub struct ConstraintSet {
 
 impl ConstraintSet {
     /// All four equations (the paper's configuration).
-    pub const ALL: ConstraintSet = ConstraintSet {
-        continuity: true,
-        temperature: true,
-        momentum_x: true,
-        momentum_z: true,
-    };
+    pub const ALL: ConstraintSet =
+        ConstraintSet { continuity: true, temperature: true, momentum_x: true, momentum_z: true };
 
     /// Only the divergence-free constraint (the Jiang et al. 2020 spectral-
     /// projection setting the paper cites as related work).
@@ -109,10 +105,7 @@ impl RbcParamsF32 {
 pub fn prediction_plan(grid_dims: [usize; 3], samples: &[Sample]) -> QueryPlan {
     plan_queries(
         grid_dims,
-        samples
-            .iter()
-            .enumerate()
-            .flat_map(|(b, s)| s.query_local.iter().map(move |&q| (b, q))),
+        samples.iter().enumerate().flat_map(|(b, s)| s.query_local.iter().map(move |&q| (b, q))),
     )
 }
 
@@ -161,6 +154,7 @@ const STENCIL: [[f32; 3]; 7] = [
 /// for any batch from one [`mfn_data::PatchSampler`]). `h_local` is the
 /// stencil step in local coordinates; query centers are pulled into
 /// `[h, 1-h]` so the stencil stays inside the patch.
+#[allow(clippy::too_many_arguments)]
 pub fn equation_loss(
     g: &mut Graph,
     store: &ParamStore,
@@ -177,11 +171,7 @@ pub fn equation_loss(
     assert!(constraints.count() > 0, "equation loss needs at least one constraint");
     let extent = samples.first().expect("non-empty batch").extent_phys;
     for s in samples {
-        let same = s
-            .extent_phys
-            .iter()
-            .zip(&extent)
-            .all(|(a, b)| (a - b).abs() < 1e-9);
+        let same = s.extent_phys.iter().zip(&extent).all(|(a, b)| (a - b).abs() < 1e-9);
         assert!(same, "equation loss requires a uniform patch extent per batch");
     }
     // Physical step sizes per axis.
@@ -197,11 +187,14 @@ pub fn equation_loss(
         .enumerate()
         .flat_map(|(b, s)| {
             s.query_local.iter().map(move |q| {
-                (b, [
-                    q[0].clamp(h_local, 1.0 - h_local),
-                    q[1].clamp(h_local, 1.0 - h_local),
-                    q[2].clamp(h_local, 1.0 - h_local),
-                ])
+                (
+                    b,
+                    [
+                        q[0].clamp(h_local, 1.0 - h_local),
+                        q[1].clamp(h_local, 1.0 - h_local),
+                        q[2].clamp(h_local, 1.0 - h_local),
+                    ],
+                )
             })
         })
         .collect();
@@ -213,7 +206,8 @@ pub fn equation_loss(
         let plan = plan_queries(grid_dims, pts);
         comp.push(decoder.decode(g, store, latent, &plan));
     }
-    let [v0, tp, tm, zp, zm, xp, xm] = [comp[0], comp[1], comp[2], comp[3], comp[4], comp[5], comp[6]];
+    let [v0, tp, tm, zp, zm, xp, xm] =
+        [comp[0], comp[1], comp[2], comp[3], comp[4], comp[5], comp[6]];
 
     // First and second physical derivatives per axis (all channels at once).
     let d1 = |g: &mut Graph, p: Var, m: Var, h: f32| {
@@ -303,11 +297,7 @@ pub fn equation_loss(
         let diff = g.scale(lap, params.r_star);
         residual_cols.push(g.sub(s3, diff));
     }
-    let all = if residual_cols.len() == 1 {
-        residual_cols[0]
-    } else {
-        g.concat(&residual_cols, 1)
-    };
+    let all = if residual_cols.len() == 1 { residual_cols[0] } else { g.concat(&residual_cols, 1) };
     let a = g.abs(all);
     g.mean(a)
 }
@@ -352,8 +342,7 @@ mod tests {
     fn setup() -> (ParamStore, ContinuousDecoder) {
         let mut store = ParamStore::new();
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let mlp =
-            Mlp::new(&mut store, "d", &[3 + 5, 16, 8, 4], Activation::Softplus, &mut rng);
+        let mlp = Mlp::new(&mut store, "d", &[3 + 5, 16, 8, 4], Activation::Softplus, &mut rng);
         (store, ContinuousDecoder::new(mlp, 5))
     }
 
@@ -374,8 +363,8 @@ mod tests {
         let pred = dec.decode(&mut g, &store, l, &plan);
         let pv = g.value(pred).clone();
         for (q, t) in s.query_values.iter_mut().enumerate() {
-            for c in 0..4 {
-                t[c] = pv.data()[q * 4 + c];
+            for (c, tc) in t.iter_mut().enumerate() {
+                *tc = pv.data()[q * 4 + c];
             }
         }
         let mut g = Graph::new();
@@ -436,8 +425,8 @@ mod tests {
         let mut s = fake_sample(6, 18);
         let h = 0.02f32;
         for q in s.query_local.iter_mut() {
-            for a in 0..3 {
-                q[a] = q[a].clamp(h, 1.0 - h);
+            for qa in q.iter_mut() {
+                *qa = qa.clamp(h, 1.0 - h);
             }
         }
         let params = RbcParamsF32::from_ra_pr(1e5, 1.0);
@@ -484,10 +473,7 @@ mod tests {
                 w_xx: jets[3].dd[2] as f64,
                 w_zz: jets[3].dd[1] as f64,
             };
-            let r = mfn_physics::residuals(
-                mfn_physics::RbcParams::from_ra_pr(1e5, 1.0),
-                &st,
-            );
+            let r = mfn_physics::residuals(mfn_physics::RbcParams::from_ra_pr(1e5, 1.0), &st);
             acc += r.iter().map(|v| v.abs()).sum::<f64>();
         }
         let jet_loss = acc / (s.query_local.len() * 4) as f64;

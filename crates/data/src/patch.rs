@@ -164,7 +164,8 @@ impl<'a> PatchSampler<'a> {
         let s = self.spec;
         let axis = |len: usize, p: usize| -> Vec<usize> {
             let stride = (p - 1).max(1);
-            let mut v: Vec<usize> = (0..).map(|k| k * stride).take_while(|&o| o + p <= len).collect();
+            let mut v: Vec<usize> =
+                (0..).map(|k| k * stride).take_while(|&o| o + p <= len).collect();
             let last = len - p;
             if v.last() != Some(&last) {
                 v.push(last);
@@ -288,9 +289,9 @@ mod tests {
         let s = sampler.patch_at([0, 0, 0]);
         // Vertex (1, 2, 3) in local coords:
         let local = [1.0 / 3.0, 2.0 / 5.0, 3.0 / 7.0];
-        let t = s.origin_phys[0] + local[0] as f64 * s.extent_phys[0];
-        let z = s.origin_phys[1] + local[1] as f64 * s.extent_phys[1];
-        let x = s.origin_phys[2] + local[2] as f64 * s.extent_phys[2];
+        let t = s.origin_phys[0] + local[0] * s.extent_phys[0];
+        let z = s.origin_phys[1] + local[1] * s.extent_phys[1];
+        let x = s.origin_phys[2] + local[2] * s.extent_phys[2];
         let gt = sampler.hr_value(t, z, x);
         let patch_v = s.lr_patch.at(&[CH_T, 1, 2, 3]);
         assert!((gt[CH_T] - patch_v).abs() < 1e-4, "{} vs {patch_v}", gt[CH_T]);
@@ -308,9 +309,12 @@ mod tests {
             for z in 0..lr.meta.nz {
                 for x in 0..lr.meta.nx {
                     let covered = origins.iter().any(|o| {
-                        t >= o[0] && t < o[0] + s.nt
-                            && z >= o[1] && z < o[1] + s.nz
-                            && x >= o[2] && x < o[2] + s.nx
+                        t >= o[0]
+                            && t < o[0] + s.nt
+                            && z >= o[1]
+                            && z < o[1] + s.nz
+                            && x >= o[2]
+                            && x < o[2] + s.nx
                     });
                     assert!(covered, "LR point ({t},{z},{x}) uncovered");
                 }

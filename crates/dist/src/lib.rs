@@ -13,4 +13,4 @@ pub mod trainer;
 
 pub use ring::{ring, RingHandle};
 pub use scaling::ScalingModel;
-pub use trainer::{train_data_parallel, DistRunResult};
+pub use trainer::{train_data_parallel, train_data_parallel_recorded, DistRunResult};

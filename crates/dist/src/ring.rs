@@ -33,8 +33,7 @@ pub fn ring(n: usize) -> Vec<RingHandle> {
     }
     // Worker i sends into channel i (read by worker i+1).
     let mut handles: Vec<RingHandle> = Vec::with_capacity(n);
-    let mut receivers: Vec<Option<Receiver<Vec<f32>>>> =
-        receivers.into_iter().map(Some).collect();
+    let mut receivers: Vec<Option<Receiver<Vec<f32>>>> = receivers.into_iter().map(Some).collect();
     for (rank, to_next) in senders.into_iter().enumerate() {
         let prev = (rank + n - 1) % n;
         let from_prev = receivers[prev].take().expect("each receiver taken once");
@@ -123,9 +122,8 @@ mod tests {
     fn run_all_reduce(n: usize, len: usize, seed: u64) {
         let handles = ring(n);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let inputs: Vec<Vec<f32>> = (0..n)
-            .map(|_| (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
-            .collect();
+        let inputs: Vec<Vec<f32>> =
+            (0..n).map(|_| (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
         let mut expect = vec![0.0f32; len];
         for inp in &inputs {
             for (e, v) in expect.iter_mut().zip(inp) {

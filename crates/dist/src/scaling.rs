@@ -58,25 +58,12 @@ impl ScalingModel {
     /// assumed overlap fraction). With only a 1-worker measurement the link
     /// is assumed fast enough for ~97% efficiency at 128 workers (the
     /// paper's observed figure).
-    pub fn calibrate(
-        measured: &[(usize, f64)],
-        grad_bytes: f64,
-        batch: f64,
-        overlap: f64,
-    ) -> Self {
+    pub fn calibrate(measured: &[(usize, f64)], grad_bytes: f64, batch: f64, overlap: f64) -> Self {
         assert!(!measured.is_empty(), "need at least the single-worker measurement");
-        let single = measured
-            .iter()
-            .find(|(n, _)| *n == 1)
-            .unwrap_or(&measured[0]);
+        let single = measured.iter().find(|(n, _)| *n == 1).unwrap_or(&measured[0]);
         let t_compute = batch * single.0 as f64 / single.1;
-        let mut model = ScalingModel {
-            t_compute,
-            grad_bytes,
-            bandwidth: f64::INFINITY,
-            overlap,
-            batch,
-        };
+        let mut model =
+            ScalingModel { t_compute, grad_bytes, bandwidth: f64::INFINITY, overlap, batch };
         let largest = measured.iter().max_by_key(|(n, _)| *n).expect("non-empty");
         if largest.0 > 1 {
             // Solve step_time(n) = n*batch/throughput for the bandwidth.
@@ -85,8 +72,7 @@ impl ScalingModel {
             let exposed = step - t_compute;
             let wire = exposed + overlap * t_compute;
             if wire > 0.0 {
-                model.bandwidth =
-                    2.0 * (n as f64 - 1.0) / n as f64 * grad_bytes / wire;
+                model.bandwidth = 2.0 * (n as f64 - 1.0) / n as f64 * grad_bytes / wire;
             }
         } else {
             // No multi-worker measurement: pick a bandwidth giving the
@@ -106,13 +92,7 @@ mod tests {
     use super::*;
 
     fn model() -> ScalingModel {
-        ScalingModel {
-            t_compute: 0.1,
-            grad_bytes: 4e6,
-            bandwidth: 1e9,
-            overlap: 0.8,
-            batch: 8.0,
-        }
+        ScalingModel { t_compute: 0.1, grad_bytes: 4e6, bandwidth: 1e9, overlap: 0.8, batch: 8.0 }
     }
 
     #[test]
@@ -158,10 +138,7 @@ mod tests {
         let m = model();
         let ideal_1 = m.throughput(1);
         for n in [2usize, 8, 32, 128, 512] {
-            assert!(
-                m.throughput(n) <= n as f64 * ideal_1 + 1e-9,
-                "superlinear at {n}"
-            );
+            assert!(m.throughput(n) <= n as f64 * ideal_1 + 1e-9, "superlinear at {n}");
         }
     }
 

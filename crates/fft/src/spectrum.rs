@@ -149,8 +149,8 @@ mod tests {
         // For energy E0 entirely at wavenumber k0: L = pi/(2 urms^2) * E0/k0.
         let (nz, nx) = (1, 64);
         let mut u = vec![0.0; nz * nx];
-        for x in 0..nx {
-            u[x] = (2.0 * std::f64::consts::PI * 4.0 * x as f64 / nx as f64).sin();
+        for (x, uv) in u.iter_mut().enumerate() {
+            *uv = (2.0 * std::f64::consts::PI * 4.0 * x as f64 / nx as f64).sin();
         }
         let lx = 2.0;
         let spec = energy_spectrum_x(&[&u], nz, nx, lx);

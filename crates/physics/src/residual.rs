@@ -9,7 +9,7 @@
 //! 3. the grid-based residual diagnostic that cross-checks the CFD solver
 //!    itself (see [`grid_residuals`]).
 
-use mfn_solver::{ddx, ddz, d2dx2, d2dz2, Simulation};
+use mfn_solver::{d2dx2, d2dz2, ddx, ddz, Simulation};
 
 /// Dimensionless diffusivities of the Rayleigh–Bénard system.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,8 +86,7 @@ pub fn residuals(params: RbcParams, s: &PointState) -> [f64; 4] {
     let r_c = s.u_x + s.w_z;
     let r_t = s.t_t + s.u * s.t_x + s.w * s.t_z - params.p_star * (s.t_xx + s.t_zz);
     let r_u = s.u_t + s.u * s.u_x + s.w * s.u_z + s.p_x - params.r_star * (s.u_xx + s.u_zz);
-    let r_w =
-        s.w_t + s.u * s.w_x + s.w * s.w_z + s.p_z - s.t - params.r_star * (s.w_xx + s.w_zz);
+    let r_w = s.w_t + s.u * s.w_x + s.w * s.w_z + s.p_z - s.t - params.r_star * (s.w_xx + s.w_zz);
     [r_c, r_t, r_u, r_w]
 }
 

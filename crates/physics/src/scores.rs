@@ -13,19 +13,15 @@ pub fn nmae(gt: &[f64], pred: &[f64]) -> f64 {
     if gt.is_empty() {
         return 0.0;
     }
-    let mae =
-        gt.iter().zip(pred).map(|(a, b)| (a - b).abs()).sum::<f64>() / gt.len() as f64;
+    let mae = gt.iter().zip(pred).map(|(a, b)| (a - b).abs()).sum::<f64>() / gt.len() as f64;
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
     for &v in gt {
         lo = lo.min(v);
         hi = hi.max(v);
     }
     let range = hi - lo;
-    let denom = if range > 1e-12 {
-        range
-    } else {
-        gt.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1.0)
-    };
+    let denom =
+        if range > 1e-12 { range } else { gt.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1.0) };
     mae / denom
 }
 

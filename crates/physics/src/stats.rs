@@ -10,8 +10,17 @@ use mfn_fft::energy_spectrum_x;
 use mfn_solver::{ddx, ddz, Domain};
 
 /// The nine named flow metrics of Table 1 (left-to-right order).
-pub const METRIC_NAMES: [&str; 9] =
-    ["Etot", "urms", "dissipation", "taylor_microscale", "re_lambda", "kolmogorov_time", "kolmogorov_length", "integral_scale", "eddy_turnover"];
+pub const METRIC_NAMES: [&str; 9] = [
+    "Etot",
+    "urms",
+    "dissipation",
+    "taylor_microscale",
+    "re_lambda",
+    "kolmogorov_time",
+    "kolmogorov_length",
+    "integral_scale",
+    "eddy_turnover",
+];
 
 /// All nine turbulence statistics for one snapshot.
 #[derive(Debug, Clone, Copy, PartialEq)]

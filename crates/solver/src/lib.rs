@@ -15,6 +15,8 @@ pub mod ops;
 pub mod rbc;
 pub mod tridiag;
 
-pub use ops::{ddx, ddz, d2dx2, d2dz2, dealias_x, laplacian, Domain};
-pub use rbc::{simulate, RbcConfig, RbcSolver, Simulation, Snapshot, T_BOTTOM, T_TOP};
+pub use ops::{d2dx2, d2dz2, ddx, ddz, dealias_x, laplacian, Domain};
+pub use rbc::{
+    simulate, simulate_recorded, RbcConfig, RbcSolver, Simulation, Snapshot, T_BOTTOM, T_TOP,
+};
 pub use tridiag::{solve_complex, Tridiag};

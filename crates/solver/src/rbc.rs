@@ -20,9 +20,11 @@
 use crate::ops::{self, ddx, ddz, laplacian, Domain};
 use crate::tridiag::{solve_complex, Tridiag};
 use mfn_fft::Complex;
+use mfn_telemetry::{Recorder, SolverStepMetrics};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Physical and numerical configuration of a Rayleigh–Bénard run.
 #[derive(Debug, Clone, Copy)]
@@ -147,6 +149,8 @@ pub struct RbcSolver {
     dt_prev: f64,
     /// Total steps taken.
     pub steps: u64,
+    /// Telemetry destination (disabled by default).
+    recorder: Recorder,
 }
 
 /// Wall temperatures: hot bottom `T=1`, cold top `T=0` (normalized ΔT = 1).
@@ -182,7 +186,13 @@ impl RbcSolver {
             n_prev: None,
             dt_prev: 0.0,
             steps: 0,
+            recorder: Recorder::null(),
         }
+    }
+
+    /// Routes per-timestep metrics (`SolverStepMetrics`) to `recorder`.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The configuration in use.
@@ -219,9 +229,9 @@ impl RbcSolver {
         // modified pressure exactly, which keeps the discrete projection from
         // having to cancel a large irrotational forcing every step.
         let mut tbar = vec![0.0f64; d.nz];
-        for j in 0..d.nz {
+        for (j, tb) in tbar.iter_mut().enumerate() {
             let row = &self.temp[j * d.nx..(j + 1) * d.nx];
-            tbar[j] = row.iter().sum::<f64>() / d.nx as f64;
+            *tb = row.iter().sum::<f64>() / d.nx as f64;
         }
         let mut nu = vec![0.0f64; n];
         let mut nw = vec![0.0f64; n];
@@ -331,17 +341,17 @@ impl RbcSolver {
         let d = &self.domain;
         let dz = d.dz();
         let mut tbar = vec![0.0f64; d.nz];
-        for j in 0..d.nz {
+        for (j, tb) in tbar.iter_mut().enumerate() {
             let row = &self.temp[j * d.nx..(j + 1) * d.nx];
-            tbar[j] = row.iter().sum::<f64>() / d.nx as f64;
+            *tb = row.iter().sum::<f64>() / d.nx as f64;
         }
         let mut hydro = vec![0.0f64; d.nz];
         for j in 1..d.nz {
             hydro[j] = hydro[j - 1] + 0.5 * (tbar[j] + tbar[j - 1]) * dz;
         }
-        for j in 0..d.nz {
-            for i in 0..d.nx {
-                self.p[j * d.nx + i] += hydro[j];
+        for (j, &h) in hydro.iter().enumerate() {
+            for v in &mut self.p[j * d.nx..(j + 1) * d.nx] {
+                *v += h;
             }
         }
     }
@@ -396,6 +406,10 @@ impl RbcSolver {
     /// Advances one step of size `dt`.
     pub fn step(&mut self, dt: f64) {
         assert!(dt > 0.0, "dt must be positive");
+        // When telemetry is on, sample the CFL limit before the state
+        // advances (that is the limit this `dt` was chosen against).
+        let cfl_dt = if self.recorder.is_enabled() { self.cfl_dt() } else { dt };
+        let started = Instant::now();
         let d = self.domain;
         let n = d.n();
         let nl = self.nonlinear();
@@ -441,6 +455,13 @@ impl RbcSolver {
         self.dt_prev = dt;
         self.t += dt;
         self.steps += 1;
+        self.recorder.solver_step(SolverStepMetrics {
+            step: self.steps,
+            time: self.t,
+            dt,
+            cfl_dt,
+            seconds: started.elapsed().as_secs_f64(),
+        });
     }
 
     /// Advances with CFL-adaptive steps until exactly `t_target`.
@@ -454,13 +475,7 @@ impl RbcSolver {
     /// Volume-averaged kinetic energy `½⟨u² + w²⟩`.
     pub fn kinetic_energy(&self) -> f64 {
         let n = self.domain.n() as f64;
-        0.5 * self
-            .u
-            .iter()
-            .zip(&self.w)
-            .map(|(&u, &w)| u * u + w * w)
-            .sum::<f64>()
-            / n
+        0.5 * self.u.iter().zip(&self.w).map(|(&u, &w)| u * u + w * w).sum::<f64>() / n
     }
 
     /// Volume-averaged Nusselt number `Nu = 1 + <w·T> / (κ ΔT/L)` — the
@@ -502,16 +517,35 @@ impl RbcSolver {
 /// Runs a full simulation, saving `n_frames` uniformly-spaced snapshots
 /// (including the initial condition at `t = 0`).
 pub fn simulate(cfg: &RbcConfig, duration: f64, n_frames: usize) -> Simulation {
+    simulate_recorded(cfg, duration, n_frames, Recorder::null())
+}
+
+/// [`simulate`] with telemetry: every solver timestep emits a
+/// `SolverStepMetrics` event (CFL limit, dt taken, wall seconds), each saved
+/// frame emits a `frame` span, and the final diagnostics (`nusselt`,
+/// `kinetic_energy`) land as gauges.
+pub fn simulate_recorded(
+    cfg: &RbcConfig,
+    duration: f64,
+    n_frames: usize,
+    recorder: Recorder,
+) -> Simulation {
     assert!(n_frames >= 2, "need at least two frames");
     assert!(duration > 0.0);
     let mut solver = RbcSolver::new(*cfg);
+    solver.set_recorder(recorder.clone());
     let mut frames = Vec::with_capacity(n_frames);
     frames.push(solver.snapshot());
     let frame_dt = duration / (n_frames - 1) as f64;
     for f in 1..n_frames {
+        let span = recorder.span("frame");
         solver.advance_to(f as f64 * frame_dt);
+        drop(span);
+        recorder.incr("frames", 1);
         frames.push(solver.snapshot());
     }
+    recorder.gauge("nusselt", solver.nusselt());
+    recorder.gauge("kinetic_energy", solver.kinetic_energy());
     Simulation { cfg: *cfg, domain: solver.domain, frames }
 }
 
@@ -520,14 +554,7 @@ mod tests {
     use super::*;
 
     fn quick_cfg() -> RbcConfig {
-        RbcConfig {
-            nx: 32,
-            nz: 17,
-            ra: 1e5,
-            dt_max: 2e-3,
-            noise_amp: 1e-2,
-            ..Default::default()
-        }
+        RbcConfig { nx: 32, nz: 17, ra: 1e5, dt_max: 2e-3, noise_amp: 1e-2, ..Default::default() }
     }
 
     #[test]
@@ -611,15 +638,52 @@ mod tests {
     }
 
     #[test]
+    fn simulate_recorded_emits_per_step_metrics() {
+        let cfg = quick_cfg();
+        let (recorder, sink) = Recorder::memory(8192);
+        let sim = simulate_recorded(&cfg, 0.05, 5, recorder);
+        assert_eq!(sim.frames.len(), 5);
+        let steps = sink.solver_steps();
+        assert!(!steps.is_empty(), "no solver steps recorded");
+        for (i, m) in steps.iter().enumerate() {
+            // `advance_to` always takes dt <= min(CFL limit, dt_max).
+            assert!(m.dt > 0.0 && m.dt <= m.cfl_dt + 1e-15, "step {i}: {m:?}");
+            assert!(m.dt <= cfg.dt_max + 1e-15, "step {i}: {m:?}");
+            assert!(m.seconds >= 0.0);
+            assert_eq!(m.step, i as u64 + 1);
+        }
+        // Times are strictly increasing and end at the requested duration.
+        assert!(steps.windows(2).all(|w| w[1].time > w[0].time));
+        assert!((steps.last().expect("steps").time - 0.05).abs() < 1e-9);
+        // One frame span + counter per saved frame (minus the initial one),
+        // plus the end-of-run diagnostics gauges.
+        assert_eq!(sink.counter_total("frames"), 4);
+        assert!(sink.span_total("frame") >= 0.0);
+        assert!(sink.gauge("nusselt").is_some());
+        assert!(sink.gauge("kinetic_energy").is_some());
+    }
+
+    #[test]
+    fn recorded_and_unrecorded_runs_are_identical() {
+        // Telemetry must not perturb the numerics.
+        let cfg = quick_cfg();
+        let plain = simulate(&cfg, 0.05, 3);
+        let (recorder, _sink) = Recorder::memory(8192);
+        let recorded = simulate_recorded(&cfg, 0.05, 3, recorder);
+        for (fa, fb) in plain.frames.iter().zip(&recorded.frames) {
+            assert_eq!(fa.temp, fb.temp);
+            assert_eq!(fa.u, fb.u);
+            assert_eq!(fa.w, fb.w);
+            assert_eq!(fa.p, fb.p);
+        }
+    }
+
+    #[test]
     fn different_seeds_give_different_flows() {
         let a = simulate(&RbcConfig { seed: 1, ..quick_cfg() }, 0.05, 2);
         let b = simulate(&RbcConfig { seed: 2, ..quick_cfg() }, 0.05, 2);
-        let diff: f64 = a.frames[1]
-            .temp
-            .iter()
-            .zip(&b.frames[1].temp)
-            .map(|(x, y)| (x - y).abs())
-            .sum();
+        let diff: f64 =
+            a.frames[1].temp.iter().zip(&b.frames[1].temp).map(|(x, y)| (x - y).abs()).sum();
         assert!(diff > 1e-6, "seeds produced identical fields");
     }
 

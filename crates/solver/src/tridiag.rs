@@ -165,8 +165,7 @@ mod tests {
             }
         }
         let pi = std::f64::consts::PI;
-        let rhs: Vec<f64> =
-            (1..=n).map(|i| pi * pi * (pi * i as f64 * h).sin()).collect();
+        let rhs: Vec<f64> = (1..=n).map(|i| pi * pi * (pi * i as f64 * h).sin()).collect();
         let u = t.solve(&rhs);
         for (i, &ui) in u.iter().enumerate() {
             let exact = (pi * (i as f64 + 1.0) * h).sin();
@@ -179,8 +178,9 @@ mod tests {
         let n = 33;
         let t = random_dd_system(n, 7);
         let mut rng = ChaCha8Rng::seed_from_u64(8);
-        let rhs: Vec<Complex> =
-            (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+        let rhs: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
         let x = solve_complex(&t, &rhs);
         let re = t.solve(&rhs.iter().map(|z| z.re).collect::<Vec<_>>());
         let im = t.solve(&rhs.iter().map(|z| z.im).collect::<Vec<_>>());

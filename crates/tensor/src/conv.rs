@@ -73,7 +73,8 @@ pub fn conv3d(input: &Tensor, weight: &Tensor) -> Tensor {
         let co = chunk % dims.cout;
         for ci in 0..dims.cin {
             let xin = &x[(n * dims.cin + ci) * vol..(n * dims.cin + ci + 1) * vol];
-            let wv = &wgt[((co * dims.cin + ci) * kd * kh * kw)..((co * dims.cin + ci + 1) * kd * kh * kw)];
+            let wv = &wgt
+                [((co * dims.cin + ci) * kd * kh * kw)..((co * dims.cin + ci + 1) * kd * kh * kw)];
             for zd in 0..kd {
                 for zh in 0..kh {
                     for zw in 0..kw {
@@ -125,7 +126,8 @@ pub fn conv3d_grad_input(grad_out: &Tensor, weight: &Tensor, dims: Conv3dDims) -
         let ci = chunk % dims.cin;
         for co in 0..dims.cout {
             let gout = &g[(n * dims.cout + co) * vol..(n * dims.cout + co + 1) * vol];
-            let wv = &wgt[((co * dims.cin + ci) * kd * kh * kw)..((co * dims.cin + ci + 1) * kd * kh * kw)];
+            let wv = &wgt
+                [((co * dims.cin + ci) * kd * kh * kw)..((co * dims.cin + ci + 1) * kd * kh * kw)];
             for zd in 0..kd {
                 for zh in 0..kh {
                     for zw in 0..kw {
@@ -241,8 +243,8 @@ pub fn conv3d_im2col(input: &Tensor, weight: &Tensor) -> Tensor {
         for d in 0..sd {
             for h in 0..sh {
                 for w in 0..sw {
-                    let row = &mut slab[((d * sh + h) * sw + w) * ksize
-                        ..((d * sh + h) * sw + w + 1) * ksize];
+                    let row = &mut slab
+                        [((d * sh + h) * sw + w) * ksize..((d * sh + h) * sw + w + 1) * ksize];
                     let mut col = 0;
                     for ci in 0..dims.cin {
                         let xin = &x[(n * dims.cin + ci) * vol..(n * dims.cin + ci + 1) * vol];
@@ -259,8 +261,7 @@ pub fn conv3d_im2col(input: &Tensor, weight: &Tensor) -> Tensor {
                                         && (ih as usize) < sh
                                         && (iw as usize) < sw
                                     {
-                                        xin[((id as usize) * sh + ih as usize) * sw
-                                            + iw as usize]
+                                        xin[((id as usize) * sh + ih as usize) * sw + iw as usize]
                                     } else {
                                         0.0
                                     };
@@ -278,7 +279,7 @@ pub fn conv3d_im2col(input: &Tensor, weight: &Tensor) -> Tensor {
     let cols_t = Tensor::from_vec(cols, &[dims.n * vol, ksize]);
     let w_flat = Tensor::from_vec(weight.data().to_vec(), &[dims.cout, ksize]);
     let out_nv_co = crate::linalg::matmul_nt(&cols_t, &w_flat); // [N·vol, Cout]
-    // Transpose back to NCDHW.
+                                                                // Transpose back to NCDHW.
     let o = out_nv_co.data();
     let mut out = vec![0.0f32; dims.n * dims.cout * vol];
     out.par_chunks_mut(vol).enumerate().for_each(|(chunk, dst)| {
@@ -474,7 +475,9 @@ mod tests {
     #[test]
     fn conv3d_matches_naive() {
         let mut rng = ChaCha8Rng::seed_from_u64(10);
-        for &(k, c) in &[([1usize, 1, 1], (2usize, 3usize)), ([3, 3, 3], (2, 2)), ([1, 3, 3], (3, 1))] {
+        for &(k, c) in
+            &[([1usize, 1, 1], (2usize, 3usize)), ([3, 3, 3], (2, 2)), ([1, 3, 3], (3, 1))]
+        {
             let input = Tensor::randn(&[2, c.0, 3, 4, 5], 1.0, &mut rng);
             let weight = Tensor::randn(&[c.1, c.0, k[0], k[1], k[2]], 1.0, &mut rng);
             assert_close(&conv3d(&input, &weight), &conv3d_naive(&input, &weight), 1e-4);
@@ -509,7 +512,11 @@ mod tests {
             let mut xm = input.clone();
             xm.data_mut()[i] -= eps;
             let fd = (loss(&xp, &weight) - loss(&xm, &weight)) / (2.0 * eps as f64);
-            assert!((fd as f32 - gx.data()[i]).abs() < 2e-2, "input grad {i}: {fd} vs {}", gx.data()[i]);
+            assert!(
+                (fd as f32 - gx.data()[i]).abs() < 2e-2,
+                "input grad {i}: {fd} vs {}",
+                gx.data()[i]
+            );
         }
         for i in (0..weight.numel()).step_by(13) {
             let mut wp = weight.clone();
@@ -517,18 +524,20 @@ mod tests {
             let mut wm = weight.clone();
             wm.data_mut()[i] -= eps;
             let fd = (loss(&input, &wp) - loss(&input, &wm)) / (2.0 * eps as f64);
-            assert!((fd as f32 - gw.data()[i]).abs() < 2e-2, "weight grad {i}: {fd} vs {}", gw.data()[i]);
+            assert!(
+                (fd as f32 - gw.data()[i]).abs() < 2e-2,
+                "weight grad {i}: {fd} vs {}",
+                gw.data()[i]
+            );
         }
     }
 
     #[test]
     fn im2col_matches_direct_conv() {
         let mut rng = ChaCha8Rng::seed_from_u64(77);
-        for &(k, cin, cout) in &[
-            ([1usize, 1, 1], 3usize, 5usize),
-            ([3, 3, 3], 2, 4),
-            ([1, 3, 3], 4, 2),
-        ] {
+        for &(k, cin, cout) in
+            &[([1usize, 1, 1], 3usize, 5usize), ([3, 3, 3], 2, 4), ([1, 3, 3], 4, 2)]
+        {
             let input = Tensor::randn(&[2, cin, 3, 4, 5], 1.0, &mut rng);
             let weight = Tensor::randn(&[cout, cin, k[0], k[1], k[2]], 1.0, &mut rng);
             let direct = conv3d(&input, &weight);

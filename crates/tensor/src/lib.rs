@@ -19,7 +19,7 @@ pub mod shape;
 pub mod tensor;
 
 pub use conv::{
-    conv3d, conv3d_grad_input, conv3d_im2col, conv3d_grad_weight, maxpool3d, maxpool3d_backward,
+    conv3d, conv3d_grad_input, conv3d_grad_weight, conv3d_im2col, maxpool3d, maxpool3d_backward,
     upsample_nearest3d, upsample_nearest3d_backward, Conv3dDims,
 };
 pub use linalg::{matmul, matmul_nt, matmul_tn, matvec};

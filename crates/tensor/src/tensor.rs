@@ -228,9 +228,9 @@ impl Tensor {
         out_dims[axis] = tensors.iter().map(|t| t.dims()[axis]).sum();
         for t in tensors {
             assert_eq!(t.shape.rank(), rank, "concat rank mismatch");
-            for d in 0..rank {
+            for (d, &od) in out_dims.iter().enumerate() {
                 if d != axis {
-                    assert_eq!(t.dims()[d], out_dims[d], "concat dim {d} mismatch");
+                    assert_eq!(t.dims()[d], od, "concat dim {d} mismatch");
                 }
             }
         }

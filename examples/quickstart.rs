@@ -41,7 +41,13 @@ fn main() {
     let corpus = Corpus::new(vec![(hr.clone(), lr.clone())]);
     let mut trainer = Trainer::new(
         model,
-        TrainConfig { epochs: 20, batches_per_epoch: 8, batch_size: 4, lr: 1e-2, ..Default::default() },
+        TrainConfig {
+            epochs: 20,
+            batches_per_epoch: 8,
+            batch_size: 4,
+            lr: 1e-2,
+            ..Default::default()
+        },
     );
     let records = trainer.train(&corpus);
     for r in records.iter().step_by(5) {

@@ -54,21 +54,15 @@ fn main() {
     }
 
     // Calibrated analytic extension (Fig. 7a beyond the host's cores).
-    let model = ScalingModel::calibrate(
-        &measured,
-        (grad_elems * 4) as f64,
-        (tc.batch_size) as f64,
-        0.8,
+    let model =
+        ScalingModel::calibrate(&measured, (grad_elems * 4) as f64, (tc.batch_size) as f64, 0.8);
+    println!(
+        "\ncalibrated model: t_compute = {:.4}s, bandwidth = {:.2e} B/s",
+        model.t_compute, model.bandwidth
     );
-    println!("\ncalibrated model: t_compute = {:.4}s, bandwidth = {:.2e} B/s", model.t_compute, model.bandwidth);
     println!("{:>8} {:>16} {:>12}", "workers", "model samples/s", "efficiency");
     for n in [1usize, 2, 4, 8, 16, 32, 64, 128] {
-        println!(
-            "{:>8} {:>16.1} {:>11.1}%",
-            n,
-            model.throughput(n),
-            100.0 * model.efficiency(n)
-        );
+        println!("{:>8} {:>16.1} {:>11.1}%", n, model.throughput(n), 100.0 * model.efficiency(n));
     }
     println!("\npaper reference: 96.80% efficiency at 128 GPUs (Fig. 7a)");
 }

@@ -30,10 +30,17 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let sim = simulate(&cfg, 10.0, 41);
-    println!("simulated 10 s in {:.1} s wall clock, {} frames", t0.elapsed().as_secs_f64(), sim.frames.len());
+    println!(
+        "simulated 10 s in {:.1} s wall clock, {} frames",
+        t0.elapsed().as_secs_f64(),
+        sim.frames.len()
+    );
 
     // Turbulence statistics as the instability develops.
-    println!("\n{:>6} {:>12} {:>12} {:>12} {:>12} {:>12}", "t", "E_tot", "u_rms", "epsilon", "Re_lambda", "L");
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "t", "E_tot", "u_rms", "epsilon", "Re_lambda", "L"
+    );
     let nu = cfg.r_star();
     for frame in sim.frames.iter().step_by(8) {
         let s = flow_stats(&sim.domain, &frame.u, &frame.w, nu);

@@ -19,8 +19,7 @@ use meshfreeflownet::data::{downsample, Dataset};
 use meshfreeflownet::solver::{simulate, RbcConfig};
 
 fn main() {
-    let cfg =
-        RbcConfig { nx: 64, nz: 17, ra: 1e6, dt_max: 2e-3, seed: 11, ..Default::default() };
+    let cfg = RbcConfig { nx: 64, nz: 17, ra: 1e6, dt_max: 2e-3, seed: 11, ..Default::default() };
     println!("simulating Rayleigh-Benard (Ra = {:.0e}) ...", cfg.ra);
     let sim = simulate(&cfg, 8.0, 33);
     let hr = Dataset::from_simulation(&sim);

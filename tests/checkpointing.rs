@@ -1,6 +1,8 @@
 //! Integration test: train → checkpoint → restore → identical inference.
 
-use meshfreeflownet::core::{ChannelStats, Corpus, MeshfreeFlowNet, MfnConfig, TrainConfig, Trainer};
+use meshfreeflownet::core::{
+    ChannelStats, Corpus, MeshfreeFlowNet, MfnConfig, TrainConfig, Trainer,
+};
 use meshfreeflownet::data::{downsample, Dataset, PatchSpec};
 use meshfreeflownet::solver::{simulate, RbcConfig};
 
@@ -16,18 +18,21 @@ fn tiny_cfg() -> MfnConfig {
 
 #[test]
 fn trained_model_roundtrips_through_checkpoint() {
-    let sim = simulate(
-        &RbcConfig { nx: 32, nz: 9, ra: 1e5, dt_max: 2e-3, ..Default::default() },
-        0.3,
-        9,
-    );
+    let sim =
+        simulate(&RbcConfig { nx: 32, nz: 9, ra: 1e5, dt_max: 2e-3, ..Default::default() }, 0.3, 9);
     let hr = Dataset::from_simulation(&sim);
     let lr = downsample(&hr, 2, 2);
     let corpus = Corpus::new(vec![(hr.clone(), lr.clone())]);
 
     let mut trainer = Trainer::new(
         MeshfreeFlowNet::new(tiny_cfg()),
-        TrainConfig { epochs: 3, batches_per_epoch: 4, batch_size: 2, lr: 5e-3, ..Default::default() },
+        TrainConfig {
+            epochs: 3,
+            batches_per_epoch: 4,
+            batch_size: 2,
+            lr: 5e-3,
+            ..Default::default()
+        },
     );
     trainer.train(&corpus);
 

@@ -1,17 +1,14 @@
 //! Integration tests of the distributed layer against the serial trainer.
 
-use meshfreeflownet::core::{Corpus, MfnConfig, TrainConfig, Trainer};
 use meshfreeflownet::core::MeshfreeFlowNet;
+use meshfreeflownet::core::{Corpus, MfnConfig, TrainConfig, Trainer};
 use meshfreeflownet::data::{downsample, Dataset, PatchSpec};
 use meshfreeflownet::dist::{ring, train_data_parallel};
 use meshfreeflownet::solver::{simulate, RbcConfig};
 
 fn setup() -> (Corpus, MfnConfig, TrainConfig) {
-    let sim = simulate(
-        &RbcConfig { nx: 32, nz: 9, ra: 1e5, dt_max: 2e-3, ..Default::default() },
-        0.4,
-        9,
-    );
+    let sim =
+        simulate(&RbcConfig { nx: 32, nz: 9, ra: 1e5, dt_max: 2e-3, ..Default::default() }, 0.4, 9);
     let hr = Dataset::from_simulation(&sim);
     let lr = downsample(&hr, 2, 2);
     let corpus = Corpus::new(vec![(hr, lr)]);
@@ -44,9 +41,8 @@ fn all_reduced_gradient_equals_serial_average() {
     let (corpus, cfg, _) = setup();
     let (hr, lr) = &corpus.pairs[0];
     let sampler = PatchSampler::new(hr, lr, cfg.patch);
-    let batches: Vec<_> = (0..2)
-        .map(|i| make_batch(&sampler, 2, &mut ChaCha8Rng::seed_from_u64(50 + i)))
-        .collect();
+    let batches: Vec<_> =
+        (0..2).map(|i| make_batch(&sampler, 2, &mut ChaCha8Rng::seed_from_u64(50 + i))).collect();
 
     // Serial: gradient of each batch on a fresh model, then average.
     let serial_avg: Vec<f32> = {
@@ -111,11 +107,7 @@ fn distributed_model_is_usable_after_training() {
     tc.batches_per_epoch = 6;
     tc.lr = 1e-2;
     let r = train_data_parallel(&corpus, &cfg, &tc, 2);
-    assert!(
-        *r.epoch_losses.last().expect("losses") < r.epoch_losses[0],
-        "{:?}",
-        r.epoch_losses
-    );
+    assert!(*r.epoch_losses.last().expect("losses") < r.epoch_losses[0], "{:?}", r.epoch_losses);
     // Load the trained parameters into a fresh model and run inference.
     let mut model = MeshfreeFlowNet::new(cfg);
     model.store.unflatten_into(&r.final_params);

@@ -7,6 +7,15 @@ use meshfreeflownet::core::{
 };
 use meshfreeflownet::data::{downsample, Dataset, PatchSpec};
 use meshfreeflownet::solver::{simulate, RbcConfig};
+use meshfreeflownet::telemetry::Recorder;
+
+/// Median of a slice of finite floats.
+fn median(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty());
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    v[v.len() / 2]
+}
 
 fn tiny_cfg() -> MfnConfig {
     let mut cfg = MfnConfig::small();
@@ -35,7 +44,13 @@ fn full_pipeline_trains_and_scores() {
     let corpus = Corpus::new(vec![pair.clone()]);
     let mut trainer = Trainer::new(
         MeshfreeFlowNet::new(tiny_cfg()),
-        TrainConfig { epochs: 10, batches_per_epoch: 6, batch_size: 4, lr: 1e-2, ..Default::default() },
+        TrainConfig {
+            epochs: 10,
+            batches_per_epoch: 6,
+            batch_size: 4,
+            lr: 1e-2,
+            ..Default::default()
+        },
     );
     let records = trainer.train(&corpus);
     assert!(records.last().expect("records").loss < records[0].loss);
@@ -50,7 +65,9 @@ fn full_pipeline_trains_and_scores() {
 #[test]
 fn equation_loss_regularizes_not_destroys() {
     // γ = γ* training must converge to a similar prediction loss as γ = 0
-    // (within a factor), per the paper's Table 1 top rows.
+    // (within a factor), per the paper's Table 1 top rows. Assertions use
+    // medians over recorded per-step metrics (first/last 12 gradient steps)
+    // instead of single-epoch means, which were noisy enough to flake.
     let pair = tiny_data(4);
     let corpus = Corpus::new(vec![pair]);
     let tc = TrainConfig {
@@ -58,29 +75,40 @@ fn equation_loss_regularizes_not_destroys() {
         batches_per_epoch: 6,
         batch_size: 4,
         lr: 1e-2,
+        seed: 0,
         ..Default::default()
     };
     let mut cfg0 = tiny_cfg();
     cfg0.gamma = 0.0;
-    let mut t0 = Trainer::new(MeshfreeFlowNet::new(cfg0), tc);
-    let r0 = t0.train(&corpus);
+    let (rec0, sink0) = Recorder::memory(4096);
+    let mut t0 = Trainer::new(MeshfreeFlowNet::new(cfg0), tc).with_recorder(rec0);
+    t0.train(&corpus);
     let mut cfg1 = tiny_cfg();
     cfg1.gamma = MfnConfig::GAMMA_STAR;
-    let mut t1 = Trainer::new(MeshfreeFlowNet::new(cfg1), tc);
-    let r1 = t1.train(&corpus);
-    let p0 = r0.last().expect("r0").prediction;
-    let p1 = r1.last().expect("r1").prediction;
+    let (rec1, sink1) = Recorder::memory(4096);
+    let mut t1 = Trainer::new(MeshfreeFlowNet::new(cfg1), tc).with_recorder(rec1);
+    t1.train(&corpus);
+    let steps0 = sink0.train_steps();
+    let steps1 = sink1.train_steps();
+    assert_eq!(steps0.len(), 60);
+    assert_eq!(steps1.len(), 60);
+    let k = 12;
+    let pred0: Vec<f32> = steps0.iter().map(|m| m.loss_prediction).collect();
+    let pred1: Vec<f32> = steps1.iter().map(|m| m.loss_prediction).collect();
+    let p0 = median(&pred0[pred0.len() - k..]);
+    let p1 = median(&pred1[pred1.len() - k..]);
+    assert!(p1 < 3.0 * p0 + 0.05, "equation loss wrecked training: pred median {p1} vs {p0}");
+    // And the equation residual must not explode over training.
+    let eq1: Vec<f32> = steps1.iter().map(|m| m.loss_equation).collect();
+    let eq_first = median(&eq1[..k]);
+    let eq_last = median(&eq1[eq1.len() - k..]);
     assert!(
-        p1 < 3.0 * p0 + 0.05,
-        "equation loss wrecked training: pred {p1} vs {p0}"
+        eq_last < 2.0 * eq_first + 1e-4,
+        "equation residual exploded: median {eq_first} -> {eq_last}"
     );
-    // And the equation loss itself must have decreased during training.
-    assert!(
-        r1.last().expect("r1").equation < 2.0 * r1[0].equation,
-        "equation residual exploded: {} -> {}",
-        r1[0].equation,
-        r1.last().expect("r1").equation
-    );
+    // The γ = γ* run actually propagated the equation term into every step.
+    assert!(steps1.iter().all(|m| m.loss_equation > 0.0));
+    assert!(steps0.iter().all(|m| m.loss_equation == 0.0));
 }
 
 #[test]

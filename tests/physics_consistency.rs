@@ -3,7 +3,9 @@
 //! stencil must all agree with each other.
 
 use meshfreeflownet::autodiff::{Activation, Graph, Mlp, ParamStore};
-use meshfreeflownet::core::{equation_loss, ChannelStats, ConstraintSet, ContinuousDecoder, RbcParamsF32};
+use meshfreeflownet::core::{
+    equation_loss, ChannelStats, ConstraintSet, ContinuousDecoder, RbcParamsF32,
+};
 use meshfreeflownet::physics::{grid_residuals, residuals, PointState, RbcParams};
 use meshfreeflownet::solver::{simulate, RbcConfig};
 use meshfreeflownet::tensor::Tensor;
@@ -18,7 +20,7 @@ fn solver_residual_converges_with_frame_rate() {
     let cfg = RbcConfig { nx: 32, nz: 17, ra: 1e5, dt_max: 1e-3, ..Default::default() };
     let coarse = simulate(&cfg, 2.0, 11); // frame dt = 0.2
     let fine = simulate(&cfg, 2.0, 41); // frame dt = 0.05
-    // Compare residuals at the same physical time t = 1.0.
+                                        // Compare residuals at the same physical time t = 1.0.
     let rc = grid_residuals(&coarse, 5);
     let rf = grid_residuals(&fine, 20);
     // Temperature residual (index 1) is time-derivative dominated.

@@ -5,6 +5,7 @@ use meshfreeflownet::autodiff::{Graph, Jet3};
 use meshfreeflownet::core::plan_queries;
 use meshfreeflownet::data::{downsample, sample_trilinear, Dataset, DatasetMeta, CHANNELS};
 use meshfreeflownet::fft::{fft, ifft, Complex, RealFftPlan};
+use meshfreeflownet::telemetry::{Event, Recorder, StepMetrics};
 use meshfreeflownet::tensor::Tensor;
 use proptest::prelude::*;
 
@@ -169,5 +170,99 @@ proptest! {
         prop_assert_eq!(g.grad(vb).numel(), 9);
         prop_assert!((g.grad(va).sum() - 6.0).abs() < 1e-5);
         prop_assert!((g.grad(vb).sum() - 9.0).abs() < 1e-5);
+    }
+
+    /// Trilinear sampling of a downsampled dataset at its own grid-point
+    /// coordinates reproduces the HR values exactly (interpolation is the
+    /// identity on grid points), for any stride combination.
+    #[test]
+    fn downsample_trilinear_consistent_on_shared_points(
+        vals in prop::collection::vec(-5.0f32..5.0, 12),
+        ft in 1usize..3, fs in 1usize..3,
+    ) {
+        let hr = synthetic_dataset(5, 5, 8, &vals);
+        let lr = downsample(&hr, ft, fs);
+        for f in 0..lr.meta.nt {
+            let t = f as f64 * lr.dt();
+            for j in 0..lr.meta.nz {
+                let z = j as f64 * lr.dz();
+                for i in 0..lr.meta.nx {
+                    let x = i as f64 * lr.dx();
+                    let got = sample_trilinear(&lr, t, z, x);
+                    for (c, &gc) in got.iter().enumerate() {
+                        let want = hr.at(f * ft, c, j * fs, i * fs);
+                        prop_assert!(
+                            (gc - want).abs() < 1e-4,
+                            "({f},{c},{j},{i}): {gc} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The telemetry ring buffer holds exactly the last `capacity` events and
+    /// accounts for every drop, for any capacity / event-count combination.
+    #[test]
+    fn telemetry_ring_keeps_newest_and_counts_drops(
+        capacity in 1usize..64, n in 0u64..200,
+    ) {
+        let (recorder, sink) = Recorder::memory(capacity);
+        for step in 0..n {
+            recorder.train_step(StepMetrics { step, ..Default::default() });
+        }
+        prop_assert_eq!(sink.len(), (n as usize).min(capacity));
+        prop_assert_eq!(sink.dropped(), n.saturating_sub(capacity as u64));
+        let kept = sink.train_steps();
+        let first_kept = n - kept.len() as u64;
+        for (k, m) in kept.iter().enumerate() {
+            prop_assert_eq!(m.step, first_kept + k as u64);
+        }
+    }
+
+    /// Event serialization never emits bare NaN/infinity tokens (which are
+    /// not valid JSON) no matter what float values the metrics contain.
+    #[test]
+    fn telemetry_json_never_leaks_non_finite_tokens(
+        loss in prop::num::f32::ANY, grad in prop::num::f32::ANY,
+        gauge in prop::num::f64::ANY,
+    ) {
+        let step = Event::TrainStep(StepMetrics {
+            loss_total: loss,
+            grad_norm_pre: grad,
+            ..Default::default()
+        });
+        let g = Event::Gauge { name: "g", value: gauge };
+        for json in [step.to_json(), g.to_json()] {
+            prop_assert!(json.starts_with('{') && json.ends_with('}'));
+            for tok in ["NaN", "inf", "Infinity"] {
+                prop_assert!(!json.contains(tok), "{json}");
+            }
+        }
+    }
+
+    /// Throughput accounting: samples/sec times the summed phase time gives
+    /// back the sample count, whenever any time was recorded at all.
+    #[test]
+    fn telemetry_throughput_consistent_with_phase_times(
+        samples in 1usize..4096,
+        data in 0.0f64..10.0, fwd in 0.0f64..10.0, bwd in 0.0f64..10.0,
+        wait in 0.0f64..10.0, opt in 0.0f64..10.0,
+    ) {
+        let m = StepMetrics {
+            samples,
+            data_s: data,
+            forward_s: fwd,
+            backward_s: bwd,
+            allreduce_wait_s: wait,
+            optimizer_s: opt,
+            ..Default::default()
+        };
+        let total = data + fwd + bwd + wait + opt;
+        prop_assert!((m.total_seconds() - total).abs() < 1e-12);
+        if total > 0.0 {
+            let back = m.samples_per_sec() * m.total_seconds();
+            prop_assert!((back - samples as f64).abs() < 1e-6 * samples as f64);
+        }
     }
 }
