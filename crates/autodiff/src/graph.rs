@@ -8,8 +8,9 @@
 //! the data-parallel trainer give every worker thread its own tape.
 
 use crate::params::{ParamId, ParamStore};
+use mfn_tensor::workspace;
 use mfn_tensor::{
-    conv3d, conv3d_grad_input, conv3d_grad_weight, matmul, matmul_nt, matmul_tn, maxpool3d,
+    conv3d_auto, conv3d_grad_input, conv3d_grad_weight, matmul, matmul_nt, matmul_tn, maxpool3d,
     maxpool3d_backward, upsample_nearest3d, upsample_nearest3d_backward, Conv3dDims, Tensor,
 };
 
@@ -348,7 +349,7 @@ impl Graph {
         assert_eq!(xv.shape().rank(), 2, "slice_cols input must be rank 2");
         let (m, n) = (xv.dims()[0], xv.dims()[1]);
         assert!(lo + cols <= n, "slice_cols out of range");
-        let mut out = Vec::with_capacity(m * cols);
+        let mut out = workspace::take_vec_capacity(m * cols);
         for row in xv.data().chunks(n) {
             out.extend_from_slice(&row[lo..lo + cols]);
         }
@@ -368,7 +369,7 @@ impl Graph {
     /// 3D convolution (stride 1, same padding).
     pub fn conv3d(&mut self, input: Var, weight: Var) -> Var {
         let dims = Conv3dDims::infer(&self.nodes[input.0].value, &self.nodes[weight.0].value);
-        let v = conv3d(&self.nodes[input.0].value, &self.nodes[weight.0].value);
+        let v = conv3d_auto(&self.nodes[input.0].value, &self.nodes[weight.0].value);
         let rg = self.rg(input) || self.rg(weight);
         self.push(v, Op::Conv3d { input, weight, dims }, rg)
     }
@@ -441,7 +442,7 @@ impl Graph {
         }
         let g = self.nodes[gamma.0].value.data().to_vec();
         let b = self.nodes[beta.0].value.data().to_vec();
-        let mut out = vec![0.0f32; x.len()];
+        let mut out = workspace::take_vec_scratch(x.len());
         for ni in 0..n {
             for ci in 0..c {
                 let off = (ni * c + ci) * inner;
@@ -486,7 +487,7 @@ impl Graph {
         let vol: usize = gv.dims()[2..].iter().product();
         let g = gv.data();
         let m = index.len();
-        let mut out = vec![0.0f32; m * c];
+        let mut out = workspace::take_vec_scratch(m * c);
         for (row, &flat) in index.iter().enumerate() {
             let flat = flat as usize;
             let ni = flat / vol;
@@ -511,7 +512,7 @@ impl Graph {
         assert_eq!(weights.len(), rows, "vertex_blend weight count mismatch");
         let q = rows / group;
         let x = xv.data();
-        let mut out = vec![0.0f32; q * c];
+        let mut out = workspace::take_vec_zeroed(q * c);
         for qi in 0..q {
             for v in 0..group {
                 let w = weights[qi * group + v];
@@ -612,7 +613,7 @@ impl Graph {
             Op::BiasRow(x, b) => {
                 self.accumulate(*x, grad.clone());
                 let n = self.nodes[b.0].value.numel();
-                let mut gb = vec![0.0f32; n];
+                let mut gb = workspace::take_vec_zeroed(n);
                 for row in grad.data().chunks(n) {
                     for (g, &r) in gb.iter_mut().zip(row) {
                         *g += r;
@@ -624,7 +625,7 @@ impl Graph {
                 self.accumulate(*x, grad.clone());
                 let c = self.nodes[b.0].value.numel();
                 let inner: usize = grad.dims()[2..].iter().product();
-                let mut gb = vec![0.0f32; c];
+                let mut gb = workspace::take_vec_zeroed(c);
                 for slab in grad.data().chunks(c * inner) {
                     for (ch, sub) in slab.chunks(inner).enumerate() {
                         gb[ch] += sub.iter().sum::<f32>();
@@ -679,7 +680,7 @@ impl Graph {
             Op::SliceCols { input, lo, cols } => {
                 let xv = &self.nodes[input.0].value;
                 let (m, n) = (xv.dims()[0], xv.dims()[1]);
-                let mut gi = vec![0.0f32; m * n];
+                let mut gi = workspace::take_vec_zeroed(m * n);
                 for (row, grow) in grad.data().chunks(*cols).enumerate() {
                     gi[row * n + lo..row * n + lo + cols].copy_from_slice(grow);
                 }
@@ -728,7 +729,7 @@ impl Graph {
                         }
                     }
                 }
-                let mut dx = vec![0.0f32; x.len()];
+                let mut dx = workspace::take_vec_scratch(x.len());
                 for ni in 0..n {
                     for ci in 0..c {
                         let off = (ni * c + ci) * inner;
@@ -765,7 +766,7 @@ impl Graph {
                 let gv = &self.nodes[grid.0].value;
                 let (_, c) = (gv.dims()[0], gv.dims()[1]);
                 let vol: usize = gv.dims()[2..].iter().product();
-                let mut gg = vec![0.0f32; gv.numel()];
+                let mut gg = workspace::take_vec_zeroed(gv.numel());
                 for (row, &flat) in index.iter().enumerate() {
                     let flat = flat as usize;
                     let ni = flat / vol;
@@ -779,7 +780,7 @@ impl Graph {
             Op::VertexBlend { input, weights, group } => {
                 let xv = &self.nodes[input.0].value;
                 let (rows, c) = (xv.dims()[0], xv.dims()[1]);
-                let mut gi = vec![0.0f32; rows * c];
+                let mut gi = workspace::take_vec_scratch(rows * c);
                 for qi in 0..rows / group {
                     let grow = &grad.data()[qi * c..(qi + 1) * c];
                     for v in 0..*group {

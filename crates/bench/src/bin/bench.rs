@@ -1,0 +1,461 @@
+//! `bench` — kernel + training-step micro-benchmarks with JSON output.
+//!
+//! ```text
+//! usage: bench [--quick] [--out PATH]
+//! ```
+//!
+//! Measures the blocked GEMM (all three transpose layouts) against the
+//! pre-optimization naive `ikj` kernel kept here as a frozen reference,
+//! the two conv3d lowerings, and one full training step with the
+//! workspace pool on vs off. Results land in `BENCH_kernels.json`
+//! (default; `--out` overrides): median wall time, GFLOP/s, heap bytes
+//! allocated per call (counted by the `count-alloc` global allocator,
+//! on by default), and workspace-pool hit/miss counters.
+//!
+//! The binary doubles as a regression gate: before timing anything it
+//! re-checks the blocked GEMM against the naive reference on
+//! tile-unaligned shapes and `conv3d_im2col` against the direct kernel,
+//! and exits non-zero on any mismatch. `--quick` shrinks the problem
+//! sizes for CI; the full run additionally asserts the ≥2× speedup the
+//! optimization is required to hold on the 256³ GEMM.
+
+use mfn_core::{Corpus, MeshfreeFlowNet, MfnConfig, TrainConfig, Trainer};
+use mfn_data::{downsample, make_batch, Dataset, PatchSampler, PatchSpec};
+use mfn_solver::{simulate, RbcConfig};
+use mfn_tensor::{conv3d, conv3d_im2col, gemm, workspace, MatLayout, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Counting allocator: every heap allocation in the process adds to a
+/// pair of atomics so benchmarks can report bytes-allocated-per-call.
+/// The counters only track `alloc`/`realloc` growth — frees are not
+/// subtracted, because "how much did the allocator have to hand out"
+/// is exactly the churn the workspace pool exists to remove.
+#[cfg(feature = "count-alloc")]
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static BYTES: AtomicU64 = AtomicU64::new(0);
+    pub static CALLS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct Counting;
+
+    // SAFETY: defers all allocation to `System`; the atomics only observe.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+            BYTES.fetch_add(l.size() as u64, Ordering::Relaxed);
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(l)
+        }
+        unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+            System.dealloc(p, l)
+        }
+        unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+            BYTES.fetch_add(new_size.saturating_sub(l.size()) as u64, Ordering::Relaxed);
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(p, l, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: Counting = Counting;
+}
+
+/// Heap bytes handed out by the allocator so far (0 without `count-alloc`).
+fn alloc_bytes() -> u64 {
+    #[cfg(feature = "count-alloc")]
+    {
+        counting_alloc::BYTES.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "count-alloc"))]
+    {
+        0
+    }
+}
+
+/// Allocation calls so far (0 without `count-alloc`).
+fn alloc_calls() -> u64 {
+    #[cfg(feature = "count-alloc")]
+    {
+        counting_alloc::CALLS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "count-alloc"))]
+    {
+        0
+    }
+}
+
+/// The pre-optimization GEMM, frozen verbatim (minus rayon) from the seed
+/// tree's `linalg::matmul`: row-major `ikj` with the zero-skip branch.
+/// This is the baseline every speedup in the JSON is measured against.
+fn naive_ikj(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(c.len(), m * n);
+    c.fill(0.0);
+    for (i, out_row) in c.chunks_mut(n).enumerate() {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(brow) {
+                *o += aip * bv;
+            }
+        }
+    }
+}
+
+/// Deterministic pseudo-random matrix data (no RNG dependency in the
+/// timed path; quarter-integers keep f32 sums exactly representable).
+fn lcg_fill(buf: &mut [f32], mut state: u64) {
+    for v in buf.iter_mut() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *v = ((state >> 33) % 17) as f32 * 0.25 - 2.0;
+    }
+}
+
+/// One timed measurement: median nanoseconds over `iters` calls of `f`,
+/// plus allocator bytes attributed to a single (post-warm-up) call.
+fn time_median<F: FnMut()>(iters: usize, mut f: F) -> (f64, u64) {
+    f(); // warm up: populates the workspace pool and the icache
+    let b0 = alloc_bytes();
+    f();
+    let bytes_per_call = alloc_bytes() - b0;
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    (samples[samples.len() / 2], bytes_per_call)
+}
+
+/// One GEMM benchmark row for the JSON report.
+struct GemmRow {
+    name: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    median_ns: f64,
+    gflops: f64,
+    alloc_bytes_per_call: u64,
+}
+
+fn gemm_gflops(m: usize, k: usize, n: usize, ns: f64) -> f64 {
+    (2.0 * m as f64 * k as f64 * n as f64) / ns
+}
+
+/// Benches one blocked-GEMM layout at `s`³.
+fn bench_gemm(name: &str, s: usize, a_l: MatLayout, b_l: MatLayout, iters: usize) -> GemmRow {
+    let mut a = vec![0.0f32; s * s];
+    let mut b = vec![0.0f32; s * s];
+    let mut c = vec![0.0f32; s * s];
+    lcg_fill(&mut a, 1);
+    lcg_fill(&mut b, 2);
+    let (median_ns, bytes) = time_median(iters, || gemm(s, s, s, &a, a_l, &b, b_l, &mut c));
+    GemmRow {
+        name: format!("{name}_{s}"),
+        m: s,
+        k: s,
+        n: s,
+        median_ns,
+        gflops: gemm_gflops(s, s, s, median_ns),
+        alloc_bytes_per_call: bytes,
+    }
+}
+
+/// Correctness gate: blocked GEMM (all layouts) vs the naive reference on
+/// tile-unaligned shapes. Returns an error string on the first mismatch.
+fn check_gemm_vs_naive() -> Result<(), String> {
+    for &(m, k, n) in
+        &[(1usize, 1usize, 1usize), (7, 3, 5), (9, 17, 33), (65, 70, 13), (70, 96, 70)]
+    {
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        lcg_fill(&mut a, (m * 31 + n) as u64);
+        lcg_fill(&mut b, (k * 17 + m) as u64);
+        let mut want = vec![0.0f32; m * n];
+        naive_ikj(m, k, n, &a, &b, &mut want);
+        // Row-major transposes so the same product is expressible in
+        // every layout the blocked kernel supports.
+        let mut at = vec![0.0f32; m * k]; // [k, m]
+        let mut bt = vec![0.0f32; k * n]; // [n, k]
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        type GemmCase<'a> = (&'a str, &'a [f32], MatLayout, &'a [f32], MatLayout);
+        let cases: [GemmCase<'_>; 3] = [
+            ("nn", &a, MatLayout::Normal, &b, MatLayout::Normal),
+            ("tn", &at, MatLayout::Transposed, &b, MatLayout::Normal),
+            ("nt", &a, MatLayout::Normal, &bt, MatLayout::Transposed),
+        ];
+        for (tag, av, al, bv, bl) in cases {
+            let mut got = vec![0.0f32; m * n];
+            gemm(m, k, n, av, al, bv, bl, &mut got);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                if (g - w).abs() > 1e-4 * (1.0 + w.abs()) {
+                    return Err(format!("gemm_{tag} ({m}x{k}x{n}) mismatch at {i}: {g} vs {w}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Correctness gate: im2col lowering vs the direct conv3d kernel.
+fn check_im2col_vs_direct() -> Result<(), String> {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    for &(kd, kh, kw, cin, cout) in
+        &[(1usize, 1, 1, 3usize, 5usize), (3, 3, 3, 2, 4), (1, 3, 3, 4, 2)]
+    {
+        let input = Tensor::randn(&[2, cin, 3, 4, 5], 1.0, &mut rng);
+        let weight = Tensor::randn(&[cout, cin, kd, kh, kw], 1.0, &mut rng);
+        let direct = conv3d(&input, &weight);
+        let lowered = conv3d_im2col(&input, &weight);
+        for (i, (a, b)) in direct.data().iter().zip(lowered.data()).enumerate() {
+            if (a - b).abs() > 1e-4 * (1.0 + b.abs()) {
+                return Err(format!(
+                    "im2col vs direct ({kd}x{kh}x{kw}, cin={cin}, cout={cout}) mismatch at {i}: {a} vs {b}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The tiny training problem used for the one-train-step benchmark.
+fn train_fixture() -> (Corpus, Trainer) {
+    let sim =
+        simulate(&RbcConfig { nx: 16, nz: 9, ra: 1e5, dt_max: 2e-3, ..Default::default() }, 0.1, 9);
+    let hr = Dataset::from_simulation(&sim);
+    let lr = downsample(&hr, 2, 2);
+    let corpus = Corpus::new(vec![(hr, lr)]);
+    let mut cfg = MfnConfig::small();
+    cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 4, queries: 32 };
+    cfg.base_channels = 4;
+    cfg.latent_channels = 8;
+    cfg.mlp_hidden = vec![32, 32];
+    cfg.levels = 2;
+    let trainer = Trainer::new(
+        MeshfreeFlowNet::new(cfg),
+        TrainConfig { batch_size: 4, ..Default::default() },
+    );
+    (corpus, trainer)
+}
+
+/// Measured side of the pool on/off A/B.
+struct TrainSide {
+    median_ns: f64,
+    alloc_bytes_per_step: u64,
+    alloc_calls_per_step: u64,
+    pool_hits: u64,
+    pool_misses: u64,
+}
+
+/// Times one full gradient step (forward + backward + Adam) `iters` times
+/// with the workspace pool in the given state.
+fn bench_train_step(iters: usize, pool_on: bool) -> TrainSide {
+    let (corpus, mut trainer) = train_fixture();
+    let (hr, lr) = &corpus.pairs[0];
+    let sampler = PatchSampler::new(hr, lr, trainer.model.cfg.patch);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let batch = make_batch(&sampler, 4, &mut rng);
+    workspace::set_enabled(pool_on);
+    workspace::reset_stats();
+    trainer.step(&batch, corpus.params(0), corpus.stats); // warm up
+    let b0 = alloc_bytes();
+    let c0 = alloc_calls();
+    trainer.step(&batch, corpus.params(0), corpus.stats);
+    let alloc_bytes_per_step = alloc_bytes() - b0;
+    let alloc_calls_per_step = alloc_calls() - c0;
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        trainer.step(&batch, corpus.params(0), corpus.stats);
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let s = workspace::stats();
+    workspace::set_enabled(true); // leave the process in the default state
+    TrainSide {
+        median_ns: samples[samples.len() / 2],
+        alloc_bytes_per_step,
+        alloc_calls_per_step,
+        pool_hits: s.hits,
+        pool_misses: s.misses,
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_kernels.json");
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out_path = argv.get(i).expect("--out needs a value").clone();
+            }
+            other => {
+                eprintln!("unknown argument {other}\nusage: bench [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // ---- Correctness gates (always, before any timing) -----------------
+    eprintln!("[bench] checking blocked GEMM vs naive reference ...");
+    if let Err(e) = check_gemm_vs_naive() {
+        eprintln!("[bench] FAIL: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[bench] checking im2col vs direct conv3d ...");
+    if let Err(e) = check_im2col_vs_direct() {
+        eprintln!("[bench] FAIL: {e}");
+        std::process::exit(1);
+    }
+
+    // ---- Kernel benchmarks ---------------------------------------------
+    let size = if quick { 128 } else { 256 };
+    let iters = if quick { 11 } else { 25 };
+    eprintln!("[bench] timing GEMM at {size}^3 ({iters} iters/layout) ...");
+    let mut rows = vec![
+        bench_gemm("gemm_nn", size, MatLayout::Normal, MatLayout::Normal, iters),
+        bench_gemm("gemm_tn", size, MatLayout::Transposed, MatLayout::Normal, iters),
+        bench_gemm("gemm_nt", size, MatLayout::Normal, MatLayout::Transposed, iters),
+    ];
+    // The frozen pre-optimization kernel at the same size.
+    {
+        let mut a = vec![0.0f32; size * size];
+        let mut b = vec![0.0f32; size * size];
+        let mut c = vec![0.0f32; size * size];
+        lcg_fill(&mut a, 1);
+        lcg_fill(&mut b, 2);
+        let (median_ns, bytes) = time_median(iters, || naive_ikj(size, size, size, &a, &b, &mut c));
+        rows.push(GemmRow {
+            name: format!("gemm_naive_ikj_{size}"),
+            m: size,
+            k: size,
+            n: size,
+            median_ns,
+            gflops: gemm_gflops(size, size, size, median_ns),
+            alloc_bytes_per_call: bytes,
+        });
+    }
+    let blocked = rows[0].gflops;
+    let naive = rows.last().expect("naive row").gflops;
+    let speedup = blocked / naive;
+    eprintln!(
+        "[bench] GEMM {size}^3: blocked {blocked:.1} GFLOP/s vs naive {naive:.1} ({speedup:.2}x)"
+    );
+    if !quick && speedup < 2.0 {
+        eprintln!("[bench] FAIL: blocked GEMM speedup {speedup:.2}x < required 2x at {size}^3");
+        std::process::exit(1);
+    }
+
+    // conv3d lowerings on a training-shaped layer.
+    eprintln!("[bench] timing conv3d lowerings ...");
+    let (cn, cin, cout, cs) =
+        if quick { (2, 8, 8, [4usize, 8, 8]) } else { (4, 16, 16, [4, 16, 16]) };
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let cinput = Tensor::randn(&[cn, cin, cs[0], cs[1], cs[2]], 1.0, &mut rng);
+    let cweight = Tensor::randn(&[cout, cin, 3, 3, 3], 1.0, &mut rng);
+    let conv_flops = 2.0 * (cn * cout * cin * 27 * cs[0] * cs[1] * cs[2]) as f64;
+    let (direct_ns, direct_bytes) = time_median(iters, || {
+        std::hint::black_box(conv3d(&cinput, &cweight));
+    });
+    let (lowered_ns, lowered_bytes) = time_median(iters, || {
+        std::hint::black_box(conv3d_im2col(&cinput, &cweight));
+    });
+
+    // ---- One-train-step A/B: workspace pool on vs off ------------------
+    let step_iters = if quick { 5 } else { 15 };
+    eprintln!("[bench] timing one training step, pool ON ({step_iters} iters) ...");
+    let pool_on = bench_train_step(step_iters, true);
+    eprintln!("[bench] timing one training step, pool OFF ({step_iters} iters) ...");
+    let pool_off = bench_train_step(step_iters, false);
+    let alloc_drop = if pool_off.alloc_bytes_per_step > 0 {
+        1.0 - pool_on.alloc_bytes_per_step as f64 / pool_off.alloc_bytes_per_step as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "[bench] train step heap churn: {} B with pool vs {} B without ({:.1}% drop)",
+        pool_on.alloc_bytes_per_step,
+        pool_off.alloc_bytes_per_step,
+        100.0 * alloc_drop
+    );
+
+    // ---- JSON report ----------------------------------------------------
+    let mut gemm_json = String::new();
+    for (idx, r) in rows.iter().enumerate() {
+        if idx > 0 {
+            gemm_json.push_str(",\n");
+        }
+        gemm_json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"median_ns\": {:.0}, \"gflops\": {:.2}, \"alloc_bytes_per_call\": {}}}",
+            r.name, r.m, r.k, r.n, r.median_ns, r.gflops, r.alloc_bytes_per_call
+        ));
+    }
+    let json = format!(
+        "{{\n\
+         \"schema\": \"mfn-bench/kernels/v1\",\n\
+         \"mode\": \"{mode}\",\n\
+         \"count_alloc\": {count_alloc},\n\
+         \"threads\": {threads},\n\
+         \"checks\": {{\"gemm_vs_naive\": \"ok\", \"im2col_vs_direct\": \"ok\"}},\n\
+         \"gemm\": [\n{gemm_json}\n  ],\n\
+         \"gemm_speedup_vs_naive\": {speedup:.3},\n\
+         \"conv3d\": {{\n\
+         \"shape\": {{\"n\": {cn}, \"cin\": {cin}, \"cout\": {cout}, \"spatial\": [{s0}, {s1}, {s2}], \"kernel\": [3, 3, 3]}},\n\
+         \"direct\": {{\"median_ns\": {direct_ns:.0}, \"gflops\": {direct_gf:.2}, \"alloc_bytes_per_call\": {direct_bytes}}},\n\
+         \"im2col\": {{\"median_ns\": {lowered_ns:.0}, \"gflops\": {lowered_gf:.2}, \"alloc_bytes_per_call\": {lowered_bytes}}}\n\
+         }},\n\
+         \"train_step\": {{\n\
+         \"pool_on\": {{\"median_ns\": {on_ns:.0}, \"alloc_bytes\": {on_b}, \"alloc_calls\": {on_c}, \"pool_hits\": {on_h}, \"pool_misses\": {on_m}}},\n\
+         \"pool_off\": {{\"median_ns\": {off_ns:.0}, \"alloc_bytes\": {off_b}, \"alloc_calls\": {off_c}, \"pool_hits\": {off_h}, \"pool_misses\": {off_m}}},\n\
+         \"alloc_drop_ratio\": {alloc_drop:.4}\n\
+         }}\n\
+         }}\n",
+        mode = if quick { "quick" } else { "full" },
+        count_alloc = cfg!(feature = "count-alloc"),
+        threads = mfn_tensor::effective_threads(),
+        speedup = speedup,
+        cn = cn,
+        cin = cin,
+        cout = cout,
+        s0 = cs[0],
+        s1 = cs[1],
+        s2 = cs[2],
+        direct_ns = direct_ns,
+        direct_gf = conv_flops / direct_ns,
+        lowered_ns = lowered_ns,
+        lowered_gf = conv_flops / lowered_ns,
+        on_ns = pool_on.median_ns,
+        on_b = pool_on.alloc_bytes_per_step,
+        on_c = pool_on.alloc_calls_per_step,
+        on_h = pool_on.pool_hits,
+        on_m = pool_on.pool_misses,
+        off_ns = pool_off.median_ns,
+        off_b = pool_off.alloc_bytes_per_step,
+        off_c = pool_off.alloc_calls_per_step,
+        off_h = pool_off.pool_hits,
+        off_m = pool_off.pool_misses,
+    );
+    std::fs::write(&out_path, &json).expect("write bench report");
+    eprintln!("[bench] wrote {out_path}");
+    println!("{json}");
+}

@@ -33,5 +33,7 @@ pub use decoder::{plan_queries, ContinuousDecoder, QueryPlan, VERTICES};
 pub use eval::{evaluate_pair, metric_series, table_header, EvalRow};
 pub use losses::{equation_loss, prediction_loss, ChannelStats, ConstraintSet, RbcParamsF32};
 pub use model::{covering_origins, extract_patch, CoveringOrigins, MeshfreeFlowNet, StepLosses};
-pub use trainer::{BaselineTrainer, Corpus, EpochRecord, Trainer};
+pub use trainer::{
+    log_kernel_config, log_pool_stats, BaselineTrainer, Corpus, EpochRecord, Trainer,
+};
 pub use unet::{ResBlock3d, UNet3d};

@@ -3,12 +3,28 @@
 //! These are the compute-heavy primitives behind the Context Generation
 //! Network (the 3D U-Net of paper Fig. 5). All kernels use stride 1 and
 //! "same" zero padding with odd kernel sizes, which is exactly what the
-//! architecture needs (1×1×1 and 3×3×3 convolutions). Forward and both
-//! backward kernels are written directly (no im2col) and parallelized with
-//! rayon over the batch × channel grid, which at U-Net sizes keeps every core
-//! busy without materializing large intermediates.
+//! architecture needs (1×1×1 and 3×3×3 convolutions).
+//!
+//! Two forward lowerings are provided, and [`conv3d_auto`] picks between
+//! them per layer by shape ([`conv3d_path`]):
+//!
+//! - [`conv3d`]: direct kernel, rayon-parallel over the batch × channel
+//!   grid; no intermediate materialization, best for 1×1×1 kernels (already
+//!   a GEMM-shaped axpy sweep) and for shapes whose lowered patch matrix
+//!   would be huge;
+//! - [`conv3d_im2col`]: lowers the input to a `[N·D·H·W, Cin·kd·kh·kw]`
+//!   patch matrix and runs one blocked GEMM from [`crate::gemm`] — the
+//!   register-tiled micro-kernel amortizes the lowering copy for 3×3×3
+//!   stacks with more than a few channels.
+//!
+//! All inner loops are branch-free: there is deliberately no zero-skip
+//! shortcut on weights, because `0·∞` must produce NaN, not silence (the
+//! gradcheck and NaN-propagation tests pin this down). Output buffers and
+//! im2col scratch come from the [`crate::workspace`] pool, so steady-state
+//! training steps do not touch the system allocator.
 
 use crate::tensor::Tensor;
+use crate::workspace;
 use rayon::prelude::*;
 
 /// Shape metadata for one conv3d application.
@@ -66,7 +82,7 @@ pub fn conv3d(input: &Tensor, weight: &Tensor) -> Tensor {
     let vol = dims.vol();
     let x = input.data();
     let wgt = weight.data();
-    let mut out = vec![0.0f32; dims.n * dims.cout * vol];
+    let mut out = workspace::take_vec_zeroed(dims.n * dims.cout * vol);
 
     out.par_chunks_mut(vol).enumerate().for_each(|(chunk, o)| {
         let n = chunk / dims.cout;
@@ -78,10 +94,9 @@ pub fn conv3d(input: &Tensor, weight: &Tensor) -> Tensor {
             for zd in 0..kd {
                 for zh in 0..kh {
                     for zw in 0..kw {
+                        // No zero-skip on `wval`: 0·∞ must yield NaN, and the
+                        // branch is a mispredict tax on dense weights.
                         let wval = wv[(zd * kh + zh) * kw + zw];
-                        if wval == 0.0 {
-                            continue;
-                        }
                         // Output index (d,h,w) reads input (d+zd-pd, h+zh-ph, w+zw-pw).
                         let d_lo = pd.saturating_sub(zd);
                         let d_hi = (sd + pd - zd).min(sd);
@@ -119,7 +134,7 @@ pub fn conv3d_grad_input(grad_out: &Tensor, weight: &Tensor, dims: Conv3dDims) -
     assert_eq!(grad_out.dims(), &[dims.n, dims.cout, sd, sh, sw]);
     let g = grad_out.data();
     let wgt = weight.data();
-    let mut out = vec![0.0f32; dims.n * dims.cin * vol];
+    let mut out = workspace::take_vec_zeroed(dims.n * dims.cin * vol);
 
     out.par_chunks_mut(vol).enumerate().for_each(|(chunk, o)| {
         let n = chunk / dims.cin;
@@ -131,10 +146,8 @@ pub fn conv3d_grad_input(grad_out: &Tensor, weight: &Tensor, dims: Conv3dDims) -
             for zd in 0..kd {
                 for zh in 0..kh {
                     for zw in 0..kw {
+                        // Branch-free, same as the forward kernel.
                         let wval = wv[(zd * kh + zh) * kw + zw];
-                        if wval == 0.0 {
-                            continue;
-                        }
                         // grad_in[i] += grad_out[i - z + p] * w[z]; bounds on the
                         // *output* index od = id - zd + pd.
                         let d_lo = zd.saturating_sub(pd);
@@ -183,7 +196,7 @@ pub fn conv3d_grad_weight(input: &Tensor, grad_out: &Tensor, dims: Conv3dDims) -
     let x = input.data();
     let g = grad_out.data();
     let ksize = kd * kh * kw;
-    let mut out = vec![0.0f32; dims.cout * dims.cin * ksize];
+    let mut out = workspace::take_vec_zeroed(dims.cout * dims.cin * ksize);
 
     out.par_chunks_mut(dims.cin * ksize).enumerate().for_each(|(co, wslab)| {
         for n in 0..dims.n {
@@ -222,10 +235,62 @@ pub fn conv3d_grad_weight(input: &Tensor, grad_out: &Tensor, dims: Conv3dDims) -
     Tensor::from_vec(out, &[dims.cout, dims.cin, kd, kh, kw])
 }
 
+/// Storage cap for the im2col patch matrix: shapes whose lowered matrix
+/// would exceed this fall back to the direct kernel in [`conv3d_auto`].
+const IM2COL_BYTE_CAP: usize = 512 << 20;
+
+/// Which forward lowering [`conv3d_auto`] picked for a given shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Conv3dPath {
+    /// Direct sliding-window kernel ([`conv3d`]).
+    Direct,
+    /// im2col patch matrix + blocked GEMM ([`conv3d_im2col`]).
+    Im2col,
+}
+
+impl Conv3dPath {
+    /// Stable lowercase name, used by trainer telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            Conv3dPath::Direct => "direct",
+            Conv3dPath::Im2col => "im2col",
+        }
+    }
+}
+
+/// Shape-based heuristic choosing the forward lowering for one layer.
+///
+/// 1×1×1 kernels stay direct: their inner loop is already a dense
+/// channel-mixing GEMM over contiguous voxels, and lowering would only copy
+/// the input. Larger kernels go through im2col + blocked GEMM — the
+/// register-tiled micro-kernel wins as soon as the reduction depth
+/// `Cin·kd·kh·kw` is non-trivial — unless the patch matrix would exceed
+/// [`IM2COL_BYTE_CAP`], where the memory traffic (and the allocator) would
+/// eat the GEMM win.
+pub fn conv3d_path(dims: &Conv3dDims) -> Conv3dPath {
+    let kvol: usize = dims.kernel.iter().product();
+    let lowered_bytes = dims.n * dims.vol() * dims.cin * kvol * std::mem::size_of::<f32>();
+    if kvol == 1 || lowered_bytes > IM2COL_BYTE_CAP {
+        Conv3dPath::Direct
+    } else {
+        Conv3dPath::Im2col
+    }
+}
+
+/// Forward 3D convolution dispatching to the lowering chosen by
+/// [`conv3d_path`]. This is what the U-Net layers call.
+pub fn conv3d_auto(input: &Tensor, weight: &Tensor) -> Tensor {
+    let dims = Conv3dDims::infer(input, weight);
+    match conv3d_path(&dims) {
+        Conv3dPath::Direct => conv3d(input, weight),
+        Conv3dPath::Im2col => conv3d_im2col(input, weight),
+    }
+}
+
 /// Forward 3D convolution via im2col + GEMM: lowers the input into a
 /// `[N·D·H·W, Cin·kd·kh·kw]` patch matrix and multiplies by the flattened
-/// kernel. Trades memory (the lowered matrix) for a single large
-/// rayon-parallel GEMM — typically faster than [`conv3d`] for wide channel
+/// kernel. Trades memory (the lowered matrix, pooled scratch) for a single
+/// blocked GEMM — typically faster than [`conv3d`] for wide channel
 /// counts, slower for 1×1×1 kernels. Produces bit-comparable results (same
 /// f32 sums in a different association order; see the equivalence test).
 pub fn conv3d_im2col(input: &Tensor, weight: &Tensor) -> Tensor {
@@ -237,8 +302,9 @@ pub fn conv3d_im2col(input: &Tensor, weight: &Tensor) -> Tensor {
     let ksize = dims.cin * kd * kh * kw;
     let x = input.data();
 
-    // Lower: row per output position, column per (ci, zd, zh, zw).
-    let mut cols = vec![0.0f32; dims.n * vol * ksize];
+    // Lower: row per output position, column per (ci, zd, zh, zw). Scratch
+    // checkout: every element is written below.
+    let mut cols = workspace::take_scratch(dims.n * vol * ksize);
     cols.par_chunks_mut(vol * ksize).enumerate().for_each(|(n, slab)| {
         for d in 0..sd {
             for h in 0..sh {
@@ -274,19 +340,28 @@ pub fn conv3d_im2col(input: &Tensor, weight: &Tensor) -> Tensor {
             }
         }
     });
-    // GEMM: [N·vol, ksize] @ [ksize, Cout] — use A @ B^T with the kernel in
-    // its native [Cout, ksize] layout.
-    let cols_t = Tensor::from_vec(cols, &[dims.n * vol, ksize]);
-    let w_flat = Tensor::from_vec(weight.data().to_vec(), &[dims.cout, ksize]);
-    let out_nv_co = crate::linalg::matmul_nt(&cols_t, &w_flat); // [N·vol, Cout]
-                                                                // Transpose back to NCDHW.
-    let o = out_nv_co.data();
-    let mut out = vec![0.0f32; dims.n * dims.cout * vol];
+    // GEMM: [N·vol, ksize] @ [ksize, Cout] — the kernel stays in its native
+    // [Cout, ksize] layout (Transposed operand), no weight copy.
+    let mut out_nv_co = workspace::take_scratch(dims.n * vol * dims.cout);
+    crate::gemm::gemm(
+        dims.n * vol,
+        ksize,
+        dims.cout,
+        &cols,
+        crate::gemm::MatLayout::Normal,
+        weight.data(),
+        crate::gemm::MatLayout::Transposed,
+        &mut out_nv_co,
+    );
+    drop(cols);
+    // Transpose back to NCDHW.
+    let o = &out_nv_co;
+    let mut out = workspace::take_vec_scratch(dims.n * dims.cout * vol);
     out.par_chunks_mut(vol).enumerate().for_each(|(chunk, dst)| {
         let n = chunk / dims.cout;
         let co = chunk % dims.cout;
-        for p in 0..vol {
-            dst[p] = o[(n * vol + p) * dims.cout + co];
+        for (p, d) in dst.iter_mut().enumerate() {
+            *d = o[(n * vol + p) * dims.cout + co];
         }
     });
     Tensor::from_vec(out, &[dims.n, dims.cout, sd, sh, sw])
@@ -311,7 +386,7 @@ pub fn maxpool3d(input: &Tensor, factors: [usize; 3]) -> (Tensor, Vec<u32>) {
     let (od, oh, ow) = (d / fd, h / fh, w / fw);
     let x = input.data();
     let ovol = od * oh * ow;
-    let mut out = vec![0.0f32; n * c * ovol];
+    let mut out = workspace::take_vec_scratch(n * c * ovol);
     let mut idx = vec![0u32; n * c * ovol];
     out.par_chunks_mut(ovol).zip(idx.par_chunks_mut(ovol)).enumerate().for_each(
         |(chunk, (o, ix))| {
@@ -350,7 +425,7 @@ pub fn maxpool3d(input: &Tensor, factors: [usize; 3]) -> (Tensor, Vec<u32>) {
 pub fn maxpool3d_backward(grad_out: &Tensor, indices: &[u32], input_dims: &[usize]) -> Tensor {
     let numel: usize = input_dims.iter().product();
     assert_eq!(grad_out.numel(), indices.len());
-    let mut grad_in = vec![0.0f32; numel];
+    let mut grad_in = workspace::take_vec_zeroed(numel);
     for (&g, &i) in grad_out.data().iter().zip(indices) {
         grad_in[i as usize] += g;
     }
@@ -367,7 +442,7 @@ pub fn upsample_nearest3d(input: &Tensor, factors: [usize; 3]) -> Tensor {
     let x = input.data();
     let ovol = od * oh * ow;
     let ivol = d * h * w;
-    let mut out = vec![0.0f32; n * c * ovol];
+    let mut out = workspace::take_vec_scratch(n * c * ovol);
     out.par_chunks_mut(ovol).enumerate().for_each(|(chunk, o)| {
         let xin = &x[chunk * ivol..(chunk + 1) * ivol];
         for zd in 0..od {
@@ -394,7 +469,7 @@ pub fn upsample_nearest3d_backward(grad_out: &Tensor, factors: [usize; 3]) -> Te
     let g = grad_out.data();
     let ivol = d * h * w;
     let ovol = od * oh * ow;
-    let mut out = vec![0.0f32; n * c * ivol];
+    let mut out = workspace::take_vec_zeroed(n * c * ivol);
     out.par_chunks_mut(ivol).enumerate().for_each(|(chunk, o)| {
         let gout = &g[chunk * ovol..(chunk + 1) * ovol];
         for zd in 0..od {
@@ -546,6 +621,59 @@ mod tests {
             for (a, b) in direct.data().iter().zip(lowered.data()) {
                 assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "{a} vs {b} (k={k:?})");
             }
+        }
+    }
+
+    /// `conv3d_auto` must be a pure dispatcher: whichever lowering the
+    /// heuristic picks, the numbers match the direct reference.
+    #[test]
+    fn conv3d_auto_matches_direct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(78);
+        for &(k, cin, cout) in
+            &[([1usize, 1, 1], 3usize, 5usize), ([3, 3, 3], 2, 4), ([1, 3, 3], 4, 2)]
+        {
+            let input = Tensor::randn(&[2, cin, 3, 4, 5], 1.0, &mut rng);
+            let weight = Tensor::randn(&[cout, cin, k[0], k[1], k[2]], 1.0, &mut rng);
+            let direct = conv3d(&input, &weight);
+            let auto = conv3d_auto(&input, &weight);
+            assert_eq!(direct.dims(), auto.dims());
+            for (a, b) in direct.data().iter().zip(auto.data()) {
+                assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "{a} vs {b} (k={k:?})");
+            }
+        }
+    }
+
+    /// The shape heuristic: pointwise kernels stay direct (im2col would
+    /// only copy), ordinary 3^3 kernels lower to im2col, and lowerings that
+    /// would exceed the scratch byte cap fall back to direct.
+    #[test]
+    fn conv3d_path_heuristic() {
+        let pointwise = Conv3dDims { n: 2, cin: 4, cout: 8, spatial: [4, 8, 8], kernel: [1, 1, 1] };
+        assert!(matches!(conv3d_path(&pointwise), Conv3dPath::Direct));
+        assert_eq!(conv3d_path(&pointwise).name(), "direct");
+        let typical = Conv3dDims { n: 2, cin: 4, cout: 8, spatial: [4, 8, 8], kernel: [3, 3, 3] };
+        assert!(matches!(conv3d_path(&typical), Conv3dPath::Im2col));
+        assert_eq!(conv3d_path(&typical).name(), "im2col");
+        let huge =
+            Conv3dDims { n: 64, cin: 256, cout: 256, spatial: [64, 256, 256], kernel: [3, 3, 3] };
+        assert!(matches!(conv3d_path(&huge), Conv3dPath::Direct));
+    }
+
+    /// IEEE semantics through the conv kernels: a zero weight against an
+    /// infinite input must produce NaN (`0 * inf`), not silently skip the
+    /// term. Guards the removal of the old zero-skip fast paths.
+    #[test]
+    fn conv3d_zero_weight_propagates_nan_from_inf_input() {
+        let input = Tensor::full(&[1, 1, 2, 2, 2], f32::INFINITY);
+        let weight = Tensor::zeros(&[1, 1, 1, 1, 1]);
+        for v in conv3d(&input, &weight).data() {
+            assert!(v.is_nan(), "0 * inf must be NaN, got {v}");
+        }
+        // Same law through the input-gradient kernel (grad = w * grad_out).
+        let dims = Conv3dDims::infer(&input, &weight);
+        let grad_out = Tensor::full(&[1, 1, 2, 2, 2], f32::INFINITY);
+        for v in conv3d_grad_input(&grad_out, &weight, dims).data() {
+            assert!(v.is_nan(), "0 * inf must be NaN in grad_input, got {v}");
         }
     }
 

@@ -5,23 +5,31 @@
 //!
 //! - [`Tensor`]: contiguous row-major storage with element-wise ops,
 //!   concat/split, and seeded random initialization;
-//! - [`linalg`]: GEMM kernels (`A@B`, `Aᵀ@B`, `A@Bᵀ`) for the continuous
-//!   decoding MLP;
-//! - [`conv`]: 3D convolution (forward + both backwards), max pooling and
-//!   nearest-neighbor upsampling for the 3D U-Net encoder.
+//! - [`linalg`]: GEMM entry points (`A@B`, `Aᵀ@B`, `A@Bᵀ`) for the
+//!   continuous decoding MLP, all lowering onto the blocked micro-kernel in
+//!   [`gemm`];
+//! - [`conv`]: 3D convolution (forward + both backwards, direct and
+//!   im2col+GEMM lowerings with a shape-based auto heuristic), max pooling
+//!   and nearest-neighbor upsampling for the 3D U-Net encoder;
+//! - [`workspace`]: the buffer pool that lets kernels and tensor temporaries
+//!   reuse memory across training steps.
 //!
 //! The `mfn-autodiff` crate wraps these kernels with a reverse-mode tape;
 //! this crate itself is AD-agnostic.
 
 pub mod conv;
+pub mod gemm;
 pub mod linalg;
 pub mod shape;
 pub mod tensor;
+pub mod workspace;
 
 pub use conv::{
-    conv3d, conv3d_grad_input, conv3d_grad_weight, conv3d_im2col, maxpool3d, maxpool3d_backward,
-    upsample_nearest3d, upsample_nearest3d_backward, Conv3dDims,
+    conv3d, conv3d_auto, conv3d_grad_input, conv3d_grad_weight, conv3d_im2col, conv3d_path,
+    maxpool3d, maxpool3d_backward, upsample_nearest3d, upsample_nearest3d_backward, Conv3dDims,
+    Conv3dPath,
 };
+pub use gemm::{effective_threads, gemm, MatLayout, PAR_FLOP_THRESHOLD};
 pub use linalg::{matmul, matmul_nt, matmul_tn, matvec};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -1,135 +1,80 @@
-//! Rayon-parallel dense matrix multiplication kernels.
+//! Dense matrix-multiplication entry points over the blocked GEMM kernel.
 //!
 //! The continuous decoding network is dominated by batched fully-connected
 //! layers, i.e. `[rows, in] x [in, out]` GEMMs with `rows` in the tens of
-//! thousands (query points × 8 cell vertices). We parallelize over output
-//! rows with rayon and keep the inner loops in a cache-friendly `ikj` order so
-//! LLVM can vectorize the innermost accumulation.
+//! thousands (query points × 8 cell vertices). All three transpose variants
+//! (`matmul`, `matmul_tn`, `matmul_nt`) lower onto the single cache-blocked,
+//! register-tiled micro-kernel in [`crate::gemm`] — transposition is folded
+//! into the packing strides, so there is exactly one inner loop to keep fast.
+//! See the [`crate::gemm`] module docs for the MC/KC/NC blocking scheme, the
+//! MR×NR packing layout, and why the inner loop is branch-free (NaN/Inf
+//! propagation). Output storage and packing buffers come from the
+//! [`crate::workspace`] pool, so steady-state calls do not allocate.
 
+use crate::gemm::{gemm, MatLayout};
 use crate::tensor::Tensor;
-use rayon::prelude::*;
+use crate::workspace;
 
-/// Threshold (in multiply-adds) below which we stay single-threaded: tiny
-/// GEMMs are faster without the fork-join overhead.
-const PAR_FLOP_THRESHOLD: usize = 64 * 1024;
+pub use crate::gemm::{effective_threads, PAR_FLOP_THRESHOLD};
 
 /// `C = A @ B` for `A: [m, k]`, `B: [k, n]`.
 ///
 /// # Panics
 /// Panics if the shapes are not rank-2 and compatible.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, k) = dims2(a, "matmul lhs");
-    let (k2, n) = dims2(b, "matmul rhs");
+    let (m, k) = dims2(a, "matmul");
+    let (k2, n) = dims2(b, "matmul");
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
-    let mut out = vec![0.0f32; m * n];
-    let a = a.data();
-    let bd = b.data();
-    let row = |i: usize, out_row: &mut [f32]| {
-        for p in 0..k {
-            let aip = a[i * k + p];
-            if aip == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(brow) {
-                *o += aip * bv;
-            }
-        }
-    };
-    if m * n * k >= PAR_FLOP_THRESHOLD {
-        out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| row(i, out_row));
-    } else {
-        for (i, out_row) in out.chunks_mut(n).enumerate() {
-            row(i, out_row);
-        }
-    }
+    let mut out = workspace::take_vec_scratch(m * n);
+    gemm(m, k, n, a.data(), MatLayout::Normal, b.data(), MatLayout::Normal, &mut out);
     Tensor::from_vec(out, &[m, n])
 }
 
 /// `C = A^T @ B` for `A: [k, m]`, `B: [k, n]` — the gradient-of-weights shape
 /// in a linear layer backward pass, computed without materializing `A^T`.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
-    let (k, m) = dims2(a, "matmul_tn lhs");
-    let (k2, n) = dims2(b, "matmul_tn rhs");
+    let (k, m) = dims2(a, "matmul_tn");
+    let (k2, n) = dims2(b, "matmul_tn");
     assert_eq!(k, k2, "matmul_tn inner dimension mismatch");
-    let ad = a.data();
-    let bd = b.data();
-    let mut out = vec![0.0f32; m * n];
-    let row = |i: usize, out_row: &mut [f32]| {
-        for p in 0..k {
-            let av = ad[p * m + i];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    };
-    if m * n * k >= PAR_FLOP_THRESHOLD {
-        out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| row(i, out_row));
-    } else {
-        for (i, out_row) in out.chunks_mut(n).enumerate() {
-            row(i, out_row);
-        }
-    }
+    let mut out = workspace::take_vec_scratch(m * n);
+    gemm(m, k, n, a.data(), MatLayout::Transposed, b.data(), MatLayout::Normal, &mut out);
     Tensor::from_vec(out, &[m, n])
 }
 
 /// `C = A @ B^T` for `A: [m, k]`, `B: [n, k]` — the gradient-of-input shape in
 /// a linear layer backward pass, computed without materializing `B^T`.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, k) = dims2(a, "matmul_nt lhs");
-    let (n, k2) = dims2(b, "matmul_nt rhs");
+    let (m, k) = dims2(a, "matmul_nt");
+    let (n, k2) = dims2(b, "matmul_nt");
     assert_eq!(k, k2, "matmul_nt inner dimension mismatch");
-    let ad = a.data();
-    let bd = b.data();
-    let mut out = vec![0.0f32; m * n];
-    let row = |i: usize, out_row: &mut [f32]| {
-        let arow = &ad[i * k..(i + 1) * k];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            *o = acc;
-        }
-    };
-    if m * n * k >= PAR_FLOP_THRESHOLD {
-        out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| row(i, out_row));
-    } else {
-        for (i, out_row) in out.chunks_mut(n).enumerate() {
-            row(i, out_row);
-        }
-    }
+    let mut out = workspace::take_vec_scratch(m * n);
+    gemm(m, k, n, a.data(), MatLayout::Normal, b.data(), MatLayout::Transposed, &mut out);
     Tensor::from_vec(out, &[m, n])
 }
 
 /// Matrix–vector product `A @ x` for `A: [m, n]`, `x: [n]`.
 pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
-    let (m, n) = dims2(a, "matvec lhs");
+    let (m, n) = dims2(a, "matvec");
     assert_eq!(x.numel(), n, "matvec vector length mismatch");
     let ad = a.data();
     let xd = x.data();
-    let out: Vec<f32> = (0..m)
-        .map(|i| {
-            let row = &ad[i * n..(i + 1) * n];
-            row.iter().zip(xd).map(|(&a, &b)| a * b).sum()
-        })
-        .collect();
+    let mut out = workspace::take_vec_capacity(m);
+    out.extend((0..m).map(|i| {
+        let row = &ad[i * n..(i + 1) * n];
+        row.iter().zip(xd).map(|(&a, &b)| a * b).sum::<f32>()
+    }));
     Tensor::from_vec(out, &[m])
 }
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
-    assert_eq!(t.shape().rank(), 2, "{what} must be rank 2, got {:?}", t.dims());
+    assert_eq!(t.shape().rank(), 2, "{what} operand must be rank 2, got {:?}", t.dims());
     (t.dims()[0], t.dims()[1])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -222,8 +167,53 @@ mod tests {
     }
 
     #[test]
+    fn nan_propagates_through_matmul() {
+        // The old kernel's `if aip == 0.0 { continue }` shortcut dropped
+        // 0·∞ and 0·NaN contributions; the blocked kernel must not.
+        let a = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![f32::INFINITY, 3.0], &[2, 1]);
+        assert!(matmul(&a, &b).data()[0].is_nan());
+        let at = Tensor::from_vec(vec![0.0, 1.0], &[2, 1]);
+        assert!(matmul_tn(&at, &b).data()[0].is_nan());
+    }
+
+    #[test]
     #[should_panic(expected = "inner dimension mismatch")]
     fn mismatched_shapes_panic() {
         matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Blocked GEMM equals the naive triple loop on shapes that are
+        /// deliberately not multiples of MR/NR/MC/KC.
+        #[test]
+        fn blocked_matches_naive_random_shapes(
+            m in 1usize..70,
+            k in 1usize..70,
+            n in 1usize..70,
+            seed in 0u64..1 << 32,
+        ) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let want = naive(&a, &b);
+            let got = matmul(&a, &b);
+            for (x, y) in got.data().iter().zip(want.data()) {
+                prop_assert!(
+                    (x - y).abs() <= 1e-4 * (1.0 + y.abs()),
+                    "matmul {m}x{k}x{n}: {x} vs {y}"
+                );
+            }
+            let gtn = matmul_tn(&a.transpose2(), &b);
+            let gnt = matmul_nt(&a, &b.transpose2());
+            for (x, y) in gtn.data().iter().zip(got.data()) {
+                prop_assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "tn {m}x{k}x{n}");
+            }
+            for (x, y) in gnt.data().iter().zip(got.data()) {
+                prop_assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "nt {m}x{k}x{n}");
+            }
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! The dense `f32` tensor type and its element-wise operations.
 
 use crate::shape::Shape;
+use crate::workspace;
 use rand::Rng;
 use std::fmt;
 
@@ -11,10 +12,29 @@ use std::fmt;
 /// autodiff tape can clone, move, and mutate buffers without aliasing
 /// headaches, and so the rayon kernels in [`crate::linalg`] and
 /// [`crate::conv`] can split the flat buffer freely.
-#[derive(Clone, PartialEq)]
+///
+/// Storage is pool-backed: constructors check buffers out of the
+/// [`crate::workspace`] pool and `Drop` donates them back, so the thousands
+/// of short-lived tensors a training step creates (tape activations,
+/// gradients, kernel outputs) recycle the same allocations step after step.
+#[derive(PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = workspace::take_vec_scratch(self.data.len());
+        data.copy_from_slice(&self.data);
+        Tensor { data, shape: self.shape.clone() }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        workspace::give_vec(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -31,7 +51,7 @@ impl Tensor {
     /// A tensor of zeros.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![0.0; shape.numel()], shape }
+        Tensor { data: workspace::take_vec_zeroed(shape.numel()), shape }
     }
 
     /// A tensor of ones.
@@ -42,7 +62,9 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![value; shape.numel()], shape }
+        let mut data = workspace::take_vec_scratch(shape.numel());
+        data.fill(value);
+        Tensor { data, shape }
     }
 
     /// A scalar (rank-0) tensor.
@@ -101,9 +123,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning its flat buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor, returning its flat buffer (the buffer is *not*
+    /// donated to the pool — the caller owns it).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// The single value of a rank-0 or single-element tensor.
@@ -141,7 +164,9 @@ impl Tensor {
 
     /// Element-wise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+        let mut data = workspace::take_vec_capacity(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
+        Tensor { data, shape: self.shape.clone() }
     }
 
     /// Element-wise combination of two same-shaped tensors.
@@ -150,7 +175,8 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        let mut data = workspace::take_vec_capacity(self.data.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
         Tensor { data, shape: self.shape.clone() }
     }
 
@@ -237,7 +263,7 @@ impl Tensor {
         // outer = product of dims before axis, inner = product after.
         let outer: usize = out_dims[..axis].iter().product();
         let inner: usize = out_dims[axis + 1..].iter().product();
-        let mut data = Vec::with_capacity(out_dims.iter().product());
+        let mut data = workspace::take_vec_capacity(out_dims.iter().product());
         for o in 0..outer {
             for t in tensors {
                 let len = t.dims()[axis] * inner;
@@ -262,7 +288,7 @@ impl Tensor {
             .map(|&s| {
                 let mut dims = self.dims().to_vec();
                 dims[axis] = s;
-                (Vec::with_capacity(outer * s * inner), dims)
+                (workspace::take_vec_capacity(outer * s * inner), dims)
             })
             .collect();
         for o in 0..outer {
@@ -279,7 +305,7 @@ impl Tensor {
     pub fn transpose2(&self) -> Tensor {
         assert_eq!(self.shape.rank(), 2, "transpose2 requires rank 2");
         let (m, n) = (self.dims()[0], self.dims()[1]);
-        let mut out = vec![0.0f32; m * n];
+        let mut out = workspace::take_vec_scratch(m * n);
         for i in 0..m {
             for j in 0..n {
                 out[j * m + i] = self.data[i * n + j];
