@@ -6,7 +6,9 @@
 //! a checkpoint can only be restored into a model with the same
 //! architecture.
 
+use crate::optim::{Adam, AdamConfig};
 use crate::params::{ParamId, ParamStore};
+use mfn_tensor::Tensor;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -15,6 +17,14 @@ const MAGIC: &[u8; 8] = b"MFNCKPT1";
 /// Writes every parameter (name, shape, values) to `path`.
 pub fn save_params(store: &ParamStore, path: &Path) -> io::Result<()> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
+    write_params(store, &mut w)?;
+    w.flush()
+}
+
+/// Streams every parameter (magic, count, then name/shape/values per
+/// parameter) into `w`. The payload-embedding form of [`save_params`], used
+/// by the full training-state checkpoint in `mfn-core`.
+pub fn write_params(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
     w.write_all(MAGIC)?;
     w.write_all(&(store.len() as u64).to_le_bytes())?;
     for (id, name, tensor) in store.iter() {
@@ -22,15 +32,9 @@ pub fn save_params(store: &ParamStore, path: &Path) -> io::Result<()> {
         let nb = name.as_bytes();
         w.write_all(&(nb.len() as u32).to_le_bytes())?;
         w.write_all(nb)?;
-        w.write_all(&(tensor.shape().rank() as u32).to_le_bytes())?;
-        for &d in tensor.dims() {
-            w.write_all(&(d as u64).to_le_bytes())?;
-        }
-        for &v in tensor.data() {
-            w.write_all(&v.to_le_bytes())?;
-        }
+        tensor.write_to(w)?;
     }
-    w.flush()
+    Ok(())
 }
 
 /// Restores parameters saved by [`save_params`] into `store`.
@@ -40,18 +44,24 @@ pub fn save_params(store: &ParamStore, path: &Path) -> io::Result<()> {
 /// store (architecture mismatch).
 pub fn load_params(store: &mut ParamStore, path: &Path) -> io::Result<()> {
     let mut r = BufReader::new(std::fs::File::open(path)?);
+    read_params(store, &mut r)
+}
+
+/// Streams parameters written by [`write_params`] back into `store`,
+/// validating names and shapes against the live registrations.
+pub fn read_params(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(bad("bad magic bytes"));
     }
-    let count = read_u64(&mut r)? as usize;
+    let count = read_u64(r)? as usize;
     if count != store.len() {
         return Err(bad(&format!("checkpoint has {count} parameters, model has {}", store.len())));
     }
     for i in 0..count {
         let id = ParamId(i);
-        let name_len = read_u32(&mut r)? as usize;
+        let name_len = read_u32(r)? as usize;
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name)?;
         let name = String::from_utf8(name).map_err(|_| bad("non-UTF8 parameter name"))?;
@@ -61,10 +71,10 @@ pub fn load_params(store: &mut ParamStore, path: &Path) -> io::Result<()> {
                 store.name(id)
             )));
         }
-        let rank = read_u32(&mut r)? as usize;
+        let rank = read_u32(r)? as usize;
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
-            dims.push(read_u64(&mut r)? as usize);
+            dims.push(read_u64(r)? as usize);
         }
         if dims != store.get(id).dims() {
             return Err(bad(&format!(
@@ -81,6 +91,68 @@ pub fn load_params(store: &mut ParamStore, path: &Path) -> io::Result<()> {
         }
     }
     Ok(())
+}
+
+const ADAM_MAGIC: &[u8; 8] = b"MFNADAM1";
+
+/// Streams the complete Adam state — hyperparameters, step count, and both
+/// moment buffers — into `w`, so a resumed run continues the exact update
+/// trajectory (bias correction depends on `t`; the moments carry momentum).
+pub fn write_adam(opt: &Adam, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(ADAM_MAGIC)?;
+    let cfg = opt.config();
+    for v in [cfg.lr, cfg.beta1, cfg.beta2, cfg.eps, cfg.weight_decay] {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.write_all(&opt.steps().to_le_bytes())?;
+    let (m, v) = opt.moments();
+    w.write_all(&(m.len() as u64).to_le_bytes())?;
+    for t in m.iter().chain(v) {
+        t.write_to(w)?;
+    }
+    Ok(())
+}
+
+/// Reads Adam state written by [`write_adam`] and binds it to `store`,
+/// validating the moment shapes against the live parameters.
+pub fn read_adam(store: &ParamStore, r: &mut impl Read) -> io::Result<Adam> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != ADAM_MAGIC {
+        return Err(bad("bad Adam state magic bytes"));
+    }
+    let mut f = [0f32; 5];
+    for v in f.iter_mut() {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        *v = f32::from_le_bytes(b);
+    }
+    let cfg = AdamConfig { lr: f[0], beta1: f[1], beta2: f[2], eps: f[3], weight_decay: f[4] };
+    let t = read_u64(r)?;
+    let count = read_u64(r)? as usize;
+    if count != store.len() {
+        return Err(bad(&format!("Adam state has {count} moments, model has {}", store.len())));
+    }
+    let mut read_list = |what: &str| -> io::Result<Vec<Tensor>> {
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            let m = Tensor::read_from(r)?;
+            if m.dims() != store.get(ParamId(i)).dims() {
+                return Err(bad(&format!(
+                    "Adam {what} moment {i} shape {:?} does not match parameter {:?}",
+                    m.dims(),
+                    store.get(ParamId(i)).dims()
+                )));
+            }
+            out.push(m);
+        }
+        Ok(out)
+    };
+    let m = read_list("first")?;
+    let v = read_list("second")?;
+    let mut opt = Adam::new(store, cfg);
+    opt.restore_state(cfg, m, v, t);
+    Ok(opt)
 }
 
 fn bad(msg: &str) -> io::Error {
@@ -152,6 +224,53 @@ mod tests {
         other.register("layer.weight", Tensor::zeros(&[4, 3]));
         assert!(load_params(&mut other, &path).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn adam_roundtrip_continues_identical_trajectory() {
+        let mut a = example_store(3);
+        let mut b = example_store(3);
+        let cfg = AdamConfig { lr: 0.05, ..Default::default() };
+        let mut opt_a = Adam::new(&a, cfg);
+        let grads: Vec<Tensor> =
+            (0..a.len()).map(|i| Tensor::full(a.get(ParamId(i)).dims(), 0.3)).collect();
+        for _ in 0..4 {
+            opt_a.step(&mut a, &grads);
+        }
+        // Serialize mid-run state, restore into a fresh optimizer bound to `b`.
+        let mut buf = Vec::new();
+        write_adam(&opt_a, &mut buf).expect("write");
+        b.unflatten_into(&a.flatten());
+        let mut opt_b = read_adam(&b, &mut buf.as_slice()).expect("read");
+        assert_eq!(opt_b.steps(), 4);
+        // Both continue for 3 more steps; trajectories must match bitwise.
+        for _ in 0..3 {
+            opt_a.step(&mut a, &grads);
+            opt_b.step(&mut b, &grads);
+        }
+        assert_eq!(a.flatten(), b.flatten());
+    }
+
+    #[test]
+    fn read_adam_rejects_garbage_and_mismatch() {
+        let store = example_store(1);
+        // Garbage magic.
+        assert!(read_adam(&store, &mut &b"not an adam state..."[..]).is_err());
+        // State captured from a differently-shaped store.
+        let mut other = ParamStore::new();
+        other.register("layer.weight", Tensor::zeros(&[2, 2]));
+        other.register("layer.bias", Tensor::zeros(&[4]));
+        other.register("bn.gamma", Tensor::zeros(&[2]));
+        let opt = Adam::new(&other, AdamConfig::default());
+        let mut buf = Vec::new();
+        write_adam(&opt, &mut buf).expect("write");
+        assert!(read_adam(&store, &mut buf.as_slice()).is_err());
+        // Truncated payload.
+        let opt = Adam::new(&store, AdamConfig::default());
+        let mut buf = Vec::new();
+        write_adam(&opt, &mut buf).expect("write");
+        buf.truncate(buf.len() - 5);
+        assert!(read_adam(&store, &mut buf.as_slice()).is_err());
     }
 
     #[test]

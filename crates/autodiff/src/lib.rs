@@ -22,7 +22,7 @@ pub mod nn;
 pub mod optim;
 pub mod params;
 
-pub use checkpoint::{load_params, save_params};
+pub use checkpoint::{load_params, read_adam, read_params, save_params, write_adam, write_params};
 pub use graph::{sigmoid_scalar, softplus_scalar, Graph, Var};
 pub use jet::{activation_jet, linear_jet, mlp_jet, Jet3, JetVec};
 pub use nn::{Activation, BatchNorm3d, Conv3dLayer, Linear, Mlp};

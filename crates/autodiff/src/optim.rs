@@ -63,6 +63,33 @@ impl Adam {
         self.t
     }
 
+    /// Read-only view of the first/second moment buffers (registration
+    /// order, like the store). Exposed so checkpoints can persist the full
+    /// optimizer state — losing the moments on crash-resume silently changes
+    /// the trajectory even when the parameters are restored exactly.
+    pub fn moments(&self) -> (&[Tensor], &[Tensor]) {
+        (&self.m, &self.v)
+    }
+
+    /// Replaces the optimizer state wholesale (checkpoint restore).
+    ///
+    /// # Panics
+    /// Panics if the moment lists do not match the existing buffers in
+    /// count or per-tensor shape — a restored state must describe the same
+    /// parameter registration order it was captured from.
+    pub fn restore_state(&mut self, cfg: AdamConfig, m: Vec<Tensor>, v: Vec<Tensor>, t: u64) {
+        assert_eq!(m.len(), self.m.len(), "Adam first-moment count mismatch");
+        assert_eq!(v.len(), self.v.len(), "Adam second-moment count mismatch");
+        for (i, (nm, nv)) in m.iter().zip(&v).enumerate() {
+            assert_eq!(nm.dims(), self.m[i].dims(), "first-moment shape mismatch at param {i}");
+            assert_eq!(nv.dims(), self.v[i].dims(), "second-moment shape mismatch at param {i}");
+        }
+        self.cfg = cfg;
+        self.m = m;
+        self.v = v;
+        self.t = t;
+    }
+
     /// Applies one update. `grads` must align with the store.
     ///
     /// # Panics

@@ -4,7 +4,7 @@
 //! ```text
 //! usage: train --hr PATH --lr PATH --ckpt PATH [--epochs N] [--gamma G]
 //!              [--rate LR] [--batch N] [--workers N] [--valid-frac F]
-//!              [--telemetry PATH]
+//!              [--telemetry PATH] [--checkpoint-every N] [--resume PATH]
 //! ```
 //!
 //! With `--workers > 1`, trains data-parallel with the ring all-reduce.
@@ -12,12 +12,18 @@
 //! reports the physics-metric scoreboard on the held-out range.
 //! With `--telemetry`, appends one JSON object per gradient step (losses,
 //! gradient norms, per-phase timings) to the given `.jsonl` file.
+//! With `--checkpoint-every N`, writes a full train-state checkpoint
+//! (params, BN stats, Adam moments, sampler position, epoch/batch cursor)
+//! every N gradient steps to `<ckpt>.state`; `--resume PATH` continues a
+//! run from such a file bit-identically to one that was never interrupted.
+//! With `--workers > 1`, either flag routes training through the elastic
+//! supervisor, which snapshots once per epoch instead of every N steps.
 
 use mfn_core::{
     evaluate_pair, table_header, Corpus, MeshfreeFlowNet, MfnConfig, TrainConfig, Trainer,
 };
 use mfn_data::{downsample, load_dataset, PatchSpec};
-use mfn_dist::train_data_parallel_recorded;
+use mfn_dist::{train_data_parallel_recorded, train_elastic, FaultPlan, SupervisorConfig};
 use mfn_telemetry::Recorder;
 use std::path::PathBuf;
 
@@ -30,13 +36,14 @@ struct Args {
     workers: usize,
     valid_frac: f64,
     telemetry: Option<PathBuf>,
+    resume: Option<PathBuf>,
 }
 
 fn parse() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: train --hr PATH [--lr PATH] --ckpt PATH [--epochs N] \
                  [--gamma G] [--rate LR] [--batch N] [--workers N] [--valid-frac F] \
-                 [--telemetry PATH]";
+                 [--telemetry PATH] [--checkpoint-every N] [--resume PATH]";
     let mut hr = None;
     let mut lr = None;
     let mut ckpt = None;
@@ -52,6 +59,7 @@ fn parse() -> Args {
     let mut workers = 1usize;
     let mut valid_frac = 0.0f64;
     let mut telemetry = None;
+    let mut resume = None;
     let mut i = 0;
     let next = |argv: &[String], i: &mut usize, what: &str| -> String {
         *i += 1;
@@ -76,6 +84,11 @@ fn parse() -> Args {
                 valid_frac = next(&argv, &mut i, "--valid-frac").parse().expect("float")
             }
             "--telemetry" => telemetry = Some(PathBuf::from(next(&argv, &mut i, "--telemetry"))),
+            "--checkpoint-every" => {
+                tc.checkpoint_every =
+                    next(&argv, &mut i, "--checkpoint-every").parse().expect("integer")
+            }
+            "--resume" => resume = Some(PathBuf::from(next(&argv, &mut i, "--resume"))),
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);
@@ -100,6 +113,7 @@ fn parse() -> Args {
         workers,
         valid_frac,
         telemetry,
+        resume,
     }
 }
 
@@ -140,29 +154,98 @@ fn main() {
         None => Recorder::null(),
     };
 
+    // Full train-state checkpoints (periodic writes and resume) live next to
+    // the model checkpoint unless --resume names an existing file.
+    let state_path = args.resume.clone().unwrap_or_else(|| {
+        let mut p = args.ckpt.as_os_str().to_owned();
+        p.push(".state");
+        PathBuf::from(p)
+    });
+    let fault_tolerant = args.tc.checkpoint_every > 0 || args.resume.is_some();
+
     let model = if args.workers > 1 {
-        eprintln!("data-parallel training on {} workers ...", args.workers);
-        let r =
-            train_data_parallel_recorded(&corpus, &mcfg, &args.tc, args.workers, recorder.clone());
-        eprintln!(
-            "throughput {:.1} samples/s, final loss {:.4}",
-            r.throughput,
-            r.epoch_losses.last().copied().unwrap_or(f32::NAN)
-        );
-        let total_wait: f64 = r.allreduce_wait.iter().sum();
-        eprintln!("all-reduce wait: {:.3}s total across {} ranks", total_wait, r.workers);
-        let mut m = MeshfreeFlowNet::new(mcfg);
-        m.store.unflatten_into(&r.final_params);
-        m
+        if fault_tolerant {
+            // The elastic supervisor checkpoints the whole multi-rank state
+            // once per epoch and resumes from an existing file on its own.
+            eprintln!(
+                "elastic training on {} workers (state: {}) ...",
+                args.workers,
+                state_path.display()
+            );
+            let sup = SupervisorConfig {
+                workers: args.workers,
+                checkpoint_path: Some(state_path.clone()),
+                ..Default::default()
+            };
+            let r =
+                train_elastic(&corpus, &mcfg, &args.tc, &sup, &FaultPlan::none(), recorder.clone());
+            eprintln!(
+                "final loss {:.4}, world {}, failures {}, ring re-forms {}{}",
+                r.epoch_losses.last().copied().unwrap_or(f32::NAN),
+                r.final_world,
+                r.failures,
+                r.ring_reforms,
+                if r.completed { "" } else { " (run stopped early)" }
+            );
+            let mut m = MeshfreeFlowNet::new(mcfg);
+            m.store.unflatten_into(&r.final_params);
+            m
+        } else {
+            eprintln!("data-parallel training on {} workers ...", args.workers);
+            let r = train_data_parallel_recorded(
+                &corpus,
+                &mcfg,
+                &args.tc,
+                args.workers,
+                recorder.clone(),
+            );
+            eprintln!(
+                "throughput {:.1} samples/s, final loss {:.4}",
+                r.throughput,
+                r.epoch_losses.last().copied().unwrap_or(f32::NAN)
+            );
+            let total_wait: f64 = r.allreduce_wait.iter().sum();
+            eprintln!("all-reduce wait: {:.3}s total across {} ranks", total_wait, r.workers);
+            let mut m = MeshfreeFlowNet::new(mcfg);
+            m.store.unflatten_into(&r.final_params);
+            m
+        }
     } else {
-        let mut trainer =
-            Trainer::new(MeshfreeFlowNet::new(mcfg), args.tc).with_recorder(recorder.clone());
+        let mut trainer = match &args.resume {
+            Some(path) => {
+                let t = Trainer::resume(MeshfreeFlowNet::new(mcfg), args.tc, path).unwrap_or_else(
+                    |e| {
+                        eprintln!("error: cannot resume from {}: {e}", path.display());
+                        std::process::exit(1);
+                    },
+                );
+                eprintln!("resumed from {} at step {}", path.display(), t.steps_taken());
+                t
+            }
+            None => Trainer::new(MeshfreeFlowNet::new(mcfg), args.tc),
+        }
+        .with_recorder(recorder.clone());
+        if fault_tolerant {
+            trainer = trainer.with_checkpointing(&state_path);
+            if args.tc.checkpoint_every > 0 {
+                eprintln!(
+                    "train-state checkpoints every {} steps -> {}",
+                    args.tc.checkpoint_every,
+                    state_path.display()
+                );
+            }
+        }
         let recs = trainer.train(&corpus);
         for r in recs.iter().step_by((recs.len() / 8).max(1)) {
             eprintln!(
                 "epoch {:>4}  loss {:.4}  (pred {:.4}, eq {:.4})",
                 r.epoch, r.loss, r.prediction, r.equation
             );
+        }
+        if fault_tolerant {
+            // A final state write captures the completed run so a later
+            // --resume with more epochs continues instead of restarting.
+            trainer.save_checkpoint(&state_path).expect("write final train state");
         }
         trainer.model
     };

@@ -139,6 +139,7 @@ impl ExperimentScale {
             grad_clip: 1.0,
             lr_decay: self.lr_decay,
             seed: 0,
+            checkpoint_every: 0,
         }
     }
 

@@ -134,6 +134,10 @@ pub struct TrainConfig {
     pub lr_decay: f32,
     /// RNG seed for batch sampling.
     pub seed: u64,
+    /// Write a full train-state checkpoint every N gradient steps (0
+    /// disables). Takes effect only when the trainer has a checkpoint path
+    /// (see `Trainer::with_checkpointing`).
+    pub checkpoint_every: usize,
 }
 
 impl Default for TrainConfig {
@@ -146,6 +150,7 @@ impl Default for TrainConfig {
             grad_clip: 1.0,
             lr_decay: 1.0,
             seed: 0,
+            checkpoint_every: 0,
         }
     }
 }

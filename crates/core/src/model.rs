@@ -54,10 +54,20 @@ impl MeshfreeFlowNet {
     /// batch-norm running statistics (`<path>.bnstats`).
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
         save_params(&self.store, path)?;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(bn_stats_path(path))?);
+        self.write_bn_stats(&mut w)?;
+        use std::io::Write;
+        w.flush()
+    }
+
+    /// Streams the batch-norm running statistics (count, then per-layer
+    /// channel count, means, variances) into `w`. Used by [`save`] and
+    /// embedded verbatim in the full training-state checkpoint.
+    ///
+    /// [`save`]: MeshfreeFlowNet::save
+    pub fn write_bn_stats(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
         let mut bns = Vec::new();
         self.unet.collect_bn(&mut bns);
-        let mut w = std::io::BufWriter::new(std::fs::File::create(bn_stats_path(path))?);
-        use std::io::Write;
         w.write_all(&(bns.len() as u64).to_le_bytes())?;
         for bn in bns {
             w.write_all(&(bn.running_mean.len() as u64).to_le_bytes())?;
@@ -68,46 +78,44 @@ impl MeshfreeFlowNet {
                 w.write_all(&v.to_le_bytes())?;
             }
         }
-        w.flush()
+        Ok(())
     }
 
     /// Restores state written by [`MeshfreeFlowNet::save`]. The architecture
     /// must match (validated by parameter names/shapes).
     pub fn load(&mut self, path: &std::path::Path) -> std::io::Result<()> {
         load_params(&mut self.store, path)?;
-        let bytes = std::fs::read(bn_stats_path(path))?;
-        let mut off = 0usize;
-        let read_u64 = |b: &[u8], o: &mut usize| -> std::io::Result<u64> {
-            let s = b.get(*o..*o + 8).ok_or_else(|| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, "truncated bn stats")
-            })?;
-            *o += 8;
-            Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+        let mut r = std::io::BufReader::new(std::fs::File::open(bn_stats_path(path))?);
+        self.read_bn_stats(&mut r)
+    }
+
+    /// Restores batch-norm statistics written by [`write_bn_stats`],
+    /// validating layer and channel counts against this model.
+    ///
+    /// [`write_bn_stats`]: MeshfreeFlowNet::write_bn_stats
+    pub fn read_bn_stats(&mut self, r: &mut impl std::io::Read) -> std::io::Result<()> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let read_u64 = |r: &mut dyn std::io::Read| -> std::io::Result<u64> {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            Ok(u64::from_le_bytes(b))
         };
-        let count = read_u64(&bytes, &mut off)? as usize;
+        let count = read_u64(r)? as usize;
         let mut bns = Vec::new();
         self.unet.collect_bn_mut(&mut bns);
         if count != bns.len() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("checkpoint has {count} BN layers, model has {}", bns.len()),
-            ));
+            return Err(bad(&format!("checkpoint has {count} BN layers, model has {}", bns.len())));
         }
         for bn in bns {
-            let c = read_u64(&bytes, &mut off)? as usize;
+            let c = read_u64(r)? as usize;
             if c != bn.running_mean.len() {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    "BN channel count mismatch",
-                ));
+                return Err(bad("BN channel count mismatch"));
             }
             let mut read_f32s = |dst: &mut Vec<f32>| -> std::io::Result<()> {
                 for v in dst.iter_mut() {
-                    let s = bytes.get(off..off + 4).ok_or_else(|| {
-                        std::io::Error::new(std::io::ErrorKind::InvalidData, "truncated bn stats")
-                    })?;
-                    off += 4;
-                    *v = f32::from_le_bytes(s.try_into().expect("4 bytes"));
+                    let mut b = [0u8; 4];
+                    r.read_exact(&mut b)?;
+                    *v = f32::from_le_bytes(b);
                 }
                 Ok(())
             };

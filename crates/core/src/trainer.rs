@@ -2,15 +2,21 @@
 //! lives in `mfn-dist` and reuses the gradient step defined here).
 
 use crate::baseline::{hr_target_patch, BaselineII};
+use crate::checkpoint::{
+    decode_train_state, encode_train_state, load_train_state_with_fallback, save_train_state,
+    CheckpointError, TrainStateMeta,
+};
 use crate::config::{MfnConfig, TrainConfig};
 use crate::losses::{ChannelStats, RbcParamsF32};
 use crate::model::{MeshfreeFlowNet, StepLosses};
+use crate::rng::SampleRng;
 use mfn_autodiff::{clip_grad_norm, grad_l2_norm, Adam, AdamConfig, Graph};
 use mfn_data::{make_batch, Dataset, PatchSampler};
 use mfn_telemetry::{Recorder, StepMetrics, Stopwatch};
 use mfn_tensor::{conv3d_path, workspace, Conv3dDims, Conv3dPath};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// One epoch's summary.
@@ -129,6 +135,14 @@ pub struct Trainer {
     global_step: u64,
     /// Epoch tag attached to emitted step metrics (set by [`Trainer::train`]).
     epoch: usize,
+    /// Next batch index within `epoch` — nonzero only when resumed from a
+    /// mid-epoch checkpoint.
+    batch_cursor: usize,
+    /// Checkpointable batch-sampling stream (persists across `train` calls
+    /// so a resumed trainer continues the exact sample sequence).
+    rng: SampleRng,
+    /// Destination for periodic train-state checkpoints (None disables).
+    checkpoint_path: Option<PathBuf>,
     /// Batch-assembly seconds to attribute to the next `step` call.
     pending_data_s: f64,
 }
@@ -137,6 +151,7 @@ impl Trainer {
     /// Wraps a model with an Adam optimizer configured from `cfg`.
     pub fn new(model: MeshfreeFlowNet, cfg: TrainConfig) -> Self {
         let opt = Adam::new(&model.store, AdamConfig { lr: cfg.lr, ..Default::default() });
+        let rng = SampleRng::seed_from_u64(cfg.seed);
         Trainer {
             model,
             opt,
@@ -144,6 +159,9 @@ impl Trainer {
             recorder: Recorder::null(),
             global_step: 0,
             epoch: 0,
+            batch_cursor: 0,
+            rng,
+            checkpoint_path: None,
             pending_data_s: 0.0,
         }
     }
@@ -159,9 +177,95 @@ impl Trainer {
         self.recorder = recorder;
     }
 
+    /// Writes periodic train-state checkpoints to `path` every
+    /// `cfg.checkpoint_every` gradient steps (builder form).
+    pub fn with_checkpointing(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
     /// Gradient steps taken so far.
     pub fn steps_taken(&self) -> u64 {
         self.global_step
+    }
+
+    /// Reconstructs a trainer from a train-state checkpoint written by
+    /// [`Trainer::save_checkpoint`] (or the periodic writer). `model` must
+    /// have the architecture the checkpoint was captured from — a fresh
+    /// `MeshfreeFlowNet::new(cfg)` is fine, its initial weights are
+    /// overwritten. The resumed trainer continues bit-identically to the run
+    /// that wrote the checkpoint: same parameters, Adam moments and step
+    /// count, learning rate, sampler stream position, and epoch/batch
+    /// cursor. Falls back to `<path>.prev` when the newest file is damaged.
+    pub fn resume(
+        model: MeshfreeFlowNet,
+        cfg: TrainConfig,
+        path: &Path,
+    ) -> Result<Trainer, CheckpointError> {
+        let mut t = Trainer::new(model, cfg);
+        let payload = load_train_state_with_fallback(path)?;
+        let mut r = payload.as_slice();
+        let (opt, meta) = decode_train_state(&mut t.model, &mut r)?;
+        if !r.is_empty() {
+            return Err(CheckpointError::Corrupt(format!("{} trailing payload bytes", r.len())));
+        }
+        if meta.rngs.len() != 1 {
+            return Err(CheckpointError::Incompatible(format!(
+                "single-process checkpoint must hold 1 RNG state, found {}",
+                meta.rngs.len()
+            )));
+        }
+        t.opt = opt;
+        t.global_step = meta.global_step;
+        t.epoch = meta.epoch;
+        t.batch_cursor = meta.batch_cursor;
+        t.rng = SampleRng::restore(meta.rngs[0]);
+        Ok(t)
+    }
+
+    /// Current loop position in checkpoint form, normalized so a cursor at
+    /// the end of an epoch points at the start of the next one.
+    fn state_meta(&self) -> TrainStateMeta {
+        let (mut epoch, mut cursor) = (self.epoch, self.batch_cursor);
+        if self.cfg.batches_per_epoch > 0 && cursor >= self.cfg.batches_per_epoch {
+            epoch += 1;
+            cursor = 0;
+        }
+        TrainStateMeta {
+            global_step: self.global_step,
+            epoch,
+            batch_cursor: cursor,
+            rngs: vec![self.rng.state()],
+        }
+    }
+
+    /// Writes a full train-state checkpoint to `path` (atomic rename; the
+    /// previous file rotates to `<path>.prev`). Returns bytes written and
+    /// emits `ckpt.bytes` / `ckpt.write_s` telemetry.
+    pub fn save_checkpoint(&self, path: &Path) -> Result<u64, CheckpointError> {
+        let start = Instant::now();
+        let payload = encode_train_state(&self.model, &self.opt, &self.state_meta());
+        let bytes = save_train_state(path, &payload)?;
+        self.recorder.incr("ckpt.bytes", bytes);
+        self.recorder.incr("ckpt.writes", 1);
+        self.recorder.gauge("ckpt.write_s", start.elapsed().as_secs_f64());
+        Ok(bytes)
+    }
+
+    /// Periodic-checkpoint hook: fires every `cfg.checkpoint_every` steps
+    /// when a path is configured. A failed write is counted
+    /// (`ckpt.errors`) and reported but does not abort training.
+    fn checkpoint_if_due(&mut self) {
+        if self.cfg.checkpoint_every == 0
+            || !self.global_step.is_multiple_of(self.cfg.checkpoint_every as u64)
+        {
+            return;
+        }
+        let Some(path) = self.checkpoint_path.clone() else { return };
+        if let Err(e) = self.save_checkpoint(&path) {
+            self.recorder.incr("ckpt.errors", 1);
+            eprintln!("checkpoint write to {} failed: {e}", path.display());
+        }
     }
 
     /// One gradient step on one batch; returns the loss components.
@@ -214,37 +318,45 @@ impl Trainer {
         comps
     }
 
-    /// Trains for `cfg.epochs` over the corpus, drawing each batch from a
-    /// random dataset pair.
+    /// Trains from the current loop position up to `cfg.epochs`, drawing
+    /// each batch from a random dataset pair. A fresh trainer starts at
+    /// epoch 0; a [`Trainer::resume`]d one continues from its checkpointed
+    /// epoch/batch cursor (the first returned record then averages only the
+    /// remaining batches of the partial epoch).
     pub fn train(&mut self, corpus: &Corpus) -> Vec<EpochRecord> {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed);
         let samplers: Vec<PatchSampler<'_>> = corpus
             .pairs
             .iter()
             .map(|(hr, lr)| PatchSampler::new(hr, lr, self.model.cfg.patch))
             .collect();
         log_kernel_config(&self.recorder, &self.model.cfg, self.cfg.batch_size);
-        let mut records = Vec::with_capacity(self.cfg.epochs);
-        for epoch in 0..self.cfg.epochs {
+        let start_epoch = self.epoch;
+        let mut records = Vec::with_capacity(self.cfg.epochs.saturating_sub(start_epoch));
+        for epoch in start_epoch..self.cfg.epochs {
             self.epoch = epoch;
-            if self.cfg.lr_decay != 1.0 && epoch > 0 {
+            // Anneal only when *entering* an epoch — a mid-epoch resume
+            // already carries the annealed lr inside the Adam state.
+            if self.cfg.lr_decay != 1.0 && epoch > 0 && self.batch_cursor == 0 {
                 let lr = self.opt.config().lr * self.cfg.lr_decay;
                 self.opt.set_lr(lr);
             }
             self.recorder.gauge("lr", self.opt.config().lr as f64);
             let start = Instant::now();
             let (mut tl, mut pl, mut el) = (0.0f32, 0.0f32, 0.0f32);
-            for _ in 0..self.cfg.batches_per_epoch {
+            let first_batch = self.batch_cursor;
+            for b in first_batch..self.cfg.batches_per_epoch {
                 let mut sw = Stopwatch::start();
-                let di = rng.gen_range(0..samplers.len());
-                let batch = make_batch(&samplers[di], self.cfg.batch_size, &mut rng);
+                let di = self.rng.gen_range(0..samplers.len());
+                let batch = make_batch(&samplers[di], self.cfg.batch_size, &mut self.rng);
                 self.pending_data_s = sw.lap();
                 let comps = self.step(&batch, corpus.params(di), corpus.stats);
                 tl += comps.total;
                 pl += comps.prediction;
                 el += comps.equation;
+                self.batch_cursor = b + 1;
+                self.checkpoint_if_due();
             }
-            let nb = self.cfg.batches_per_epoch as f32;
+            let nb = (self.cfg.batches_per_epoch - first_batch).max(1) as f32;
             let seconds = start.elapsed().as_secs_f64();
             self.recorder.span_seconds("epoch", seconds);
             log_pool_stats(&self.recorder);
@@ -255,6 +367,11 @@ impl Trainer {
                 equation: el / nb,
                 seconds,
             });
+            // The next epoch (if any) starts at batch 0; leaving the cursor
+            // normalized also makes a post-`train` checkpoint resume *after*
+            // the completed work instead of redoing the final epoch.
+            self.epoch = epoch + 1;
+            self.batch_cursor = 0;
         }
         records
     }

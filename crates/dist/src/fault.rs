@@ -1,0 +1,126 @@
+//! Deterministic fault injection for the distributed trainer.
+//!
+//! A [`FaultPlan`] scripts failures against *logical ranks* at chosen global
+//! steps: a worker can be killed (its thread returns early, dropping its
+//! ring endpoints — exactly what a crashed process does to its sockets) or
+//! stalled long enough to trip the bounded all-reduce's deadline. Each fault
+//! fires at most once, so a supervisor retry after rollback does not re-hit
+//! the same scripted failure and the chaos tests terminate.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// What happens to the targeted worker when its fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker dies on the spot: early-returns and drops its ring
+    /// endpoints mid-epoch.
+    Kill,
+    /// The worker sleeps this long right before its all-reduce — longer
+    /// than the collective timeout, this looks like a hung peer.
+    Delay(Duration),
+}
+
+/// One scripted fault.
+#[derive(Debug)]
+struct Fault {
+    /// Logical rank the fault targets (stable across ring re-forms).
+    rank: usize,
+    /// Global gradient step (1-based, `epoch * batches_per_epoch + batch + 1`)
+    /// at which it fires.
+    at_step: u64,
+    kind: FaultKind,
+    fired: AtomicBool,
+}
+
+/// A set of one-shot scripted faults, shared by every worker in a run.
+///
+/// The empty plan ([`FaultPlan::none`]) is the production configuration:
+/// checking it is two loads and training behavior is bit-identical to a
+/// build without fault injection.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (no-op).
+    pub fn none() -> Self {
+        FaultPlan { faults: Vec::new() }
+    }
+
+    /// Adds a kill of `rank` at global step `at_step` (builder form).
+    pub fn kill(mut self, rank: usize, at_step: u64) -> Self {
+        self.faults.push(Fault {
+            rank,
+            at_step,
+            kind: FaultKind::Kill,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Adds a pre-all-reduce stall of `delay` on `rank` at global step
+    /// `at_step` (builder form).
+    pub fn delay(mut self, rank: usize, at_step: u64, delay: Duration) -> Self {
+        self.faults.push(Fault {
+            rank,
+            at_step,
+            kind: FaultKind::Delay(delay),
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// True when the plan scripts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Consumes and returns the fault scheduled for `rank` at `step`, if
+    /// any. One-shot: the same fault is never returned twice, even across
+    /// supervisor retries of the same step.
+    pub fn fire(&self, rank: usize, step: u64) -> Option<FaultKind> {
+        for f in &self.faults {
+            if f.rank == rank
+                && f.at_step == step
+                && f.fired
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                return Some(f.kind);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_once_at_the_scripted_point() {
+        let plan = FaultPlan::none().kill(1, 5).delay(0, 3, Duration::from_millis(10));
+        assert!(!plan.is_empty());
+        // Wrong rank or step: nothing fires.
+        assert_eq!(plan.fire(1, 4), None);
+        assert_eq!(plan.fire(0, 5), None);
+        // The scripted point fires exactly once.
+        assert_eq!(plan.fire(1, 5), Some(FaultKind::Kill));
+        assert_eq!(plan.fire(1, 5), None, "faults must be one-shot");
+        assert_eq!(plan.fire(0, 3), Some(FaultKind::Delay(Duration::from_millis(10))));
+        assert_eq!(plan.fire(0, 3), None);
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        for rank in 0..4 {
+            for step in 0..100 {
+                assert_eq!(plan.fire(rank, step), None);
+            }
+        }
+    }
+}

@@ -7,10 +7,14 @@
 //! calibrated [`scaling`] model that extends measured throughput curves to
 //! the paper's 128-GPU regime for the Fig. 7 reproduction.
 
+pub mod fault;
 pub mod ring;
 pub mod scaling;
+pub mod supervisor;
 pub mod trainer;
 
-pub use ring::{ring, RingHandle};
+pub use fault::{FaultKind, FaultPlan};
+pub use ring::{ring, RingError, RingHandle};
 pub use scaling::ScalingModel;
-pub use trainer::{train_data_parallel, train_data_parallel_recorded, DistRunResult};
+pub use supervisor::{train_elastic, ElasticRunResult, SupervisorConfig};
+pub use trainer::{param_digest, train_data_parallel, train_data_parallel_recorded, DistRunResult};

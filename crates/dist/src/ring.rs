@@ -10,6 +10,49 @@
 //! large `n`.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::time::{Duration, Instant};
+
+/// Why a bounded all-reduce gave up instead of completing.
+///
+/// A collective over threads (or machines) has exactly two failure shapes:
+/// the peer is *gone* (its channel endpoints dropped) or the peer is *late*
+/// (nothing arrived before the deadline). Telling them apart matters to the
+/// supervisor — a disconnect means the worker died and the ring must be
+/// re-formed; a timeout may be a transient stall worth retrying as-is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingError {
+    /// A neighbor's channel endpoint was dropped mid-collective.
+    PeerDisconnected {
+        /// Rank that observed the disconnect.
+        rank: usize,
+        /// Ring step (0-based over the `2(n-1)` schedule) where it surfaced.
+        step: usize,
+    },
+    /// No data arrived from the previous rank before the deadline.
+    Timeout {
+        /// Rank that timed out.
+        rank: usize,
+        /// Ring step where the wait exceeded the budget.
+        step: usize,
+        /// The full collective's time budget that was exhausted.
+        timeout: Duration,
+    },
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingError::PeerDisconnected { rank, step } => {
+                write!(f, "rank {rank}: ring peer disconnected at collective step {step}")
+            }
+            RingError::Timeout { rank, step, timeout } => {
+                write!(f, "rank {rank}: all-reduce exceeded {timeout:?} at collective step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
 
 /// One worker's endpoint of a ring. Created in bulk by [`ring`].
 pub struct RingHandle {
@@ -110,6 +153,103 @@ impl RingHandle {
         for v in buf.iter_mut() {
             *v *= inv;
         }
+    }
+
+    /// Receives from the previous rank, giving up at `deadline`. Polls with
+    /// `try_recv` (brief spin, then short sleeps) because the channel layer
+    /// guarantees no timed-receive primitive; a dropped peer endpoint is
+    /// reported as [`RingError::PeerDisconnected`] immediately, not after
+    /// the full timeout.
+    fn recv_deadline(
+        &self,
+        deadline: Instant,
+        timeout: Duration,
+        step: usize,
+    ) -> Result<Vec<f32>, RingError> {
+        let mut polls = 0u32;
+        loop {
+            match self.from_prev.try_recv() {
+                Ok(v) => return Ok(v),
+                // The channel error type differs between backends but both
+                // spell their fatal variant "Disconnected"; "Empty" means
+                // keep waiting.
+                Err(e) => {
+                    if format!("{e:?}").contains("Disconnected") {
+                        return Err(RingError::PeerDisconnected { rank: self.rank, step });
+                    }
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(RingError::Timeout { rank: self.rank, step, timeout });
+            }
+            polls += 1;
+            if polls < 256 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+
+    /// In-place all-reduce (sum) that *fails* instead of deadlocking when a
+    /// peer dies or stalls: the entire `2(n-1)`-step collective must finish
+    /// within `timeout`. On error the buffer holds partially-reduced data
+    /// and must be discarded — the supervisor rolls back to the last
+    /// checkpoint anyway.
+    pub fn all_reduce_sum_bounded(
+        &self,
+        buf: &mut [f32],
+        timeout: Duration,
+    ) -> Result<(), RingError> {
+        let n = self.n;
+        if n == 1 {
+            return Ok(());
+        }
+        let deadline = Instant::now() + timeout;
+        let len = buf.len();
+        for s in 0..n - 1 {
+            let send_c = (self.rank + n - s) % n;
+            let recv_c = (self.rank + n - s - 1) % n;
+            let out = buf[chunk_range(len, n, send_c)].to_vec();
+            self.to_next
+                .send(out)
+                .map_err(|_| RingError::PeerDisconnected { rank: self.rank, step: s })?;
+            let inc = self.recv_deadline(deadline, timeout, s)?;
+            let r = chunk_range(len, n, recv_c);
+            debug_assert_eq!(inc.len(), r.len());
+            for (dst, src) in buf[r].iter_mut().zip(&inc) {
+                *dst += src;
+            }
+        }
+        for s in 0..n - 1 {
+            let step = n - 1 + s;
+            let send_c = (self.rank + 1 + n - s) % n;
+            let recv_c = (self.rank + n - s) % n;
+            let out = buf[chunk_range(len, n, send_c)].to_vec();
+            self.to_next
+                .send(out)
+                .map_err(|_| RingError::PeerDisconnected { rank: self.rank, step })?;
+            let inc = self.recv_deadline(deadline, timeout, step)?;
+            let r = chunk_range(len, n, recv_c);
+            debug_assert_eq!(inc.len(), r.len());
+            buf[r].copy_from_slice(&inc);
+        }
+        Ok(())
+    }
+
+    /// Bounded-wait gradient averaging: [`RingHandle::all_reduce_sum_bounded`]
+    /// followed by division by the world size.
+    pub fn all_reduce_mean_bounded(
+        &self,
+        buf: &mut [f32],
+        timeout: Duration,
+    ) -> Result<(), RingError> {
+        self.all_reduce_sum_bounded(buf, timeout)?;
+        let inv = 1.0 / self.n as f32;
+        for v in buf.iter_mut() {
+            *v *= inv;
+        }
+        Ok(())
     }
 }
 
@@ -238,5 +378,78 @@ mod tests {
         let mut buf = vec![1.0, 2.0, 3.0];
         handles[0].all_reduce_sum(&mut buf);
         assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn bounded_all_reduce_matches_unbounded_when_healthy() {
+        let n = 4;
+        let handles = ring(n);
+        let results: Vec<Vec<f32>> = std::thread::scope(|scope| {
+            let joins: Vec<_> = handles
+                .into_iter()
+                .map(|h| {
+                    scope.spawn(move || {
+                        let mut buf: Vec<f32> =
+                            (0..10).map(|i| (h.rank() * 10 + i) as f32).collect();
+                        h.all_reduce_mean_bounded(&mut buf, Duration::from_secs(5))
+                            .expect("healthy ring must reduce");
+                        buf
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().expect("worker")).collect()
+        });
+        for r in &results {
+            assert_eq!(r, &results[0]);
+        }
+        // mean over ranks of (rank*10 + i) = 15 + i
+        for (i, v) in results[0].iter().enumerate() {
+            assert!((v - (15.0 + i as f32)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dead_peer_errors_within_timeout_instead_of_hanging() {
+        let mut handles = ring(3);
+        // Rank 2 "dies": its endpoints are dropped before the collective.
+        drop(handles.pop());
+        let timeout = Duration::from_secs(2);
+        let start = Instant::now();
+        let errs: Vec<RingError> = std::thread::scope(|scope| {
+            let joins: Vec<_> = handles
+                .into_iter()
+                .map(|h| {
+                    scope.spawn(move || {
+                        let mut buf = vec![1.0f32; 64];
+                        h.all_reduce_sum_bounded(&mut buf, timeout)
+                            .expect_err("reduce with a dead peer must fail")
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().expect("worker")).collect()
+        });
+        // Survivors detect the drop well before the budget expires.
+        assert!(start.elapsed() < timeout, "detection took the whole timeout");
+        assert!(errs.iter().any(|e| matches!(e, RingError::PeerDisconnected { .. })));
+    }
+
+    #[test]
+    fn stalled_peer_times_out() {
+        // Rank 1 never participates (but stays alive), so rank 0's recv can
+        // only end by deadline.
+        let handles = ring(2);
+        let (h0, h1) = {
+            let mut it = handles.into_iter();
+            (it.next().expect("h0"), it.next().expect("h1"))
+        };
+        let timeout = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut buf = vec![1.0f32; 8];
+        let err = h0.all_reduce_sum_bounded(&mut buf, timeout).expect_err("must time out");
+        assert!(matches!(err, RingError::Timeout { rank: 0, .. }), "{err:?}");
+        let waited = start.elapsed();
+        assert!(waited >= timeout, "returned before the deadline: {waited:?}");
+        assert!(waited < timeout * 10, "overshot the deadline: {waited:?}");
+        drop(h1);
     }
 }

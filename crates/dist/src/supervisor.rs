@@ -1,0 +1,492 @@
+//! Elastic supervisor: fault-tolerant data-parallel training.
+//!
+//! The plain trainer in [`crate::trainer`] assumes every worker survives the
+//! whole run — one dead thread deadlocks the ring. The supervisor here runs
+//! training as a sequence of *epoch rounds*, each executed by a pool of
+//! worker threads against a shared train-state snapshot:
+//!
+//! 1. Before a round, the supervisor encodes the master state (params, BN
+//!    stats, Adam, per-logical-rank sampler positions) and — when configured
+//!    — persists it through the atomic CRC-framed checkpoint writer.
+//! 2. Workers train one epoch with *bounded* all-reduces. A scripted (or
+//!    real) failure surfaces as an error on every rank instead of a hang.
+//! 3. On failure the supervisor rolls back to the snapshot (no partial
+//!    epoch is ever committed), re-forms the ring — either over the
+//!    surviving world or, with [`SupervisorConfig::restart_failed`], at full
+//!    strength — re-shards the corpus across the new world, and retries.
+//!
+//! Because a round either commits whole or not at all, a run that suffered
+//! a kill-and-restart is bit-identical to one that never faulted (the
+//! kill-and-resume determinism test pins this), and a run that shrank keeps
+//! converging on the reduced world.
+//!
+//! Logical ranks are stable identities: rank `r` keeps its sampler stream
+//! (`seed + r * 7919`) across re-forms, so shrinking the world never makes
+//! two workers draw the same batches.
+
+use crate::fault::{FaultKind, FaultPlan};
+use crate::ring::{ring, RingError, RingHandle};
+use crate::trainer::param_digest;
+use mfn_autodiff::{clip_grad_norm, flatten_grads, unflatten_grads, Adam, Graph};
+use mfn_core::{
+    decode_train_state, encode_train_state, load_train_state_with_fallback, save_train_state,
+    CheckpointError, Corpus, MeshfreeFlowNet, MfnConfig, RngState, SampleRng, TrainConfig,
+    TrainStateMeta,
+};
+use mfn_data::{make_batch, PatchSampler};
+use mfn_telemetry::{Recorder, StepMetrics, Stopwatch};
+use rand::Rng;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Supervisor policy knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Initial world size (logical ranks 0..workers).
+    pub workers: usize,
+    /// Budget for one whole all-reduce collective; a peer silent for this
+    /// long is treated as failed.
+    pub allreduce_timeout: Duration,
+    /// On worker death: true re-spawns the failed rank next round (fixed
+    /// world — preemption-with-replacement); false continues on the
+    /// surviving world (elastic shrink).
+    pub restart_failed: bool,
+    /// Stop shrinking below this world size; the run aborts instead.
+    pub min_world: usize,
+    /// Upper bound on failure-retry rounds across the run (guards chaos
+    /// tests against livelock if a plan keeps killing workers).
+    pub max_retries: usize,
+    /// When set, the master state is checkpointed here before every epoch
+    /// and after the last; an existing file is resumed from (falling back
+    /// to `<path>.prev` if the newest write is damaged).
+    pub checkpoint_path: Option<PathBuf>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            workers: 2,
+            allreduce_timeout: Duration::from_secs(10),
+            restart_failed: false,
+            min_world: 1,
+            max_retries: 8,
+            checkpoint_path: None,
+        }
+    }
+}
+
+/// What an elastic run did and produced.
+#[derive(Debug, Clone)]
+pub struct ElasticRunResult {
+    /// Mean combined loss per committed epoch (over the ranks that ran it).
+    pub epoch_losses: Vec<f32>,
+    /// World size that committed each epoch.
+    pub epoch_worlds: Vec<usize>,
+    /// Final master parameters.
+    pub final_params: Vec<f32>,
+    /// FNV-1a digest of [`ElasticRunResult::final_params`].
+    pub final_digest: u64,
+    /// Worker failures observed (kills and stall-timeouts).
+    pub failures: u64,
+    /// Times the ring was re-formed after a failure.
+    pub ring_reforms: u64,
+    /// World size at the end of the run.
+    pub final_world: usize,
+    /// True when the run committed every configured epoch (false when the
+    /// retry budget or `min_world` stopped it early).
+    pub completed: bool,
+}
+
+/// Everything a surviving round worker hands back to the supervisor.
+struct RoundOk {
+    /// The trained replica — returned only by ring position 0 (replicas are
+    /// bit-identical, shipping one is enough).
+    model: Option<Box<(MeshfreeFlowNet, Adam)>>,
+    /// Logical rank this result belongs to.
+    logical_rank: usize,
+    /// Sampler position after the epoch.
+    rng: RngState,
+    loss_sum: f32,
+    batches: usize,
+}
+
+/// Why a round worker did not finish its epoch.
+#[derive(Debug)]
+enum RoundFailure {
+    /// The fault plan killed this worker (it dropped its ring endpoints).
+    Killed { rank: usize, step: u64 },
+    /// A collective failed — typically collateral from a peer's death.
+    Ring { rank: usize, err: RingError },
+}
+
+/// Runs fault-tolerant data-parallel training of MeshfreeFlowNet under
+/// `plan` (pass [`FaultPlan::none`] for production behavior).
+///
+/// # Panics
+/// Panics if `sup.workers == 0`, `sup.min_world == 0`, or a configured
+/// checkpoint cannot be written; a *damaged* checkpoint on resume falls
+/// back to `<path>.prev` and only panics when both copies are bad.
+pub fn train_elastic(
+    corpus: &Corpus,
+    model_cfg: &MfnConfig,
+    train_cfg: &TrainConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+    recorder: Recorder,
+) -> ElasticRunResult {
+    assert!(sup.workers >= 1, "supervisor needs at least one worker");
+    assert!(sup.min_world >= 1, "min_world must be at least 1");
+
+    // Master state: authoritative between rounds.
+    let mut master = MeshfreeFlowNet::new(model_cfg.clone());
+    let mut opt = Adam::new(
+        &master.store,
+        mfn_autodiff::AdamConfig { lr: train_cfg.lr, ..Default::default() },
+    );
+    // Logical-rank sampler streams, seeded exactly like the plain
+    // data-parallel trainer so the two agree on shard contents.
+    let mut rngs: Vec<RngState> = (0..sup.workers)
+        .map(|r| RngState { seed: train_cfg.seed.wrapping_add(r as u64 * 7919), words: 0 })
+        .collect();
+    let mut start_epoch = 0usize;
+
+    // Resume from an existing checkpoint (surviving a torn newest write via
+    // the rotated previous copy).
+    if let Some(path) = &sup.checkpoint_path {
+        match load_train_state_with_fallback(path) {
+            Ok(payload) => {
+                let mut r = payload.as_slice();
+                let (restored, meta) =
+                    decode_train_state(&mut master, &mut r).expect("resumable checkpoint");
+                assert_eq!(
+                    meta.rngs.len(),
+                    sup.workers,
+                    "checkpoint world size {} != configured {}",
+                    meta.rngs.len(),
+                    sup.workers
+                );
+                opt = restored;
+                rngs = meta.rngs;
+                start_epoch = meta.epoch;
+            }
+            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                // Fresh run: nothing to resume.
+            }
+            Err(e) => panic!("cannot resume from {}: {e}", path.display()),
+        }
+    }
+
+    let mut active: Vec<usize> = (0..sup.workers).collect();
+    let mut epoch_losses = Vec::with_capacity(train_cfg.epochs);
+    let mut epoch_worlds = Vec::with_capacity(train_cfg.epochs);
+    let mut failures = 0u64;
+    let mut ring_reforms = 0u64;
+    let mut retries_left = sup.max_retries;
+    let mut completed = true;
+
+    let mut epoch = start_epoch;
+    while epoch < train_cfg.epochs {
+        // Snapshot the master state. Checkpoint meta carries *all* logical
+        // rank streams so a resumed supervisor can rebuild every shard.
+        let meta = TrainStateMeta {
+            global_step: (epoch * train_cfg.batches_per_epoch) as u64,
+            epoch,
+            batch_cursor: 0,
+            rngs: rngs.clone(),
+        };
+        let snapshot = encode_train_state(&master, &opt, &meta);
+        if let Some(path) = &sup.checkpoint_path {
+            let start = Instant::now();
+            let bytes = save_train_state(path, &snapshot)
+                .unwrap_or_else(|e| panic!("checkpoint write to {} failed: {e}", path.display()));
+            recorder.incr("ckpt.bytes", bytes);
+            recorder.incr("ckpt.writes", 1);
+            recorder.gauge("ckpt.write_s", start.elapsed().as_secs_f64());
+        }
+        recorder.gauge("dist.world", active.len() as f64);
+
+        // One epoch round over the active world.
+        let handles = ring(active.len());
+        let results: Vec<Result<RoundOk, RoundFailure>> = std::thread::scope(|scope| {
+            let joins: Vec<_> = handles
+                .into_iter()
+                .zip(active.iter())
+                .map(|(h, &logical_rank)| {
+                    let model_cfg = model_cfg.clone();
+                    let train_cfg = *train_cfg;
+                    let recorder = recorder.clone();
+                    let snapshot = snapshot.as_slice();
+                    let rng_state = rngs[logical_rank];
+                    let timeout = sup.allreduce_timeout;
+                    scope.spawn(move || {
+                        epoch_round(
+                            corpus,
+                            model_cfg,
+                            train_cfg,
+                            h,
+                            logical_rank,
+                            epoch,
+                            snapshot,
+                            rng_state,
+                            plan,
+                            timeout,
+                            recorder,
+                        )
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().expect("round worker panicked")).collect()
+        });
+
+        let killed: Vec<usize> = results
+            .iter()
+            .filter_map(|r| match r {
+                Err(RoundFailure::Killed { rank, .. }) => Some(*rank),
+                _ => None,
+            })
+            .collect();
+        let any_failed = results.iter().any(|r| r.is_err());
+
+        if !any_failed {
+            // Commit: adopt ring-position-0's replica and every sampler
+            // position; the round becomes the new master state.
+            let (mut loss, mut batches) = (0.0f32, 0usize);
+            for r in results {
+                let ok = r.unwrap_or_else(|_| unreachable!("checked above"));
+                rngs[ok.logical_rank] = ok.rng;
+                loss += ok.loss_sum;
+                batches += ok.batches;
+                if let Some(boxed) = ok.model {
+                    let (m, o) = *boxed;
+                    master = m;
+                    opt = o;
+                }
+            }
+            epoch_losses.push(loss / batches.max(1) as f32);
+            epoch_worlds.push(active.len());
+            epoch += 1;
+            continue;
+        }
+
+        // Failure path: nothing from this round is committed (rollback to
+        // the snapshot is implicit — master/opt/rngs were never touched).
+        for r in &results {
+            match r {
+                Err(RoundFailure::Killed { rank, step }) => {
+                    eprintln!(
+                        "supervisor: rank {rank} died at step {step}; rolling back epoch {epoch}"
+                    );
+                }
+                Err(RoundFailure::Ring { rank, err }) => {
+                    eprintln!("supervisor: rank {rank} collective failed ({err}); rolling back epoch {epoch}");
+                }
+                Ok(_) => {}
+            }
+        }
+        failures += killed.len().max(1) as u64; // stall-only rounds count once
+        recorder.incr("dist.failures", killed.len().max(1) as u64);
+        if !sup.restart_failed {
+            active.retain(|r| !killed.contains(r));
+        }
+        ring_reforms += 1;
+        recorder.incr("dist.ring_reforms", 1);
+        if active.len() < sup.min_world {
+            completed = false;
+            break;
+        }
+        if retries_left == 0 {
+            completed = false;
+            break;
+        }
+        retries_left -= 1;
+    }
+
+    // Persist the final committed state so a follow-on run resumes cleanly.
+    if let Some(path) = &sup.checkpoint_path {
+        let meta = TrainStateMeta {
+            global_step: (epoch * train_cfg.batches_per_epoch) as u64,
+            epoch,
+            batch_cursor: 0,
+            rngs: rngs.clone(),
+        };
+        let start = Instant::now();
+        let bytes = save_train_state(path, &encode_train_state(&master, &opt, &meta))
+            .unwrap_or_else(|e| panic!("checkpoint write to {} failed: {e}", path.display()));
+        recorder.incr("ckpt.bytes", bytes);
+        recorder.incr("ckpt.writes", 1);
+        recorder.gauge("ckpt.write_s", start.elapsed().as_secs_f64());
+    }
+
+    let final_params = master.store.flatten();
+    let final_digest = param_digest(&final_params);
+    ElasticRunResult {
+        epoch_losses,
+        epoch_worlds,
+        final_params,
+        final_digest,
+        failures,
+        ring_reforms,
+        final_world: active.len(),
+        completed,
+    }
+}
+
+/// One worker's epoch inside a supervised round: decode the snapshot, train
+/// `batches_per_epoch` batches with bounded all-reduces, honoring the fault
+/// plan.
+#[allow(clippy::too_many_arguments)]
+fn epoch_round(
+    corpus: &Corpus,
+    model_cfg: MfnConfig,
+    train_cfg: TrainConfig,
+    handle: RingHandle,
+    logical_rank: usize,
+    epoch: usize,
+    snapshot: &[u8],
+    rng_state: RngState,
+    plan: &FaultPlan,
+    timeout: Duration,
+    recorder: Recorder,
+) -> Result<RoundOk, RoundFailure> {
+    let mut model = MeshfreeFlowNet::new(model_cfg);
+    let mut r = snapshot;
+    let (mut opt, _meta) =
+        decode_train_state(&mut model, &mut r).expect("supervisor snapshot must decode");
+    let mut rng = SampleRng::restore(rng_state);
+    let samplers: Vec<PatchSampler<'_>> =
+        corpus.pairs.iter().map(|(hr, lr)| PatchSampler::new(hr, lr, model.cfg.patch)).collect();
+    let (mut loss_sum, mut batches) = (0.0f32, 0usize);
+    for b in 0..train_cfg.batches_per_epoch {
+        let gstep = (epoch * train_cfg.batches_per_epoch + b + 1) as u64;
+        let fault = plan.fire(logical_rank, gstep);
+        if matches!(fault, Some(FaultKind::Kill)) {
+            // Early return drops the ring endpoints — peers see a
+            // disconnect, exactly like a crashed process's sockets.
+            return Err(RoundFailure::Killed { rank: logical_rank, step: gstep });
+        }
+        let mut sw = Stopwatch::start();
+        let di = rng.gen_range(0..samplers.len());
+        let batch = make_batch(&samplers[di], train_cfg.batch_size, &mut rng);
+        let data_s = sw.lap();
+        let mut g = Graph::new();
+        let (loss, comps) =
+            model.loss_on_batch(&mut g, &batch, corpus.params(di), corpus.stats, true);
+        let forward_s = sw.lap();
+        g.backward(loss);
+        let grads = g.param_grads(&model.store);
+        let mut flat = flatten_grads(&grads);
+        let backward_s = sw.lap();
+        if let Some(FaultKind::Delay(d)) = fault {
+            std::thread::sleep(d);
+        }
+        handle
+            .all_reduce_mean_bounded(&mut flat, timeout)
+            .map_err(|err| RoundFailure::Ring { rank: logical_rank, err })?;
+        let allreduce_wait_s = sw.lap();
+        let mut grads = unflatten_grads(&model.store, &flat);
+        let grad_norm_pre = if train_cfg.grad_clip > 0.0 {
+            clip_grad_norm(&mut grads, train_cfg.grad_clip)
+        } else if recorder.is_enabled() {
+            mfn_autodiff::grad_l2_norm(&grads)
+        } else {
+            0.0
+        };
+        opt.step(&mut model.store, &grads);
+        let optimizer_s = sw.lap();
+        loss_sum += comps.total;
+        batches += 1;
+        if recorder.is_enabled() {
+            let clip = train_cfg.grad_clip;
+            recorder.train_step(StepMetrics {
+                step: gstep,
+                epoch,
+                rank: logical_rank,
+                loss_total: comps.total,
+                loss_prediction: comps.prediction,
+                loss_equation: comps.equation,
+                grad_norm_pre,
+                grad_norm_post: if clip > 0.0 { grad_norm_pre.min(clip) } else { grad_norm_pre },
+                lr: opt.config().lr,
+                samples: train_cfg.batch_size,
+                data_s,
+                forward_s,
+                backward_s,
+                allreduce_wait_s,
+                optimizer_s,
+            });
+        }
+    }
+    let model = (handle.rank() == 0).then(|| Box::new((model, opt)));
+    Ok(RoundOk { model, logical_rank, rng: rng.state(), loss_sum, batches })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfn_data::{downsample, Dataset, PatchSpec};
+    use mfn_solver::{simulate, RbcConfig};
+
+    fn tiny_setup() -> (Corpus, MfnConfig, TrainConfig) {
+        let sim = simulate(
+            &RbcConfig { nx: 16, nz: 9, ra: 1e5, dt_max: 2e-3, ..Default::default() },
+            0.1,
+            9,
+        );
+        let hr = Dataset::from_simulation(&sim);
+        let lr = downsample(&hr, 2, 2);
+        let corpus = Corpus::new(vec![(hr, lr)]);
+        let mut cfg = MfnConfig::small();
+        cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 4, queries: 8 };
+        cfg.base_channels = 4;
+        cfg.latent_channels = 8;
+        cfg.mlp_hidden = vec![16, 16];
+        cfg.levels = 2;
+        let tc = TrainConfig {
+            epochs: 3,
+            batches_per_epoch: 4,
+            batch_size: 2,
+            lr: 5e-3,
+            ..Default::default()
+        };
+        (corpus, cfg, tc)
+    }
+
+    /// With no faults, the elastic supervisor is just a slower spelling of
+    /// the plain data-parallel trainer: identical final parameters.
+    #[test]
+    fn matches_plain_data_parallel_without_faults() {
+        let (corpus, cfg, tc) = tiny_setup();
+        let sup = SupervisorConfig { workers: 2, ..Default::default() };
+        let elastic = train_elastic(&corpus, &cfg, &tc, &sup, &FaultPlan::none(), Recorder::null());
+        let plain = crate::trainer::train_data_parallel(&corpus, &cfg, &tc, 2);
+        assert!(elastic.completed);
+        assert_eq!(elastic.failures, 0);
+        assert_eq!(elastic.ring_reforms, 0);
+        assert_eq!(elastic.epoch_worlds, vec![2; tc.epochs]);
+        assert_eq!(
+            elastic.final_params.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            plain.final_params.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            "elastic supervisor without faults must reproduce the plain trainer"
+        );
+    }
+
+    /// Killing a worker mid-epoch with restart: the run commits every epoch
+    /// at full strength and lands on the same parameters as a faultless run.
+    #[test]
+    fn kill_with_restart_is_deterministic() {
+        let (corpus, cfg, tc) = tiny_setup();
+        let sup = SupervisorConfig { workers: 2, restart_failed: true, ..Default::default() };
+        let clean = train_elastic(&corpus, &cfg, &tc, &sup, &FaultPlan::none(), Recorder::null());
+        // Kill logical rank 1 at global step 6 (mid-epoch 1).
+        let plan = FaultPlan::none().kill(1, 6);
+        let faulted = train_elastic(&corpus, &cfg, &tc, &sup, &plan, Recorder::null());
+        assert!(faulted.completed);
+        assert_eq!(faulted.failures, 1);
+        assert_eq!(faulted.ring_reforms, 1);
+        assert_eq!(faulted.final_world, 2);
+        assert_eq!(
+            faulted.final_digest, clean.final_digest,
+            "rollback + restart must reproduce the faultless run bit-for-bit"
+        );
+    }
+}

@@ -62,8 +62,9 @@ struct WorkerResult {
 }
 
 /// FNV-1a over the bit patterns of a parameter vector: a cheap, order-
-/// sensitive fingerprint used to assert replicas stay bit-identical.
-fn param_digest(params: &[f32]) -> u64 {
+/// sensitive fingerprint used to assert replicas stay bit-identical (and,
+/// in the chaos suite, that crash-resume reproduces a run exactly).
+pub fn param_digest(params: &[f32]) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     for &p in params {
         for b in p.to_bits().to_le_bytes() {

@@ -142,6 +142,18 @@ impl MemorySink {
     pub fn clear(&self) {
         self.inner.lock().expect("telemetry lock").events.clear();
     }
+
+    /// Dumps every buffered event to `path` in the JSONL format
+    /// [`JsonlSink`] writes, oldest first. The chaos-test CI job uses this
+    /// to attach a failed run's in-memory telemetry as an artifact.
+    pub fn write_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        let mut w = BufWriter::new(file);
+        for e in self.inner.lock().expect("telemetry lock").events.iter() {
+            writeln!(w, "{}", e.to_json())?;
+        }
+        w.flush()
+    }
 }
 
 impl Sink for MemorySink {
@@ -185,5 +197,27 @@ impl Sink for JsonlSink {
 impl Drop for JsonlSink {
     fn drop(&mut self) {
         self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_dumps_buffered_events_as_jsonl() {
+        let sink = MemorySink::new(16);
+        sink.record(&Event::Counter { name: "dist.failures", delta: 2 });
+        sink.record(&Event::Gauge { name: "dist.world", value: 3.0 });
+        let dir = std::env::temp_dir().join(format!("mfn_sink_jsonl_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("events.jsonl");
+        sink.write_jsonl(&path).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_dir_all(&dir).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one line per buffered event: {text}");
+        assert!(lines[0].contains("\"type\":\"counter\"") && lines[0].contains("dist.failures"));
+        assert!(lines[1].contains("\"type\":\"gauge\"") && lines[1].contains("dist.world"));
     }
 }

@@ -151,6 +151,58 @@ impl Tensor {
         &mut self.data[off]
     }
 
+    /// Writes the tensor in the workspace's little-endian binary layout
+    /// (rank `u32`, dims `u64` each, then the `f32` payload). The inverse of
+    /// [`Tensor::read_from`]; used by the checkpoint codecs so every tensor
+    /// on disk shares one format.
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        w.write_all(&(self.shape.rank() as u32).to_le_bytes())?;
+        for &d in self.dims() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in &self.data {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Reads a tensor written by [`Tensor::write_to`].
+    ///
+    /// # Errors
+    /// Returns `InvalidData` on truncation or an implausible header (rank or
+    /// dims so large the payload cannot fit in memory).
+    pub fn read_from(r: &mut impl std::io::Read) -> std::io::Result<Tensor> {
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let mut b4 = [0u8; 4];
+        r.read_exact(&mut b4)?;
+        let rank = u32::from_le_bytes(b4) as usize;
+        if rank > 16 {
+            return Err(bad("tensor rank implausibly large"));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        let mut b8 = [0u8; 8];
+        for _ in 0..rank {
+            r.read_exact(&mut b8)?;
+            dims.push(u64::from_le_bytes(b8) as usize);
+        }
+        let numel: usize = dims.iter().product();
+        if numel > (1usize << 34) {
+            return Err(bad("tensor payload implausibly large"));
+        }
+        let mut data = workspace::take_vec_scratch(numel);
+        let mut buf = vec![0u8; 4 * 4096];
+        let mut filled = 0usize;
+        while filled < numel {
+            let take = (4 * (numel - filled)).min(buf.len());
+            r.read_exact(&mut buf[..take])?;
+            for chunk in buf[..take].chunks_exact(4) {
+                data[filled] = f32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+                filled += 1;
+            }
+        }
+        Ok(Tensor::from_vec(data, &dims))
+    }
+
     /// Reinterprets the buffer with a new shape of equal element count.
     ///
     /// # Panics
@@ -426,5 +478,32 @@ mod tests {
         assert!(!t.has_non_finite());
         let bad = Tensor::from_vec(vec![f32::NAN], &[1]);
         assert!(bad.has_non_finite());
+    }
+
+    #[test]
+    fn binary_io_roundtrips_bits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for dims in [&[][..], &[1], &[7], &[3, 5], &[2, 3, 4, 5]] {
+            let t = Tensor::randn(dims, 1.0, &mut rng);
+            let mut buf = Vec::new();
+            t.write_to(&mut buf).expect("write");
+            let back = Tensor::read_from(&mut buf.as_slice()).expect("read");
+            assert_eq!(back.dims(), t.dims());
+            let bits = |x: &Tensor| x.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&back), bits(&t));
+        }
+    }
+
+    #[test]
+    fn binary_io_rejects_truncation_and_garbage() {
+        let t = Tensor::ones(&[4, 4]);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).expect("write");
+        for cut in [1, 3, buf.len() / 2, buf.len() - 1] {
+            assert!(Tensor::read_from(&mut &buf[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        // A header claiming an absurd rank must not allocate.
+        let garbage = u32::MAX.to_le_bytes();
+        assert!(Tensor::read_from(&mut &garbage[..]).is_err());
     }
 }
