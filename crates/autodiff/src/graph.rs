@@ -8,11 +8,11 @@
 //! the data-parallel trainer give every worker thread its own tape.
 
 use crate::params::{ParamId, ParamStore};
-use mfn_tensor::workspace;
 use mfn_tensor::{
     conv3d_auto, conv3d_grad_input, conv3d_grad_weight, matmul, matmul_nt, matmul_tn, maxpool3d,
     maxpool3d_backward, upsample_nearest3d, upsample_nearest3d_backward, Conv3dDims, Tensor,
 };
+use mfn_tensor::{rowops, workspace};
 
 /// A handle to a node on the tape (an SSA value of the recorded program).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -252,15 +252,8 @@ impl Graph {
     pub fn bias_row(&mut self, x: Var, b: Var) -> Var {
         let xv = &self.nodes[x.0].value;
         let bv = &self.nodes[b.0].value;
-        assert_eq!(xv.shape().rank(), 2, "bias_row input must be rank 2");
-        let n = xv.dims()[1];
-        assert_eq!(bv.numel(), n, "bias length mismatch");
         let mut out = xv.clone();
-        for row in out.data_mut().chunks_mut(n) {
-            for (o, &bb) in row.iter_mut().zip(bv.data()) {
-                *o += bb;
-            }
-        }
+        rowops::add_bias_rows(&mut out, bv.data());
         let rg = self.rg(x) || self.rg(b);
         self.push(out, Op::BiasRow(x, b), rg)
     }
@@ -269,19 +262,8 @@ impl Graph {
     pub fn bias_channel(&mut self, x: Var, b: Var) -> Var {
         let xv = &self.nodes[x.0].value;
         let bv = &self.nodes[b.0].value;
-        assert!(xv.shape().rank() >= 2, "bias_channel input must have a channel dim");
-        let c = xv.dims()[1];
-        assert_eq!(bv.numel(), c, "bias length mismatch");
-        let inner: usize = xv.dims()[2..].iter().product();
         let mut out = xv.clone();
-        for slab in out.data_mut().chunks_mut(c * inner) {
-            for (ch, sub) in slab.chunks_mut(inner).enumerate() {
-                let bb = bv.data()[ch];
-                for o in sub {
-                    *o += bb;
-                }
-            }
-        }
+        rowops::add_bias_channels(&mut out, bv.data());
         let rg = self.rg(x) || self.rg(b);
         self.push(out, Op::BiasChannel(x, b), rg)
     }
@@ -460,18 +442,8 @@ impl Graph {
     /// Inference-mode per-channel affine `y[c] = x[c] * scale[c] + shift[c]`.
     pub fn channel_affine(&mut self, input: Var, scale: Vec<f32>, shift: Vec<f32>) -> Var {
         let xv = &self.nodes[input.0].value;
-        let c = xv.dims()[1];
-        assert_eq!(scale.len(), c);
-        assert_eq!(shift.len(), c);
-        let inner: usize = xv.dims()[2..].iter().product();
         let mut out = xv.clone();
-        for slab in out.data_mut().chunks_mut(c * inner) {
-            for (ch, sub) in slab.chunks_mut(inner).enumerate() {
-                for o in sub {
-                    *o = *o * scale[ch] + shift[ch];
-                }
-            }
-        }
+        rowops::channel_affine(&mut out, &scale, &shift);
         let rg = self.rg(input);
         self.push(out, Op::ChannelAffine { input, scale }, rg)
     }
@@ -481,53 +453,18 @@ impl Graph {
     /// `index[m] = n*D*H*W + (d*H + h)*W + w` selects the vertex for output
     /// row `m`; the output is `[M, C]`.
     pub fn gather_vertices(&mut self, grid: Var, index: Vec<u32>) -> Var {
-        let gv = &self.nodes[grid.0].value;
-        assert_eq!(gv.shape().rank(), 5, "gather_vertices grid must be [N,C,D,H,W]");
-        let (n, c) = (gv.dims()[0], gv.dims()[1]);
-        let vol: usize = gv.dims()[2..].iter().product();
-        let g = gv.data();
-        let m = index.len();
-        let mut out = workspace::take_vec_scratch(m * c);
-        for (row, &flat) in index.iter().enumerate() {
-            let flat = flat as usize;
-            let ni = flat / vol;
-            let sp = flat % vol;
-            debug_assert!(ni < n, "gather index out of batch range");
-            for ci in 0..c {
-                out[row * c + ci] = g[(ni * c + ci) * vol + sp];
-            }
-        }
+        let out = rowops::gather_rows(&self.nodes[grid.0].value, &index);
         let rg = self.rg(grid);
-        self.push(Tensor::from_vec(out, &[m, c]), Op::GatherVertices { grid, index }, rg)
+        self.push(out, Op::GatherVertices { grid, index }, rg)
     }
 
     /// Blends groups of `group` consecutive rows of `x: [Q*group, C]` with
     /// fixed weights (`weights.len() == Q*group`), producing `[Q, C]` — the
     /// trilinear vertex interpolation of paper Eqn. 6.
     pub fn vertex_blend(&mut self, input: Var, weights: Vec<f32>, group: usize) -> Var {
-        let xv = &self.nodes[input.0].value;
-        assert_eq!(xv.shape().rank(), 2);
-        let (rows, c) = (xv.dims()[0], xv.dims()[1]);
-        assert_eq!(rows % group, 0, "vertex_blend rows not divisible by group");
-        assert_eq!(weights.len(), rows, "vertex_blend weight count mismatch");
-        let q = rows / group;
-        let x = xv.data();
-        let mut out = workspace::take_vec_zeroed(q * c);
-        for qi in 0..q {
-            for v in 0..group {
-                let w = weights[qi * group + v];
-                if w == 0.0 {
-                    continue;
-                }
-                let src = &x[(qi * group + v) * c..(qi * group + v + 1) * c];
-                let dst = &mut out[qi * c..(qi + 1) * c];
-                for (o, &s) in dst.iter_mut().zip(src) {
-                    *o += w * s;
-                }
-            }
-        }
+        let out = rowops::blend_rows(&self.nodes[input.0].value, &weights, group);
         let rg = self.rg(input);
-        self.push(Tensor::from_vec(out, &[q, c]), Op::VertexBlend { input, weights, group }, rg)
+        self.push(out, Op::VertexBlend { input, weights, group }, rg)
     }
 
     // ---- composite losses ----

@@ -8,7 +8,7 @@
 
 use crate::graph::{Graph, Var};
 use crate::params::{ParamId, ParamStore};
-use mfn_tensor::Tensor;
+use mfn_tensor::{conv3d_auto, matmul_nt, rowops, Tensor};
 use rand::Rng;
 
 /// Element-wise activation selector.
@@ -33,6 +33,18 @@ impl Activation {
             Activation::Softplus => g.softplus(x),
             Activation::Tanh => g.tanh(x),
             Activation::Linear => x,
+        }
+    }
+
+    /// Eager tensor evaluation for the no-grad inference path. Elementwise
+    /// identical to the tape ops recorded by [`Activation::apply`]: both
+    /// dispatch to the same scalar kernels, so outputs are bit-equal.
+    pub fn apply_value(self, x: &Tensor) -> Tensor {
+        match self {
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Softplus => x.map(crate::graph::softplus_scalar),
+            Activation::Tanh => x.map(f32::tanh),
+            Activation::Linear => x.clone(),
         }
     }
 
@@ -121,6 +133,14 @@ impl Linear {
         let y = g.matmul_nt(x, w); // x @ W^T with W stored [out, in]
         g.bias_row(y, b)
     }
+
+    /// Eager no-grad forward: the same `matmul_nt` + row-bias kernels as the
+    /// tape path, with no node recorded — bit-identical to [`Linear::forward`].
+    pub fn forward_nograd(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let mut y = matmul_nt(x, store.get(self.weight));
+        rowops::add_bias_rows(&mut y, store.get(self.bias).data());
+        y
+    }
 }
 
 /// A 3D convolution layer with bias (stride 1, same padding).
@@ -158,6 +178,14 @@ impl Conv3dLayer {
         let b = g.param(store, self.bias);
         let y = g.conv3d(x, w);
         g.bias_channel(y, b)
+    }
+
+    /// Eager no-grad forward: same `conv3d_auto` + channel-bias kernels as
+    /// the tape path — bit-identical to [`Conv3dLayer::forward`].
+    pub fn forward_nograd(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let mut y = conv3d_auto(x, store.get(self.weight));
+        rowops::add_bias_channels(&mut y, store.get(self.bias).data());
+        y
     }
 }
 
@@ -207,8 +235,10 @@ impl BatchNorm3d {
         y
     }
 
-    /// Inference-mode forward: frozen affine using the running statistics.
-    pub fn forward_eval(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+    /// The frozen per-channel affine implied by the running statistics:
+    /// `scale = γ/√(var+eps)`, `shift = β − mean·scale`. Both the tape eval
+    /// path and the no-grad path derive their affine from here.
+    pub fn eval_scale_shift(&self, store: &ParamStore) -> (Vec<f32>, Vec<f32>) {
         let gamma = store.get(self.gamma).data();
         let beta = store.get(self.beta).data();
         let scale: Vec<f32> =
@@ -219,7 +249,23 @@ impl BatchNorm3d {
             .zip(&scale)
             .map(|((&b, &m), &s)| b - m * s)
             .collect();
+        (scale, shift)
+    }
+
+    /// Inference-mode forward: frozen affine using the running statistics.
+    pub fn forward_eval(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let (scale, shift) = self.eval_scale_shift(store);
         g.channel_affine(x, scale, shift)
+    }
+
+    /// Eager no-grad inference forward: the same frozen affine as
+    /// [`BatchNorm3d::forward_eval`], applied without a tape. Never touches
+    /// the running statistics.
+    pub fn forward_nograd(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let (scale, shift) = self.eval_scale_shift(store);
+        let mut y = x.clone();
+        rowops::channel_affine(&mut y, &scale, &shift);
+        y
     }
 
     /// Dispatches on `training`.
@@ -280,6 +326,22 @@ impl Mlp {
             }
         }
         h
+    }
+
+    /// Eager no-grad forward — bit-identical to [`Mlp::forward`] (same layer
+    /// and activation kernels, applied in the same order, no tape).
+    pub fn forward_nograd(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let last = self.layers.len() - 1;
+        let mut h: Option<Tensor> = None;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let inp = h.as_ref().unwrap_or(x);
+            let mut y = layer.forward_nograd(store, inp);
+            if i != last {
+                y = self.activation.apply_value(&y);
+            }
+            h = Some(y);
+        }
+        h.expect("non-empty MLP")
     }
 }
 

@@ -101,6 +101,54 @@ impl ParamStore {
             off += n;
         }
     }
+
+    /// A read-only view for inference engines (see [`FrozenParams`]).
+    pub fn frozen(&self) -> FrozenParams<'_> {
+        FrozenParams { store: self }
+    }
+}
+
+/// A read-only view of a [`ParamStore`] for inference.
+///
+/// Serving code holds this view instead of the store itself, so the type
+/// system rules out accidental weight mutation (`get_mut`, `unflatten_into`)
+/// on a loaded checkpoint — the optimizer and trainer APIs all demand
+/// `&mut ParamStore`, which cannot be reached through this view.
+#[derive(Debug, Clone, Copy)]
+pub struct FrozenParams<'a> {
+    store: &'a ParamStore,
+}
+
+impl<'a> FrozenParams<'a> {
+    /// Current value of a parameter.
+    pub fn get(&self, id: ParamId) -> &'a Tensor {
+        self.store.get(id)
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &'a str {
+        self.store.name(id)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn total_numel(&self) -> usize {
+        self.store.total_numel()
+    }
+
+    /// Iterates over `(id, name, tensor)` triples in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &'a str, &'a Tensor)> {
+        self.store.iter()
+    }
 }
 
 /// Flattens a gradient list (aligned with a store) into one buffer, the

@@ -19,7 +19,7 @@
 //! sizes for CI; the full run additionally asserts the ≥2× speedup the
 //! optimization is required to hold on the 256³ GEMM.
 
-use mfn_core::{Corpus, MeshfreeFlowNet, MfnConfig, TrainConfig, Trainer};
+use mfn_core::{Corpus, FrozenModel, MeshfreeFlowNet, MfnConfig, TrainConfig, Trainer};
 use mfn_data::{downsample, make_batch, Dataset, PatchSampler, PatchSpec};
 use mfn_solver::{simulate, RbcConfig};
 use mfn_tensor::{conv3d, conv3d_im2col, gemm, workspace, MatLayout, Tensor};
@@ -233,6 +233,63 @@ fn check_im2col_vs_direct() -> Result<(), String> {
     Ok(())
 }
 
+/// One `decode_values` benchmark row: `q` continuous point queries decoded
+/// against a cached latent grid.
+struct DecodeRow {
+    queries: usize,
+    median_ns: f64,
+    points_per_s: f64,
+    alloc_bytes_per_call: u64,
+}
+
+/// Times the serving split on a tiny frozen model: one U-Net encode (the
+/// expensive encode-once half) and `decode_values` at several query-batch
+/// sizes (the cheap decode-many half). The encode/decode ratio in the JSON
+/// is the asymmetry the latent-context cache in `mfn-serve` exploits.
+fn bench_decode(iters: usize) -> (f64, Vec<DecodeRow>) {
+    let mut cfg = MfnConfig::small();
+    cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 4, queries: 32 };
+    cfg.base_channels = 4;
+    cfg.latent_channels = 8;
+    cfg.mlp_hidden = vec![32, 32];
+    cfg.levels = 2;
+    let in_channels = cfg.in_channels;
+    let frozen = FrozenModel::from_model(MeshfreeFlowNet::new(cfg));
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let input = Tensor::randn(&[1, in_channels, 4, 4, 4], 1.0, &mut rng);
+    let (encode_ns, _) = time_median(iters, || {
+        std::hint::black_box(frozen.encode(&input));
+    });
+    let latent = frozen.encode(&input);
+    let rows = [1usize, 8, 64, 512]
+        .iter()
+        .map(|&q| {
+            let mut state = q as u64 * 7919 + 1;
+            let queries: Vec<(usize, [f32; 3])> = (0..q)
+                .map(|_| {
+                    let mut coord = || {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((state >> 40) as f32 / (1u64 << 24) as f32).clamp(0.0, 1.0)
+                    };
+                    (0usize, [coord(), coord(), coord()])
+                })
+                .collect();
+            let (median_ns, bytes) = time_median(iters, || {
+                std::hint::black_box(frozen.decode_values(&latent, queries.iter().copied()));
+            });
+            DecodeRow {
+                queries: q,
+                median_ns,
+                points_per_s: q as f64 * 1e9 / median_ns,
+                alloc_bytes_per_call: bytes,
+            }
+        })
+        .collect();
+    (encode_ns, rows)
+}
+
 /// The tiny training problem used for the one-train-step benchmark.
 fn train_fixture() -> (Corpus, Trainer) {
     let sim =
@@ -381,6 +438,21 @@ fn main() {
         std::hint::black_box(conv3d_im2col(&cinput, &cweight));
     });
 
+    // ---- Serving split: encode-once vs decode-many ---------------------
+    eprintln!("[bench] timing frozen encode + decode_values ({iters} iters/size) ...");
+    let (encode_ns, decode_rows) = bench_decode(iters);
+    {
+        let d1 = decode_rows.first().expect("decode rows");
+        eprintln!(
+            "[bench] encode {:.0} ns vs 1-query decode {:.0} ns ({:.0}x); \
+             512-query decode {:.2} Mpts/s",
+            encode_ns,
+            d1.median_ns,
+            encode_ns / d1.median_ns,
+            decode_rows.last().expect("decode rows").points_per_s / 1e6
+        );
+    }
+
     // ---- One-train-step A/B: workspace pool on vs off ------------------
     let step_iters = if quick { 5 } else { 15 };
     eprintln!("[bench] timing one training step, pool ON ({step_iters} iters) ...");
@@ -410,6 +482,16 @@ fn main() {
             r.name, r.m, r.k, r.n, r.median_ns, r.gflops, r.alloc_bytes_per_call
         ));
     }
+    let mut decode_json = String::new();
+    for (idx, r) in decode_rows.iter().enumerate() {
+        if idx > 0 {
+            decode_json.push_str(",\n");
+        }
+        decode_json.push_str(&format!(
+            "    {{\"queries\": {}, \"median_ns\": {:.0}, \"points_per_s\": {:.0}, \"alloc_bytes_per_call\": {}}}",
+            r.queries, r.median_ns, r.points_per_s, r.alloc_bytes_per_call
+        ));
+    }
     let json = format!(
         "{{\n\
          \"schema\": \"mfn-bench/kernels/v1\",\n\
@@ -423,6 +505,11 @@ fn main() {
          \"shape\": {{\"n\": {cn}, \"cin\": {cin}, \"cout\": {cout}, \"spatial\": [{s0}, {s1}, {s2}], \"kernel\": [3, 3, 3]}},\n\
          \"direct\": {{\"median_ns\": {direct_ns:.0}, \"gflops\": {direct_gf:.2}, \"alloc_bytes_per_call\": {direct_bytes}}},\n\
          \"im2col\": {{\"median_ns\": {lowered_ns:.0}, \"gflops\": {lowered_gf:.2}, \"alloc_bytes_per_call\": {lowered_bytes}}}\n\
+         }},\n\
+         \"decode_values\": {{\n\
+         \"encode_median_ns\": {encode_ns:.0},\n\
+         \"encode_to_1query_decode_ratio\": {enc_dec_ratio:.1},\n\
+         \"rows\": [\n{decode_json}\n  ]\n\
          }},\n\
          \"train_step\": {{\n\
          \"pool_on\": {{\"median_ns\": {on_ns:.0}, \"alloc_bytes\": {on_b}, \"alloc_calls\": {on_c}, \"pool_hits\": {on_h}, \"pool_misses\": {on_m}}},\n\
@@ -444,6 +531,8 @@ fn main() {
         direct_gf = conv_flops / direct_ns,
         lowered_ns = lowered_ns,
         lowered_gf = conv_flops / lowered_ns,
+        encode_ns = encode_ns,
+        enc_dec_ratio = encode_ns / decode_rows.first().expect("decode rows").median_ns,
         on_ns = pool_on.median_ns,
         on_b = pool_on.alloc_bytes_per_step,
         on_c = pool_on.alloc_calls_per_step,

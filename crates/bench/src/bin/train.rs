@@ -253,6 +253,15 @@ fn main() {
     let mut model = model;
     model.save(&args.ckpt).expect("save checkpoint");
     eprintln!("checkpoint written to {}", args.ckpt.display());
+    // Architecture sidecar: MFNSTAT1/MFNCKPT1 frames carry tensors, not the
+    // architecture, so `serve` needs this to rebuild the exact model.
+    let cfg_path = {
+        let mut p = args.ckpt.as_os_str().to_owned();
+        p.push(".cfg.json");
+        PathBuf::from(p)
+    };
+    model.cfg.save_json(&cfg_path).expect("write config sidecar");
+    eprintln!("config sidecar written to {}", cfg_path.display());
 
     if let Some(valid) = valid {
         eprintln!("evaluating on held-out frames ...");

@@ -156,6 +156,39 @@ pub fn decode_train_state(
     Ok((opt, TrainStateMeta { global_step, epoch, batch_cursor, rngs }))
 }
 
+/// Restores only the inference-relevant slice of a train-state payload —
+/// loop metadata, model parameters, and BN running statistics — and stops
+/// there. The trailing Adam section is never read or materialized, so a
+/// serving process cannot observe or perturb optimizer moments even by
+/// accident; the sampler RNG states in the returned meta are positions, not
+/// live generators.
+pub fn decode_inference_state(
+    model: &mut MeshfreeFlowNet,
+    r: &mut impl Read,
+) -> Result<TrainStateMeta, CheckpointError> {
+    let u64le = |r: &mut dyn Read| -> Result<u64, CheckpointError> {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b).map_err(decode_err)?;
+        Ok(u64::from_le_bytes(b))
+    };
+    let global_step = u64le(r)?;
+    let epoch = u64le(r)? as usize;
+    let batch_cursor = u64le(r)? as usize;
+    let n_rngs = u64le(r)? as usize;
+    if n_rngs == 0 || n_rngs > 1 << 20 {
+        return Err(CheckpointError::Corrupt(format!("implausible RNG count {n_rngs}")));
+    }
+    let mut rngs = Vec::with_capacity(n_rngs);
+    for _ in 0..n_rngs {
+        let seed = u64le(r)?;
+        let words = u64le(r)?;
+        rngs.push(RngState { seed, words });
+    }
+    read_params(&mut model.store, r).map_err(decode_err)?;
+    model.read_bn_stats(r).map_err(decode_err)?;
+    Ok(TrainStateMeta { global_step, epoch, batch_cursor, rngs })
+}
+
 /// The rotation target for the previous good checkpoint.
 pub fn prev_path(path: &Path) -> PathBuf {
     let mut p = path.as_os_str().to_os_string();

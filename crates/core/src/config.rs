@@ -113,6 +113,112 @@ impl MfnConfig {
         w.push(self.out_channels);
         w
     }
+
+    /// Serializes the architecture to the JSON sidecar format written next
+    /// to checkpoints (`<ckpt>.cfg.json`). A `MFNSTAT1` train-state frame
+    /// stores tensors by name/shape but not the architecture itself; the
+    /// sidecar is what lets a serving process rebuild the exact model a
+    /// checkpoint was trained with.
+    pub fn to_json(&self) -> String {
+        let file = ConfigFile {
+            patch_nt: self.patch.nt,
+            patch_nz: self.patch.nz,
+            patch_nx: self.patch.nx,
+            patch_queries: self.patch.queries,
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            base_channels: self.base_channels,
+            levels: self.levels,
+            latent_channels: self.latent_channels,
+            mlp_hidden: self.mlp_hidden.clone(),
+            activation: match self.activation {
+                Activation::Relu => "relu",
+                Activation::Softplus => "softplus",
+                Activation::Tanh => "tanh",
+                Activation::Linear => "linear",
+            }
+            .to_string(),
+            gamma: self.gamma,
+            fd_step: self.fd_step,
+            constraints: [
+                self.constraints.continuity,
+                self.constraints.temperature,
+                self.constraints.momentum_x,
+                self.constraints.momentum_z,
+            ],
+            seed: self.seed,
+        };
+        serde_json::to_string_pretty(&file).expect("config serializes")
+    }
+
+    /// Parses a sidecar produced by [`MfnConfig::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let f: ConfigFile = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        let activation = match f.activation.as_str() {
+            "relu" => Activation::Relu,
+            "softplus" => Activation::Softplus,
+            "tanh" => Activation::Tanh,
+            "linear" => Activation::Linear,
+            other => return Err(format!("unknown activation {other:?}")),
+        };
+        Ok(MfnConfig {
+            patch: PatchSpec {
+                nt: f.patch_nt,
+                nz: f.patch_nz,
+                nx: f.patch_nx,
+                queries: f.patch_queries,
+            },
+            in_channels: f.in_channels,
+            out_channels: f.out_channels,
+            base_channels: f.base_channels,
+            levels: f.levels,
+            latent_channels: f.latent_channels,
+            mlp_hidden: f.mlp_hidden,
+            activation,
+            gamma: f.gamma,
+            fd_step: f.fd_step,
+            constraints: ConstraintSet {
+                continuity: f.constraints[0],
+                temperature: f.constraints[1],
+                momentum_x: f.constraints[2],
+                momentum_z: f.constraints[3],
+            },
+            seed: f.seed,
+        })
+    }
+
+    /// Writes the JSON sidecar to `path`.
+    pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a JSON sidecar from `path` (parse errors map to `InvalidData`).
+    pub fn load_json(path: &std::path::Path) -> std::io::Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        Self::from_json(&s).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// On-disk representation of [`MfnConfig`]. Kept separate (plain scalars,
+/// activation/constraints as data) so `mfn-autodiff` and `mfn-data` need no
+/// serde dependency.
+#[derive(Debug, Serialize, Deserialize)]
+struct ConfigFile {
+    patch_nt: usize,
+    patch_nz: usize,
+    patch_nx: usize,
+    patch_queries: usize,
+    in_channels: usize,
+    out_channels: usize,
+    base_channels: usize,
+    levels: usize,
+    latent_channels: usize,
+    mlp_hidden: Vec<usize>,
+    activation: String,
+    gamma: f32,
+    fd_step: f32,
+    constraints: [bool; 4],
+    seed: u64,
 }
 
 /// Training-loop hyperparameters (paper Sec. 5: Adam, lr 1e-2, 100 epochs,

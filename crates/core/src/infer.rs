@@ -1,0 +1,149 @@
+//! The frozen inference engine: an immutable, grad-free view of a trained
+//! MeshfreeFlowNet.
+//!
+//! [`FrozenModel`] wraps a model whose parameter store is private — the only
+//! access the outside world gets is the read-only [`FrozenParams`] view — and
+//! whose forward passes go through the eager `*_nograd` paths: no autodiff
+//! tape is built, batch norm runs on frozen running statistics, and every
+//! method takes `&self`. That `&self` is load-bearing: the serving layer
+//! shares one `FrozenModel` behind an `Arc` across all worker threads and
+//! decodes concurrent query batches without any locking around the weights.
+//!
+//! The no-grad forwards are bit-identical to the training graph in eval mode
+//! (pinned by the `inference_equivalence` property tests in `mfn-serve`): the
+//! elementwise kernels are literally shared (`mfn_tensor::rowops`), not
+//! reimplemented.
+
+use crate::checkpoint::{decode_inference_state, load_train_state_with_fallback, CheckpointError};
+use crate::config::MfnConfig;
+use crate::decoder::{plan_queries, ContinuousDecoder};
+use crate::model::MeshfreeFlowNet;
+use crate::unet::UNet3d;
+use mfn_autodiff::{FrozenParams, ParamStore};
+use mfn_tensor::Tensor;
+use std::path::Path;
+
+/// An immutable inference engine over trained weights.
+pub struct FrozenModel {
+    cfg: MfnConfig,
+    store: ParamStore,
+    unet: UNet3d,
+    decoder: ContinuousDecoder,
+    trained_steps: u64,
+}
+
+impl FrozenModel {
+    /// Freezes an in-memory model (e.g. straight out of a trainer).
+    pub fn from_model(model: MeshfreeFlowNet) -> Self {
+        Self::with_steps(model, 0)
+    }
+
+    fn with_steps(model: MeshfreeFlowNet, trained_steps: u64) -> Self {
+        let MeshfreeFlowNet { cfg, store, unet, decoder } = model;
+        FrozenModel { cfg, store, unet, decoder, trained_steps }
+    }
+
+    /// Loads a `MFNSTAT1` train-state checkpoint (as written by the trainer's
+    /// periodic checkpointing or the `train` binary) into a frozen engine.
+    ///
+    /// Only parameters and BN running statistics are restored; the Adam
+    /// moments in the trailing section of the payload are never materialized.
+    /// Falls back to `<path>.prev` when the newest frame is corrupt.
+    pub fn load_state(cfg: MfnConfig, path: &Path) -> Result<Self, CheckpointError> {
+        let mut model = MeshfreeFlowNet::new(cfg);
+        let payload = load_train_state_with_fallback(path)?;
+        let mut r = payload.as_slice();
+        let meta = decode_inference_state(&mut model, &mut r)?;
+        Ok(Self::with_steps(model, meta.global_step))
+    }
+
+    /// The architecture configuration the engine was built with.
+    pub fn cfg(&self) -> &MfnConfig {
+        &self.cfg
+    }
+
+    /// Read-only view of the weights (serving diagnostics, parameter counts).
+    pub fn params(&self) -> FrozenParams<'_> {
+        self.store.frozen()
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.store.total_numel()
+    }
+
+    /// Gradient steps the checkpoint had taken when frozen (0 for
+    /// [`FrozenModel::from_model`]).
+    pub fn trained_steps(&self) -> u64 {
+        self.trained_steps
+    }
+
+    /// The latent grid vertex dims `[nt, nz, nx]`.
+    pub fn grid_dims(&self) -> [usize; 3] {
+        [self.cfg.patch.nt, self.cfg.patch.nz, self.cfg.patch.nx]
+    }
+
+    /// Encodes a stacked input `[N, in_channels, nt, nz, nx]` into a Latent
+    /// Context Grid `[N, n_c, nt, nz, nx]` — the expensive encode-once half
+    /// of serving. No tape, no BN-stat updates.
+    ///
+    /// # Panics
+    /// Panics if the input dims do not match the configured patch shape.
+    pub fn encode(&self, input: &Tensor) -> Tensor {
+        let d = input.dims();
+        assert_eq!(d.len(), 5, "encode input must be [N, C, nt, nz, nx]");
+        assert_eq!(
+            &d[1..],
+            &[self.cfg.in_channels, self.cfg.patch.nt, self.cfg.patch.nz, self.cfg.patch.nx],
+            "encode input shape does not match the model's patch spec"
+        );
+        self.unet.forward_nograd(&self.store, input)
+    }
+
+    /// Decodes continuous point queries against an encoded latent grid —
+    /// the cheap decode-many half. `queries` are `(batch, [t, z, x])` pairs
+    /// with local coordinates in `[0, 1]`; returns normalized predictions
+    /// `[Q, out_channels]`.
+    pub fn decode_values(
+        &self,
+        latent: &Tensor,
+        queries: impl IntoIterator<Item = (usize, [f32; 3])>,
+    ) -> Tensor {
+        let plan = plan_queries(self.grid_dims(), queries);
+        self.decoder.decode_nograd(&self.store, latent, &plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfn_data::PatchSpec;
+
+    fn tiny_cfg() -> MfnConfig {
+        let mut cfg = MfnConfig::small();
+        cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 4, queries: 16 };
+        cfg.base_channels = 4;
+        cfg.latent_channels = 8;
+        cfg.mlp_hidden = vec![16, 16];
+        cfg.levels = 2;
+        cfg
+    }
+
+    #[test]
+    fn frozen_encode_decode_shapes() {
+        let frozen = FrozenModel::from_model(MeshfreeFlowNet::new(tiny_cfg()));
+        let x = Tensor::ones(&[1, 4, 4, 4, 4]);
+        let latent = frozen.encode(&x);
+        assert_eq!(latent.dims(), &[1, 8, 4, 4, 4]);
+        let out = frozen.decode_values(&latent, [(0usize, [0.5, 0.5, 0.5])]);
+        assert_eq!(out.dims(), &[1, 4]);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "patch spec")]
+    fn frozen_encode_rejects_wrong_shape() {
+        let frozen = FrozenModel::from_model(MeshfreeFlowNet::new(tiny_cfg()));
+        frozen.encode(&Tensor::ones(&[1, 4, 4, 4, 8]));
+    }
+}

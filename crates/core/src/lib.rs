@@ -23,6 +23,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod decoder;
 pub mod eval;
+pub mod infer;
 pub mod losses;
 pub mod model;
 pub mod rng;
@@ -31,12 +32,13 @@ pub mod unet;
 
 pub use baseline::{baseline_trilinear, hr_target_patch, BaselineII};
 pub use checkpoint::{
-    crc32, decode_train_state, encode_train_state, load_train_state,
+    crc32, decode_inference_state, decode_train_state, encode_train_state, load_train_state,
     load_train_state_with_fallback, prev_path, save_train_state, CheckpointError, TrainStateMeta,
 };
 pub use config::{MfnConfig, TrainConfig};
 pub use decoder::{plan_queries, ContinuousDecoder, QueryPlan, VERTICES};
 pub use eval::{evaluate_pair, metric_series, table_header, EvalRow};
+pub use infer::FrozenModel;
 pub use losses::{equation_loss, prediction_loss, ChannelStats, ConstraintSet, RbcParamsF32};
 pub use model::{covering_origins, extract_patch, CoveringOrigins, MeshfreeFlowNet, StepLosses};
 pub use rng::{RngState, SampleRng};

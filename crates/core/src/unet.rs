@@ -10,6 +10,7 @@
 
 use crate::config::MfnConfig;
 use mfn_autodiff::{BatchNorm3d, Conv3dLayer, Graph, ParamStore, Var};
+use mfn_tensor::{maxpool3d, upsample_nearest3d, Tensor};
 use rand::Rng;
 
 /// One residual block: `1×1×1 → BN → ReLU → 3×3×3 → BN → ReLU → 1×1×1 → BN`,
@@ -71,6 +72,26 @@ impl ResBlock3d {
         };
         let sum = g.add(h, shortcut);
         g.relu(sum)
+    }
+
+    /// Eager no-grad inference forward: eval-mode batch norm (frozen running
+    /// statistics) and no tape. Takes `&self` — nothing is mutated, which is
+    /// what lets the serving engine share one model across worker threads.
+    /// Bit-identical to [`ResBlock3d::forward`] with `training = false`.
+    pub fn forward_nograd(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let mut h = self.conv1.forward_nograd(store, x);
+        h = self.bn1.forward_nograd(store, &h);
+        h = h.map(|v| v.max(0.0));
+        h = self.conv2.forward_nograd(store, &h);
+        h = self.bn2.forward_nograd(store, &h);
+        h = h.map(|v| v.max(0.0));
+        h = self.conv3.forward_nograd(store, &h);
+        h = self.bn3.forward_nograd(store, &h);
+        let sum = match &self.skip {
+            Some(proj) => h.add(&proj.forward_nograd(store, x)),
+            None => h.add(x),
+        };
+        sum.map(|v| v.max(0.0))
     }
 
     /// Mid-block width (diagnostics).
@@ -173,6 +194,26 @@ impl UNet3d {
             h = block.forward(g, store, h, training);
         }
         self.head.forward(g, store, h)
+    }
+
+    /// Eager no-grad inference forward (eval-mode BN, no tape, `&self`):
+    /// `x: [N, Cin, nt, nz, nx]` → latent grid `[N, n_c, nt, nz, nx]`.
+    /// Bit-identical to [`UNet3d::forward`] with `training = false`.
+    pub fn forward_nograd(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let mut h = self.stem.forward_nograd(store, x);
+        let mut skips: Vec<Tensor> = Vec::with_capacity(self.down.len());
+        for (l, block) in self.down.iter().enumerate() {
+            skips.push(h.clone());
+            let (pooled, _indices) = maxpool3d(&h, self.pool[l]);
+            h = block.forward_nograd(store, &pooled);
+        }
+        for (i, block) in self.up.iter().enumerate() {
+            let l = self.down.len() - 1 - i; // level being undone
+            h = upsample_nearest3d(&h, self.pool[l]);
+            h = Tensor::concat(&[&h, &skips[l]], 1);
+            h = block.forward_nograd(store, &h);
+        }
+        self.head.forward_nograd(store, &h)
     }
 }
 

@@ -1,0 +1,398 @@
+//! Dynamic micro-batching of point queries against a shared latent.
+//!
+//! The decoder MLP is a GEMM at heart: evaluating 256 query points in one
+//! `decode_values` call costs barely more than evaluating 16, because the
+//! matrix multiply amortizes packing and the per-call graph-free overhead.
+//! When several connections query the *same* latent concurrently, answering
+//! each alone wastes that slack. The batcher coalesces them.
+//!
+//! Design: leader–follower per latent digest. The first request to arrive
+//! for a digest opens a *slot* and becomes its leader; requests landing
+//! while the slot is open append their queries and become followers. The
+//! leader waits up to `max_wait` (or until `max_batch` queries accumulate),
+//! closes the slot, runs one decode over the combined batch, and routes each
+//! follower its slice of the result over a channel. Followers block on the
+//! channel — they do no decode work at all.
+//!
+//! Two details keep tail latency honest:
+//! - **Solo hint**: when the caller knows it is the only request in flight
+//!   (`solo = true`), the leader skips the wait entirely — a lone client
+//!   never pays `max_wait` for followers that cannot exist.
+//! - **Hard batch bound**: a follower that would push the batch past
+//!   `max_batch` does not join; it flags the slot as overflowing (waking the
+//!   leader immediately), waits for the slot to close, and retries as the
+//!   leader of a fresh slot. Batches never exceed `max_batch` plus the
+//!   leader's own query count.
+//!
+//! Panic safety: if the leader's decode panics, the follower channels drop,
+//! every follower's `recv` fails, and each reports a typed
+//! [`ServeError::Internal`] — no one deadlocks waiting on a dead leader.
+//! Lock order is always slot-map before slot-state, never both held across
+//! a decode.
+
+use crate::error::ServeError;
+use mfn_tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// A query point: `(batch index, [t, z, x] local coords)`.
+pub type Query = (usize, [f32; 3]);
+
+/// Batching knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatcherConfig {
+    /// Close a slot once this many queries have accumulated.
+    pub max_batch: usize,
+    /// Longest a leader waits for followers before decoding.
+    pub max_wait: Duration,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig { max_batch: 256, max_wait: Duration::from_micros(200) }
+    }
+}
+
+struct Waiter {
+    tx: mpsc::Sender<Result<Vec<f32>, ServeError>>,
+    offset: usize,
+    len: usize,
+}
+
+struct SlotState {
+    queries: Vec<Query>,
+    waiters: Vec<Waiter>,
+    has_leader: bool,
+    closed: bool,
+    overflow: bool,
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(SlotState {
+                queries: Vec::new(),
+                waiters: Vec::new(),
+                has_leader: false,
+                closed: false,
+                overflow: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SlotState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Coalesces concurrent decode requests per latent digest.
+pub struct Batcher {
+    slots: Mutex<HashMap<u64, Arc<Slot>>>,
+    cfg: BatcherConfig,
+    decode_calls: AtomicU64,
+    batched_queries: AtomicU64,
+}
+
+impl Batcher {
+    /// Creates a batcher with the given knobs.
+    pub fn new(cfg: BatcherConfig) -> Self {
+        Batcher {
+            slots: Mutex::new(HashMap::new()),
+            cfg,
+            decode_calls: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
+        }
+    }
+
+    /// Total `decode` invocations so far.
+    pub fn decode_calls(&self) -> u64 {
+        self.decode_calls.load(Ordering::Relaxed)
+    }
+
+    /// Total queries decoded so far (across all batches). The ratio
+    /// `batched_queries / decode_calls` is the realized mean batch size.
+    pub fn batched_queries(&self) -> u64 {
+        self.batched_queries.load(Ordering::Relaxed)
+    }
+
+    fn lock_slots(&self) -> MutexGuard<'_, HashMap<u64, Arc<Slot>>> {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Submits `queries` against the latent identified by `key`. Exactly one
+    /// submitter per open slot runs `decode` over the coalesced batch (a
+    /// `[Q, C]` tensor); everyone gets back their own flattened `len·C`
+    /// values. `solo` is a hint that no other request is in flight, letting
+    /// a lone leader skip the follower wait.
+    pub fn submit(
+        &self,
+        key: u64,
+        queries: Vec<Query>,
+        solo: bool,
+        decode: impl FnOnce(&[Query]) -> Tensor,
+    ) -> Result<Vec<f32>, ServeError> {
+        assert!(!queries.is_empty(), "batcher requires at least one query");
+        let my_len = queries.len();
+        let mut my_queries = queries;
+        loop {
+            let slot =
+                self.lock_slots().entry(key).or_insert_with(|| Arc::new(Slot::new())).clone();
+            let mut st = slot.lock();
+            if st.closed {
+                // The slot finished between map lookup and state lock;
+                // retire it and open a fresh one.
+                drop(st);
+                self.retire(key, &slot);
+                continue;
+            }
+            if !st.has_leader {
+                st.has_leader = true;
+                st.queries.append(&mut my_queries);
+                return self.lead(key, &slot, st, my_len, solo, decode);
+            }
+            // Follower path.
+            if st.queries.len() + my_len > self.cfg.max_batch {
+                // Joining would burst the bound: wake the leader now, wait
+                // for this slot to close, then retry as a fresh leader.
+                st.overflow = true;
+                slot.cv.notify_all();
+                while !st.closed {
+                    st = slot.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                continue;
+            }
+            let offset = st.queries.len();
+            st.queries.append(&mut my_queries);
+            let (tx, rx) = mpsc::channel();
+            st.waiters.push(Waiter { tx, offset, len: my_len });
+            if st.queries.len() >= self.cfg.max_batch {
+                slot.cv.notify_all();
+            }
+            drop(st);
+            return match rx.recv() {
+                Ok(res) => res,
+                // The leader died (decode panicked) before sending: its
+                // waiter channels dropped with the slot state.
+                Err(mpsc::RecvError) => {
+                    Err(ServeError::Internal("batch leader failed before replying".into()))
+                }
+            };
+        }
+    }
+
+    /// Leader half of `submit`: wait for followers, close the slot, decode
+    /// once, fan results out.
+    fn lead(
+        &self,
+        key: u64,
+        slot: &Arc<Slot>,
+        mut st: MutexGuard<'_, SlotState>,
+        my_len: usize,
+        solo: bool,
+        decode: impl FnOnce(&[Query]) -> Tensor,
+    ) -> Result<Vec<f32>, ServeError> {
+        if !solo {
+            let deadline = Instant::now() + self.cfg.max_wait;
+            while !st.overflow && st.queries.len() < self.cfg.max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _timeout) =
+                    slot.cv.wait_timeout(st, deadline - now).unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+        st.closed = true;
+        let batch = std::mem::take(&mut st.queries);
+        let waiters = std::mem::take(&mut st.waiters);
+        drop(st);
+        // New arrivals must open a fresh slot, and overflowed followers are
+        // free to retry.
+        self.retire(key, slot);
+        slot.cv.notify_all();
+
+        self.decode_calls.fetch_add(1, Ordering::Relaxed);
+        self.batched_queries.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let out = decode(&batch);
+        let dims = out.dims();
+        assert_eq!(dims.len(), 2, "decode must return [Q, C]");
+        assert_eq!(dims[0], batch.len(), "decode returned wrong row count");
+        let channels = dims[1];
+        let data = out.data();
+        for w in waiters {
+            let slice = data[w.offset * channels..(w.offset + w.len) * channels].to_vec();
+            // A follower that vanished (disconnected client) just drops its
+            // receiver; its share of the batch is discarded.
+            let _ = w.tx.send(Ok(slice));
+        }
+        Ok(data[..my_len * channels].to_vec())
+    }
+
+    /// Removes `slot` from the map iff it is still the registered slot for
+    /// `key` (a successor may already have replaced it).
+    fn retire(&self, key: u64, slot: &Arc<Slot>) {
+        let mut map = self.lock_slots();
+        if map.get(&key).is_some_and(|s| Arc::ptr_eq(s, slot)) {
+            map.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    /// Decode stub: value of query `(b, [t, z, x])` is `b + 10t + 100z +
+    /// 1000x` in each of 2 channels, so routing mistakes are visible.
+    fn stub_decode(batch: &[Query]) -> Tensor {
+        let mut v = Vec::with_capacity(batch.len() * 2);
+        for &(b, [t, z, x]) in batch {
+            let val = b as f32 + 10.0 * t + 100.0 * z + 1000.0 * x;
+            v.push(val);
+            v.push(-val);
+        }
+        Tensor::from_vec(v, &[batch.len(), 2])
+    }
+
+    fn expect(qs: &[Query]) -> Vec<f32> {
+        stub_decode(qs).into_vec()
+    }
+
+    #[test]
+    fn solo_submit_decodes_immediately() {
+        let b = Batcher::new(BatcherConfig { max_batch: 64, max_wait: Duration::from_secs(10) });
+        let qs = vec![(0usize, [0.1f32, 0.2, 0.3])];
+        let t0 = Instant::now();
+        let out = b.submit(1, qs.clone(), true, stub_decode).unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(1), "solo leader must not wait");
+        assert_eq!(out, expect(&qs));
+        assert_eq!(b.decode_calls(), 1);
+    }
+
+    #[test]
+    fn concurrent_submits_coalesce_and_route_correctly() {
+        let b = Arc::new(Batcher::new(BatcherConfig {
+            max_batch: 1024,
+            max_wait: Duration::from_millis(200),
+        }));
+        let n = 8;
+        let decodes = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let b = b.clone();
+                let decodes = decodes.clone();
+                thread::spawn(move || {
+                    let qs: Vec<Query> =
+                        (0..3).map(|j| (i, [j as f32 * 0.1, 0.5, i as f32 * 0.05])).collect();
+                    let out = b
+                        .submit(7, qs.clone(), false, |batch| {
+                            decodes.fetch_add(1, Ordering::SeqCst);
+                            stub_decode(batch)
+                        })
+                        .unwrap();
+                    assert_eq!(out, expect(&qs), "submitter {i} got someone else's slice");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let calls = decodes.load(Ordering::SeqCst);
+        assert!(calls < n, "8 concurrent submits should coalesce, got {calls} decodes");
+        assert_eq!(b.batched_queries(), (n * 3) as u64);
+    }
+
+    #[test]
+    fn distinct_keys_never_share_a_batch() {
+        let b = Arc::new(Batcher::new(BatcherConfig {
+            max_batch: 1024,
+            max_wait: Duration::from_millis(100),
+        }));
+        let handles: Vec<_> = (0..4u64)
+            .map(|key| {
+                let b = b.clone();
+                thread::spawn(move || {
+                    let qs = vec![(0usize, [key as f32 * 0.1, 0.0, 0.0])];
+                    let out = b
+                        .submit(key, qs.clone(), false, |batch| {
+                            assert_eq!(batch.len(), 1, "cross-key coalescing");
+                            stub_decode(batch)
+                        })
+                        .unwrap();
+                    assert_eq!(out, expect(&qs));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.decode_calls(), 4);
+    }
+
+    #[test]
+    fn overflow_follower_retries_with_fresh_slot() {
+        let b = Arc::new(Batcher::new(BatcherConfig {
+            max_batch: 2,
+            max_wait: Duration::from_millis(50),
+        }));
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let b = b.clone();
+                thread::spawn(move || {
+                    let qs: Vec<Query> = (0..2).map(|j| (i, [j as f32 * 0.3, 0.0, 0.0])).collect();
+                    let out = b
+                        .submit(3, qs.clone(), false, |batch| {
+                            assert!(batch.len() <= 2, "batch exceeded max_batch");
+                            stub_decode(batch)
+                        })
+                        .unwrap();
+                    assert_eq!(out, expect(&qs));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.decode_calls(), 3, "2-query submits with max_batch=2 cannot merge");
+    }
+
+    #[test]
+    fn leader_panic_yields_typed_internal_for_followers() {
+        let b = Arc::new(Batcher::new(BatcherConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(300),
+        }));
+        let b2 = b.clone();
+        // Leader: panics inside decode after followers had time to join.
+        let leader = thread::spawn(move || {
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                b2.submit(9, vec![(0, [0.0, 0.0, 0.0])], false, |_batch| {
+                    panic!("injected decode failure")
+                })
+            }));
+            assert!(res.is_err(), "leader must observe its own panic");
+        });
+        // Give the leader time to open the slot.
+        thread::sleep(Duration::from_millis(50));
+        let follower = b.submit(9, vec![(1, [0.5, 0.5, 0.5])], false, stub_decode);
+        leader.join().unwrap();
+        match follower {
+            // Joined the doomed slot: must get the typed internal error.
+            Err(ServeError::Internal(_)) => {}
+            // Raced past it into a fresh slot: must get correct values.
+            Ok(v) => assert_eq!(v, expect(&[(1, [0.5, 0.5, 0.5])])),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+}

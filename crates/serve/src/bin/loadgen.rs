@@ -1,0 +1,304 @@
+//! `loadgen` — drive a running `serve` instance and write `BENCH_serve.json`.
+//!
+//! ```text
+//! usage: loadgen --addr HOST:PORT [--threads N] [--duration-s N]
+//!                [--patches N] [--queries-per-req N] [--out PATH] [--strict]
+//! ```
+//!
+//! Three phases:
+//! 1. **Encode-miss**: encode `--patches` fresh deterministic patches,
+//!    timing each cold (U-Net) encode.
+//! 2. **Cache-hit**: re-encode the same patches (pure cache lookups) and
+//!    run point queries against their latents, timing both.
+//! 3. **Main**: `--threads` connections hammer queries for `--duration-s`
+//!    seconds; aggregate QPS and latency percentiles.
+//!
+//! The summary JSON includes `hit_to_miss_speedup` — the encode-miss p50
+//! over the cache-hit p50, i.e. how much the latent cache buys. `--strict`
+//! exits nonzero when the run saw zero completed requests or any protocol
+//! error, which is how CI asserts a live end-to-end serving path.
+
+use mfn_serve::{Client, ServeError};
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    threads: usize,
+    duration_s: u64,
+    patches: usize,
+    queries_per_req: usize,
+    out: PathBuf,
+    strict: bool,
+}
+
+fn parse() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: loadgen --addr HOST:PORT [--threads N] [--duration-s N] \
+                 [--patches N] [--queries-per-req N] [--out PATH] [--strict]";
+    let mut addr = None;
+    let mut threads = 2usize;
+    let mut duration_s = 5u64;
+    let mut patches = 4usize;
+    let mut queries_per_req = 64usize;
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut strict = false;
+    let mut i = 0;
+    let next = |argv: &[String], i: &mut usize, what: &str| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| {
+                eprintln!("error: {what} needs a value\n{usage}");
+                std::process::exit(2);
+            })
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => addr = Some(next(&argv, &mut i, "--addr")),
+            "--threads" => threads = next(&argv, &mut i, "--threads").parse().expect("integer"),
+            "--duration-s" => {
+                duration_s = next(&argv, &mut i, "--duration-s").parse().expect("integer")
+            }
+            "--patches" => patches = next(&argv, &mut i, "--patches").parse().expect("integer"),
+            "--queries-per-req" => {
+                queries_per_req = next(&argv, &mut i, "--queries-per-req").parse().expect("integer")
+            }
+            "--out" => out = PathBuf::from(next(&argv, &mut i, "--out")),
+            "--strict" => strict = true,
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown option {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    Args {
+        addr: addr.unwrap_or_else(|| {
+            eprintln!("error: --addr is required\n{usage}");
+            std::process::exit(2);
+        }),
+        threads: threads.max(1),
+        duration_s: duration_s.max(1),
+        patches: patches.max(1),
+        queries_per_req: queries_per_req.max(1),
+        out,
+        strict,
+    }
+}
+
+/// Deterministic 64-bit LCG (same constants as the kernel bench).
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state
+}
+
+fn lcg_f32(state: &mut u64) -> f32 {
+    ((lcg(state) >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+}
+
+/// Patch `idx` of the run: deterministic so every thread (and every rerun
+/// against a warm server) produces bit-identical bytes, hence equal digests.
+fn gen_patch(idx: usize, numel: usize) -> Vec<f32> {
+    let mut state = (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (0..numel).map(|_| lcg_f32(&mut state)).collect()
+}
+
+fn gen_queries(state: &mut u64, n: usize) -> Vec<(usize, [f32; 3])> {
+    (0..n)
+        .map(|_| (0usize, [lcg_f32(state) + 0.5, lcg_f32(state) + 0.5, lcg_f32(state) + 0.5]))
+        .collect()
+}
+
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = parse();
+    let mut client = Client::connect(&args.addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+    let info = client.info().unwrap_or_else(|e| {
+        eprintln!("error: info request failed: {e}");
+        std::process::exit(1);
+    });
+    let numel = (info.in_channels * info.grid[0] * info.grid[1] * info.grid[2]) as usize;
+    eprintln!(
+        "server: {} params, {} trained steps, grid {:?}, patch numel {numel}",
+        info.param_count, info.trained_steps, info.grid
+    );
+
+    // Phase 1+2: encode-miss vs cache-hit latency, single connection.
+    let mut miss_us = Vec::new();
+    let mut hit_encode_us = Vec::new();
+    let mut hit_query_us = Vec::new();
+    let mut digests = Vec::new();
+    let mut qstate = 0x5EED_u64;
+    for idx in 0..args.patches {
+        let patch = gen_patch(idx, numel);
+        let t0 = Instant::now();
+        let (digest, was_hit) = client.encode(1, &patch).unwrap_or_else(|e| {
+            eprintln!("error: encode failed: {e}");
+            std::process::exit(1);
+        });
+        let us = t0.elapsed().as_micros() as u64;
+        // A warm server (rerun against the same instance) hits immediately;
+        // only genuine misses enter the miss distribution.
+        if was_hit {
+            hit_encode_us.push(us);
+        } else {
+            miss_us.push(us);
+        }
+        digests.push(digest);
+    }
+    for idx in 0..args.patches {
+        let patch = gen_patch(idx, numel);
+        let t0 = Instant::now();
+        let (_, was_hit) = client.encode(1, &patch).expect("re-encode");
+        assert!(was_hit, "second encode of identical patch must hit the cache");
+        hit_encode_us.push(t0.elapsed().as_micros() as u64);
+    }
+    for &digest in &digests {
+        for _ in 0..8 {
+            let qs = gen_queries(&mut qstate, args.queries_per_req);
+            let t0 = Instant::now();
+            client.query(digest, &qs).expect("warm query");
+            hit_query_us.push(t0.elapsed().as_micros() as u64);
+        }
+    }
+    miss_us.sort_unstable();
+    hit_encode_us.sort_unstable();
+    hit_query_us.sort_unstable();
+    let miss_p50 = percentile_us(&miss_us, 0.5);
+    let hit_enc_p50 = percentile_us(&hit_encode_us, 0.5);
+    let hit_query_p50 = percentile_us(&hit_query_us, 0.5);
+    let speedup = miss_p50 as f64 / hit_enc_p50.max(1) as f64;
+    eprintln!(
+        "encode miss p50 {miss_p50} us | cache-hit encode p50 {hit_enc_p50} us \
+         ({speedup:.1}x) | cache-hit query p50 {hit_query_p50} us"
+    );
+
+    // Phase 3: multi-threaded sustained load.
+    let deadline = Instant::now() + Duration::from_secs(args.duration_s);
+    let digests = std::sync::Arc::new(digests);
+    let t_start = Instant::now();
+    let handles: Vec<_> = (0..args.threads)
+        .map(|tid| {
+            let addr = args.addr.clone();
+            let digests = digests.clone();
+            let qn = args.queries_per_req;
+            std::thread::spawn(move || {
+                let mut requests = 0u64;
+                let mut errors = 0u64;
+                let mut lat_us = Vec::new();
+                let mut state = (tid as u64 + 1) * 0xA5A5_5A5A;
+                let mut client = match Client::connect(&addr) {
+                    Ok(c) => c,
+                    Err(_) => return (0, 1, lat_us),
+                };
+                while Instant::now() < deadline {
+                    let pick = (lcg(&mut state) as usize) % digests.len();
+                    let qs = gen_queries(&mut state, qn);
+                    let t0 = Instant::now();
+                    // 1-in-8 requests exercise the combined encode+query
+                    // path; the rest query cached latents by digest.
+                    let res = if lcg(&mut state).is_multiple_of(8) {
+                        let patch = gen_patch(pick, numel);
+                        client.encode_query(1, &patch, &qs).map(|_| ())
+                    } else {
+                        match client.query(digests[pick], &qs) {
+                            // Evicted digest (tiny cache): re-encode and go on.
+                            Err(ServeError::Remote { code, .. })
+                                if code == mfn_serve::error::code::UNKNOWN_DIGEST =>
+                            {
+                                let patch = gen_patch(pick, numel);
+                                client.encode_query(1, &patch, &qs).map(|_| ())
+                            }
+                            other => other.map(|_| ()),
+                        }
+                    };
+                    match res {
+                        Ok(()) => {
+                            requests += 1;
+                            lat_us.push(t0.elapsed().as_micros() as u64);
+                        }
+                        Err(e) => {
+                            errors += 1;
+                            eprintln!("loadgen thread {tid}: {e}");
+                            // Reconnect once; a dropped connection mid-run
+                            // otherwise poisons the remaining duration.
+                            match Client::connect(&addr) {
+                                Ok(c) => client = c,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+                (requests, errors, lat_us)
+            })
+        })
+        .collect();
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    let mut lat_us = Vec::new();
+    for h in handles {
+        let (r, e, mut l) = h.join().expect("loadgen thread");
+        requests += r;
+        errors += e;
+        lat_us.append(&mut l);
+    }
+    let elapsed = t_start.elapsed().as_secs_f64();
+    lat_us.sort_unstable();
+    let qps = requests as f64 / elapsed;
+    let p50 = percentile_us(&lat_us, 0.5);
+    let p90 = percentile_us(&lat_us, 0.9);
+    let p99 = percentile_us(&lat_us, 0.99);
+    eprintln!(
+        "{requests} requests in {elapsed:.1}s = {qps:.0} qps | p50 {p50} us, \
+         p90 {p90} us, p99 {p99} us | {errors} errors"
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"mfn-bench/serve/v1\",\n  \"config\": {{\n    \
+         \"addr\": \"{addr}\",\n    \"threads\": {threads},\n    \
+         \"duration_s\": {duration},\n    \"patches\": {patches},\n    \
+         \"queries_per_req\": {qpr}\n  }},\n  \"cache\": {{\n    \
+         \"encode_miss_us_p50\": {miss_p50},\n    \
+         \"cache_hit_encode_us_p50\": {hit_enc_p50},\n    \
+         \"cache_hit_query_us_p50\": {hit_query_p50},\n    \
+         \"hit_to_miss_speedup\": {speedup:.2}\n  }},\n  \"load\": {{\n    \
+         \"requests\": {requests},\n    \"protocol_errors\": {errors},\n    \
+         \"qps\": {qps:.2},\n    \"p50_us\": {p50},\n    \"p90_us\": {p90},\n    \
+         \"p99_us\": {p99}\n  }},\n  \"server\": {{\n    \
+         \"param_count\": {params},\n    \"trained_steps\": {steps}\n  }}\n}}\n",
+        addr = args.addr,
+        threads = args.threads,
+        duration = args.duration_s,
+        patches = args.patches,
+        qpr = args.queries_per_req,
+        params = info.param_count,
+        steps = info.trained_steps,
+    );
+    std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
+    print!("{json}");
+    let _ = std::io::stdout().flush();
+    eprintln!("wrote {}", args.out.display());
+
+    if args.strict && (requests == 0 || errors > 0) {
+        eprintln!(
+            "STRICT FAILURE: requests = {requests}, protocol_errors = {errors} \
+             (need requests > 0 and zero errors)"
+        );
+        std::process::exit(1);
+    }
+}

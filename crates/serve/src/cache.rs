@@ -1,0 +1,211 @@
+//! The latent-context cache: encode once, decode many.
+//!
+//! The whole economics of serving MeshfreeFlowNet hinges on one asymmetry:
+//! pushing a patch through the 3D U-Net costs orders of magnitude more than
+//! answering a point query against its Latent Context Grid. The cache keys
+//! encoded latents by a digest of the *input patch bytes*, so any client
+//! holding the same physical patch — or just the digest from a previous
+//! `Encode` — skips the U-Net entirely.
+//!
+//! Keys are FNV-1a 64 over the patch dims plus the little-endian f32 bytes;
+//! bit-identical inputs (the only kind a resubmitting client produces) hash
+//! identically, and the digest doubles as the wire handle for `Query`
+//! frames. Eviction is least-recently-used over a small capacity — serving
+//! workloads replay a handful of hot patches (a frame being super-resolved,
+//! a region being explored), not a uniform stream.
+
+use mfn_tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// FNV-1a 64 offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Digest of an input patch: FNV-1a 64 over the dims (as LE u64s) followed
+/// by the raw little-endian f32 bytes. Stable across platforms and process
+/// restarts — it is part of the wire protocol.
+pub fn patch_digest(dims: &[usize], data: &[f32]) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    for &d in dims {
+        for b in (d as u64).to_le_bytes() {
+            eat(b);
+        }
+    }
+    for &v in data {
+        for b in v.to_le_bytes() {
+            eat(b);
+        }
+    }
+    h
+}
+
+struct Entry {
+    latent: Arc<Tensor>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+/// A bounded LRU cache from patch digest to encoded latent grid.
+///
+/// Latents are handed out as `Arc<Tensor>` so an eviction never invalidates
+/// a batch currently decoding against the latent. Hit/miss counters are
+/// lock-free; the map itself sits behind a `Mutex` — the critical section is
+/// a hash lookup, dwarfed by the decode work on either side.
+pub struct LatentCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl LatentCache {
+    /// Creates a cache holding at most `capacity` latents (min 1).
+    pub fn new(capacity: usize) -> Self {
+        LatentCache {
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A poisoned cache lock means some thread panicked holding it; the
+        // map is still structurally sound (no partial insert states), so
+        // serving continues.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up a latent, bumping its recency. Counts a hit or miss.
+    pub fn get(&self, digest: u64) -> Option<Arc<Tensor>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&digest) {
+            Some(e) => {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.latent.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Checks presence without touching recency or counters (used by the
+    /// engine to decide hit/miss before paying for an encode).
+    pub fn contains(&self, digest: u64) -> bool {
+        self.lock().map.contains_key(&digest)
+    }
+
+    /// Inserts a latent, evicting the least-recently-used entry if full.
+    pub fn insert(&self, digest: u64, latent: Arc<Tensor>) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&digest) && inner.map.len() >= self.capacity {
+            // O(capacity) scan — capacity is tens of entries, each worth
+            // megabytes of latent; a heap would be noise here.
+            if let Some(&lru) = inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k) {
+                inner.map.remove(&lru);
+            }
+        }
+        inner.map.insert(digest, Entry { latent, last_used: tick });
+    }
+
+    /// Number of cached latents.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookup hits since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookup misses since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f32) -> Arc<Tensor> {
+        Arc::new(Tensor::full(&[1], v))
+    }
+
+    #[test]
+    fn digest_is_stable_and_shape_sensitive() {
+        let data = [1.0f32, 2.0, 3.0, 4.0];
+        let a = patch_digest(&[2, 2], &data);
+        assert_eq!(a, patch_digest(&[2, 2], &data), "digest must be deterministic");
+        assert_ne!(a, patch_digest(&[4, 1], &data), "dims are part of the key");
+        assert_ne!(a, patch_digest(&[2, 2], &[1.0, 2.0, 3.0, 5.0]));
+        // -0.0 and 0.0 differ bitwise, so they are different patches.
+        assert_ne!(patch_digest(&[1], &[0.0]), patch_digest(&[1], &[-0.0]));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c = LatentCache::new(2);
+        c.insert(1, t(1.0));
+        c.insert(2, t(2.0));
+        assert!(c.get(1).is_some()); // 1 is now more recent than 2
+        c.insert(3, t(3.0)); // evicts 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let c = LatentCache::new(2);
+        c.insert(1, t(1.0));
+        c.insert(2, t(2.0));
+        c.insert(1, t(1.5)); // overwrite, cache stays at 2 entries
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(2).unwrap().item(), 2.0);
+        assert_eq!(c.get(1).unwrap().item(), 1.5);
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let c = LatentCache::new(4);
+        assert!(c.get(9).is_none());
+        c.insert(9, t(9.0));
+        assert!(c.get(9).is_some());
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn eviction_does_not_invalidate_borrowed_latent() {
+        let c = LatentCache::new(1);
+        c.insert(1, t(1.0));
+        let held = c.get(1).unwrap();
+        c.insert(2, t(2.0)); // evicts 1 from the map
+        assert!(c.get(1).is_none());
+        assert_eq!(held.item(), 1.0, "Arc keeps the evicted latent alive");
+    }
+}

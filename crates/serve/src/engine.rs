@@ -1,0 +1,262 @@
+//! The inference engine: frozen model + latent cache + micro-batcher.
+//!
+//! One [`Engine`] is shared (via `Arc`) by every server worker. All methods
+//! take `&self` and validate client-supplied shapes *before* touching the
+//! model, mapping violations to typed [`ServeError`]s — a malformed request
+//! must never reach a kernel assert.
+
+use crate::batcher::{Batcher, BatcherConfig, Query};
+use crate::cache::{patch_digest, LatentCache};
+use crate::error::ServeError;
+use crate::metrics::ServeStats;
+use crate::protocol::ModelInfo;
+use mfn_core::FrozenModel;
+use mfn_tensor::Tensor;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Engine knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Latents kept in the LRU cache.
+    pub cache_capacity: usize,
+    /// Micro-batch size bound.
+    pub max_batch: usize,
+    /// Longest a batch leader waits for followers.
+    pub max_wait: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { cache_capacity: 64, max_batch: 256, max_wait: Duration::from_micros(200) }
+    }
+}
+
+/// A thread-safe, grad-free serving engine over a [`FrozenModel`].
+pub struct Engine {
+    model: FrozenModel,
+    cache: LatentCache,
+    batcher: Batcher,
+    stats: ServeStats,
+}
+
+impl Engine {
+    /// Wraps a frozen model with a cache and batcher.
+    pub fn new(model: FrozenModel, cfg: EngineConfig) -> Self {
+        Engine {
+            model,
+            cache: LatentCache::new(cfg.cache_capacity),
+            batcher: Batcher::new(BatcherConfig {
+                max_batch: cfg.max_batch,
+                max_wait: cfg.max_wait,
+            }),
+            stats: ServeStats::new(),
+        }
+    }
+
+    /// The underlying frozen model.
+    pub fn model(&self) -> &FrozenModel {
+        &self.model
+    }
+
+    /// The latent cache (hit/miss counters live here).
+    pub fn cache(&self) -> &LatentCache {
+        &self.cache
+    }
+
+    /// The micro-batcher (decode-call counters live here).
+    pub fn batcher(&self) -> &Batcher {
+        &self.batcher
+    }
+
+    /// Shared serving counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Wire-format model metadata.
+    pub fn info(&self) -> ModelInfo {
+        let cfg = self.model.cfg();
+        let [nt, nz, nx] = self.model.grid_dims();
+        ModelInfo {
+            in_channels: cfg.in_channels as u32,
+            out_channels: cfg.out_channels as u32,
+            grid: [nt as u32, nz as u32, nx as u32],
+            latent_channels: cfg.latent_channels as u32,
+            param_count: self.model.param_count() as u64,
+            trained_steps: self.model.trained_steps(),
+        }
+    }
+
+    /// Flat f32 element count of a `batch`-patch encode input.
+    pub fn patch_numel(&self, batch: usize) -> usize {
+        let cfg = self.model.cfg();
+        batch * cfg.in_channels * cfg.patch.nt * cfg.patch.nz * cfg.patch.nx
+    }
+
+    /// Encodes a stacked patch (`batch × C × nt × nz × nx`, flattened) into
+    /// the cache, returning `(digest, cache_hit)`. A hit skips the U-Net
+    /// entirely — that asymmetry is the entire point of this subsystem.
+    pub fn encode_patch(&self, batch: usize, data: Vec<f32>) -> Result<(u64, bool), ServeError> {
+        if batch == 0 {
+            return Err(ServeError::ShapeMismatch("encode batch must be >= 1".into()));
+        }
+        let expect = self.patch_numel(batch);
+        if data.len() != expect {
+            return Err(ServeError::ShapeMismatch(format!(
+                "encode payload holds {} f32s, batch {batch} needs {expect}",
+                data.len()
+            )));
+        }
+        let cfg = self.model.cfg();
+        let dims = [batch, cfg.in_channels, cfg.patch.nt, cfg.patch.nz, cfg.patch.nx];
+        let digest = patch_digest(&dims, &data);
+        if self.cache.get(digest).is_some() {
+            return Ok((digest, true));
+        }
+        // Concurrent misses on the same patch both encode and race the
+        // insert; the result is identical either way (the encode is a pure
+        // function of the bytes), so we take the duplicated work over
+        // holding a lock across the U-Net.
+        let latent = self.model.encode(&Tensor::from_vec(data, &dims));
+        self.cache.insert(digest, Arc::new(latent));
+        Ok((digest, false))
+    }
+
+    /// Answers point queries against a cached latent, micro-batching with
+    /// any concurrent queries for the same digest. Returns the flattened
+    /// `len·C` values and the channel count `C`.
+    pub fn query(&self, digest: u64, queries: Vec<Query>) -> Result<(Vec<f32>, usize), ServeError> {
+        let latent = self.cache.get(digest).ok_or(ServeError::UnknownDigest(digest))?;
+        self.validate_queries(&queries, latent.dims()[0])?;
+        self.stats.note_queries(queries.len() as u64);
+        // With nothing else in flight there is no one to coalesce with;
+        // don't make a lone client pay the batching wait.
+        let solo = self.stats.inflight() <= 1;
+        let out = self.batcher.submit(digest, queries, solo, |batch| {
+            self.model.decode_values(&latent, batch.iter().copied())
+        })?;
+        Ok((out, self.model.cfg().out_channels))
+    }
+
+    /// Encode + query in one call (one network round trip for cold
+    /// patches). Returns `(digest, cache_hit, values, channels)`.
+    pub fn encode_query(
+        &self,
+        batch: usize,
+        data: Vec<f32>,
+        queries: Vec<Query>,
+    ) -> Result<(u64, bool, Vec<f32>, usize), ServeError> {
+        let (digest, hit) = self.encode_patch(batch, data)?;
+        let (values, channels) = self.query(digest, queries)?;
+        Ok((digest, hit, values, channels))
+    }
+
+    fn validate_queries(&self, queries: &[Query], latent_batch: usize) -> Result<(), ServeError> {
+        if queries.is_empty() {
+            return Err(ServeError::ShapeMismatch("query list is empty".into()));
+        }
+        for &(b, coords) in queries {
+            if b >= latent_batch {
+                return Err(ServeError::ShapeMismatch(format!(
+                    "query batch index {b} out of range for latent batch {latent_batch}"
+                )));
+            }
+            if coords.iter().any(|c| !c.is_finite()) {
+                return Err(ServeError::ShapeMismatch(format!(
+                    "non-finite query coordinate {coords:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfn_core::{MeshfreeFlowNet, MfnConfig};
+    use mfn_data::PatchSpec;
+
+    fn tiny_engine() -> Engine {
+        let mut cfg = MfnConfig::small();
+        cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 4, queries: 16 };
+        cfg.base_channels = 4;
+        cfg.latent_channels = 8;
+        cfg.mlp_hidden = vec![16, 16];
+        cfg.levels = 2;
+        Engine::new(
+            FrozenModel::from_model(MeshfreeFlowNet::new(cfg)),
+            EngineConfig { cache_capacity: 4, ..EngineConfig::default() },
+        )
+    }
+
+    fn patch(engine: &Engine, seed: u64) -> Vec<f32> {
+        let n = engine.patch_numel(1);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_miss_then_hit() {
+        let e = tiny_engine();
+        let p = patch(&e, 1);
+        let (d1, hit1) = e.encode_patch(1, p.clone()).unwrap();
+        let (d2, hit2) = e.encode_patch(1, p).unwrap();
+        assert_eq!(d1, d2);
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(e.cache().len(), 1);
+    }
+
+    #[test]
+    fn query_roundtrip_and_unknown_digest() {
+        let e = tiny_engine();
+        let (d, _) = e.encode_patch(1, patch(&e, 2)).unwrap();
+        let (vals, c) = e.query(d, vec![(0, [0.5, 0.5, 0.5]), (0, [0.0, 1.0, 0.25])]).unwrap();
+        assert_eq!(c, 4);
+        assert_eq!(vals.len(), 2 * 4);
+        assert!(vals.iter().all(|v| v.is_finite()));
+        let err = e.query(d ^ 1, vec![(0, [0.5, 0.5, 0.5])]).unwrap_err();
+        assert_eq!(err, ServeError::UnknownDigest(d ^ 1));
+    }
+
+    #[test]
+    fn shape_violations_are_typed_not_panics() {
+        let e = tiny_engine();
+        assert!(matches!(e.encode_patch(0, vec![]).unwrap_err(), ServeError::ShapeMismatch(_)));
+        assert!(matches!(
+            e.encode_patch(1, vec![0.0; 3]).unwrap_err(),
+            ServeError::ShapeMismatch(_)
+        ));
+        let (d, _) = e.encode_patch(1, patch(&e, 3)).unwrap();
+        assert!(matches!(
+            e.query(d, vec![(5, [0.5, 0.5, 0.5])]).unwrap_err(),
+            ServeError::ShapeMismatch(_)
+        ));
+        assert!(matches!(
+            e.query(d, vec![(0, [f32::NAN, 0.5, 0.5])]).unwrap_err(),
+            ServeError::ShapeMismatch(_)
+        ));
+        assert!(matches!(e.query(d, vec![]).unwrap_err(), ServeError::ShapeMismatch(_)));
+    }
+
+    #[test]
+    fn encode_query_combines_both_halves() {
+        let e = tiny_engine();
+        let p = patch(&e, 4);
+        let (d, hit, vals, c) = e.encode_query(1, p.clone(), vec![(0, [0.25, 0.75, 0.5])]).unwrap();
+        assert!(!hit);
+        assert_eq!(vals.len(), c);
+        // Same patch again: cache hit, identical values.
+        let (d2, hit2, vals2, _) = e.encode_query(1, p, vec![(0, [0.25, 0.75, 0.5])]).unwrap();
+        assert_eq!(d, d2);
+        assert!(hit2);
+        assert_eq!(vals, vals2, "cache hit must be bit-identical to fresh encode");
+    }
+}

@@ -1,0 +1,41 @@
+//! # mfn-serve
+//!
+//! Continuous-query inference serving for a trained MeshfreeFlowNet.
+//!
+//! The paper's architecture splits inference into an expensive half (the 3D
+//! U-Net encoding a low-resolution patch into a Latent Context Grid) and a
+//! cheap half (an MLP answering arbitrary continuous `(t, z, x)` queries
+//! against that grid). This crate exploits the split as a serving system:
+//!
+//! - [`engine`]: a grad-free [`Engine`] over [`mfn_core::FrozenModel`] —
+//!   no autodiff tape, batch norm on frozen running statistics, `&self`
+//!   everywhere so one engine serves all threads;
+//! - [`cache`]: an LRU [`LatentCache`] keyed by a digest of the input patch
+//!   bytes — *encode once, decode many*;
+//! - [`batcher`]: a leader–follower micro-[`Batcher`] coalescing concurrent
+//!   point queries against the same latent into single decode calls;
+//! - [`protocol`] / [`server`] / [`client`]: a std-only, length-prefixed
+//!   binary TCP protocol with versioned headers, typed error frames, a
+//!   bounded worker pool, per-request timeouts, and graceful drain;
+//! - [`metrics`]: serving counters published as `serve.*` telemetry.
+//!
+//! Binaries: `serve` (load a checkpoint, listen) and `loadgen` (drive a
+//! server, write `BENCH_serve.json`).
+
+pub mod batcher;
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::{Batcher, BatcherConfig, Query};
+pub use cache::{patch_digest, LatentCache};
+pub use client::{Client, QueryResult};
+pub use engine::{Engine, EngineConfig};
+pub use error::ServeError;
+pub use metrics::ServeStats;
+pub use protocol::ModelInfo;
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,437 @@
+//! Blocking TCP server over the frame protocol.
+//!
+//! Architecture: one accept thread feeding a bounded channel of connections,
+//! a fixed pool of worker threads each owning one connection at a time, and
+//! a telemetry publisher thread. Everything is std — no async runtime; the
+//! concurrency story is "a worker per active connection, blocking reads with
+//! short timeouts".
+//!
+//! Timeout discipline per connection: at a frame boundary the worker polls
+//! with a short *idle* read timeout so it can notice shutdown within
+//! [`ServerConfig::idle_poll`]; the moment the first byte of a header
+//! arrives, the socket switches to the full [`ServerConfig::request_timeout`]
+//! — a client that stalls mid-frame gets a typed `Timeout` error, not a
+//! leaked worker.
+//!
+//! Error discipline: payload-level failures (`BadPayload`, `ShapeMismatch`,
+//! `UnknownDigest`, …) are answered with an error frame and the connection
+//! lives on — the stream is still frame-aligned. Header-level failures
+//! (`BadMagic`, `BadVersion`, `Oversized`, `Truncated`, `Timeout`) desync
+//! the stream: the server writes the error frame, then closes.
+//!
+//! Shutdown is a drain: the accept thread stops taking connections, workers
+//! finish the request they are on (frame boundaries check the flag), queued
+//! but unstarted connections are told `ShuttingDown`, and `shutdown()`
+//! joins every thread before returning.
+
+use crate::engine::Engine;
+use crate::error::ServeError;
+use crate::protocol::{self, read_frame, write_error, write_frame, Cursor, Kind};
+use mfn_telemetry::Recorder;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7077` (port 0 for ephemeral).
+    pub addr: String,
+    /// Worker threads (= concurrently served connections).
+    pub workers: usize,
+    /// Accepted-but-unclaimed connection queue bound; beyond it clients get
+    /// a typed `Busy` error.
+    pub backlog: usize,
+    /// Deadline for reading the remainder of a frame once it has started,
+    /// and for writing responses.
+    pub request_timeout: Duration,
+    /// Poll interval at frame boundaries (bounds shutdown latency).
+    pub idle_poll: Duration,
+    /// Telemetry publish cadence.
+    pub publish_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            backlog: 64,
+            request_timeout: Duration::from_secs(2),
+            idle_poll: Duration::from_millis(25),
+            publish_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A running server; dropping or calling [`Server::shutdown`] drains it.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept/worker/publisher threads, and returns.
+    pub fn start(
+        engine: Arc<Engine>,
+        cfg: ServerConfig,
+        recorder: Recorder,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(resolve(&cfg.addr)?)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut threads = Vec::new();
+
+        {
+            let shutdown = shutdown.clone();
+            let idle = cfg.idle_poll;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-accept".into())
+                    .spawn(move || accept_loop(listener, tx, shutdown, idle))?,
+            );
+        }
+        for i in 0..cfg.workers.max(1) {
+            let engine = engine.clone();
+            let rx = rx.clone();
+            let shutdown = shutdown.clone();
+            let cfg = cfg.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(engine, rx, shutdown, cfg))?,
+            );
+        }
+        {
+            let engine = engine.clone();
+            let shutdown = shutdown.clone();
+            let interval = cfg.publish_interval;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-telemetry".into())
+                    .spawn(move || publish_loop(engine, recorder, shutdown, interval))?,
+            );
+        }
+        Ok(Server { local_addr, shutdown, threads })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signals shutdown and joins every thread; in-flight requests finish,
+    /// queued connections are refused with `ShuttingDown`.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn resolve(addr: &str) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("unresolvable {addr}"))
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: SyncSender<TcpStream>,
+    shutdown: Arc<AtomicBool>,
+    idle: Duration,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // The accepted socket may inherit the listener's
+                // non-blocking flag; workers want blocking reads.
+                let _ = stream.set_nonblocking(false);
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => refuse(stream, &ServeError::Busy),
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(idle),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    // Dropping `tx` lets idle workers observe Disconnected once the queue
+    // drains.
+}
+
+/// Best-effort typed refusal of a connection we will not serve.
+fn refuse(stream: TcpStream, err: &ServeError) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let mut s = stream;
+    let _ = write_error(&mut s, err);
+}
+
+fn worker_loop(
+    engine: Arc<Engine>,
+    rx: Arc<Mutex<Receiver<TcpStream>>>,
+    shutdown: Arc<AtomicBool>,
+    cfg: ServerConfig,
+) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not while serving.
+        let next = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv_timeout(cfg.idle_poll)
+        };
+        match next {
+            Ok(stream) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    refuse(stream, &ServeError::ShuttingDown);
+                    continue;
+                }
+                handle_conn(&engine, stream, &shutdown, &cfg);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+fn handle_conn(engine: &Engine, stream: TcpStream, shutdown: &AtomicBool, cfg: &ServerConfig) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(cfg.request_timeout));
+    let mut stream = stream;
+    let mut first = [0u8; 1];
+    loop {
+        // Frame boundary: drain point for graceful shutdown.
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = write_error(&mut stream, &ServeError::ShuttingDown);
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(cfg.idle_poll));
+        match stream.read(&mut first) {
+            Ok(0) => return, // peer closed cleanly between frames
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+        // A frame has started: switch to the request deadline.
+        let _ = stream.set_read_timeout(Some(cfg.request_timeout));
+        let t0 = Instant::now();
+        let _inflight = engine.stats().begin_request();
+        let frame = {
+            let mut r = (&first[..]).chain(&mut stream);
+            read_frame(&mut r)
+        };
+        let (kind, payload) = match frame {
+            Ok(Some(f)) => f,
+            // Can't happen: we already consumed a byte, EOF now is
+            // Truncated. Treat defensively as peer-gone.
+            Ok(None) => return,
+            Err(e) => {
+                engine.stats().note_error();
+                let _ = write_error(&mut stream, &e);
+                return; // header-level failure: stream is desynced
+            }
+        };
+        // A panic below a request (a kernel assert slipping past
+        // validation) must not take the worker down with it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_request(engine, kind, &payload)
+        }))
+        .unwrap_or_else(|_| Err(ServeError::Internal("request handler panicked".into())));
+        match result {
+            Ok((resp_kind, resp)) => {
+                if write_frame(&mut stream, resp_kind, &resp).is_err() {
+                    return;
+                }
+                engine.stats().note_request(t0.elapsed().as_micros() as u64);
+            }
+            Err(e) => {
+                engine.stats().note_error();
+                if write_error(&mut stream, &e).is_err() {
+                    return;
+                }
+                // Payload-level failure: frame-aligned, keep serving.
+            }
+        }
+    }
+}
+
+/// Decodes and executes one request frame.
+fn handle_request(
+    engine: &Engine,
+    kind: u8,
+    payload: &[u8],
+) -> Result<(Kind, Vec<u8>), ServeError> {
+    match Kind::from_u8(kind) {
+        Some(Kind::Ping) => {
+            Cursor::new(payload).finish()?;
+            Ok((Kind::Pong, Vec::new()))
+        }
+        Some(Kind::Info) => {
+            Cursor::new(payload).finish()?;
+            Ok((Kind::InfoResp, engine.info().encode()))
+        }
+        Some(Kind::Encode) => {
+            let (batch, data) = decode_encode_payload(engine, payload, true)?;
+            let (digest, hit) = engine.encode_patch(batch, data)?;
+            Ok((Kind::EncodeResp, encode_resp(digest, hit)))
+        }
+        Some(Kind::Query) => {
+            let mut c = Cursor::new(payload);
+            let digest = c.u64()?;
+            let queries = decode_queries(&mut c)?;
+            c.finish()?;
+            let (values, channels) = engine.query(digest, queries)?;
+            Ok((Kind::QueryResp, query_resp(digest, true, &values, channels)))
+        }
+        Some(Kind::EncodeQuery) => {
+            let mut c = Cursor::new(payload);
+            let batch = c.u32()? as usize;
+            let expect = checked_patch_numel(engine, batch)?;
+            let data = c.f32s(expect)?;
+            let queries = decode_queries(&mut c)?;
+            c.finish()?;
+            let (digest, hit, values, channels) = engine.encode_query(batch, data, queries)?;
+            Ok((Kind::QueryResp, query_resp(digest, hit, &values, channels)))
+        }
+        // Response kinds arriving as requests are protocol misuse.
+        Some(_) | None => Err(ServeError::UnknownKind { kind }),
+    }
+}
+
+/// Reads `batch: u32` then the patch f32s. With `rest_is_data` the entire
+/// remaining payload must be the patch (Encode frames).
+fn decode_encode_payload(
+    engine: &Engine,
+    payload: &[u8],
+    rest_is_data: bool,
+) -> Result<(usize, Vec<f32>), ServeError> {
+    let mut c = Cursor::new(payload);
+    let batch = c.u32()? as usize;
+    let expect = checked_patch_numel(engine, batch)?;
+    let data = c.f32s(expect)?;
+    if rest_is_data {
+        c.finish()?;
+    }
+    Ok((batch, data))
+}
+
+/// `patch_numel(batch)` guarded against absurd batch values: the result
+/// must fit the frame cap, so a hostile `batch = u32::MAX` is rejected
+/// before any allocation.
+fn checked_patch_numel(engine: &Engine, batch: usize) -> Result<usize, ServeError> {
+    if batch == 0 {
+        return Err(ServeError::ShapeMismatch("encode batch must be >= 1".into()));
+    }
+    let per_patch = engine.patch_numel(1);
+    let expect = batch.checked_mul(per_patch).filter(|&n| n * 4 <= protocol::MAX_PAYLOAD as usize);
+    expect.ok_or_else(|| {
+        ServeError::BadPayload(format!("batch {batch} patches exceed the frame cap"))
+    })
+}
+
+fn decode_queries(c: &mut Cursor<'_>) -> Result<Vec<(usize, [f32; 3])>, ServeError> {
+    let count = c.u32()? as usize;
+    // 16 bytes per query; the cursor bounds-checks, so a lying count fails
+    // before `count` can drive a large allocation.
+    let mut qs = Vec::with_capacity(count.min(protocol::MAX_PAYLOAD as usize / 16));
+    for _ in 0..count {
+        let b = c.u32()? as usize;
+        qs.push((b, [c.f32()?, c.f32()?, c.f32()?]));
+    }
+    Ok(qs)
+}
+
+fn encode_resp(digest: u64, hit: bool) -> Vec<u8> {
+    let mut p = Vec::with_capacity(9);
+    p.extend_from_slice(&digest.to_le_bytes());
+    p.push(hit as u8);
+    p
+}
+
+fn query_resp(digest: u64, hit: bool, values: &[f32], channels: usize) -> Vec<u8> {
+    let count = values.len() / channels.max(1);
+    let mut p = Vec::with_capacity(17 + values.len() * 4);
+    p.extend_from_slice(&digest.to_le_bytes());
+    p.push(hit as u8);
+    p.extend_from_slice(&(count as u32).to_le_bytes());
+    p.extend_from_slice(&(channels as u32).to_le_bytes());
+    protocol::put_f32s(&mut p, values);
+    p
+}
+
+fn publish_loop(
+    engine: Arc<Engine>,
+    recorder: Recorder,
+    shutdown: Arc<AtomicBool>,
+    interval: Duration,
+) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    let mut last_requests = 0u64;
+    let mut last_t = Instant::now();
+    loop {
+        let stopping = shutdown.load(Ordering::SeqCst);
+        if !stopping {
+            std::thread::sleep(interval);
+        }
+        let stats = engine.stats();
+        let now = Instant::now();
+        let dt = now.duration_since(last_t).as_secs_f64().max(1e-9);
+        let requests = stats.requests();
+        recorder.gauge("serve.qps", (requests - last_requests) as f64 / dt);
+        last_requests = requests;
+        last_t = now;
+        if let Some(p) = stats.latency_percentiles_us(&[0.5, 0.99]) {
+            recorder.gauge("serve.p50_us", p[0] as f64);
+            recorder.gauge("serve.p99_us", p[1] as f64);
+        }
+        recorder.gauge("serve.inflight", stats.inflight() as f64);
+        recorder.gauge("serve.cache_hits", engine.cache().hits() as f64);
+        recorder.gauge("serve.cache_misses", engine.cache().misses() as f64);
+        let calls = engine.batcher().decode_calls();
+        if calls > 0 {
+            recorder.gauge(
+                "serve.batch_size",
+                engine.batcher().batched_queries() as f64 / calls as f64,
+            );
+        }
+        // Flush every interval, not just at shutdown: a tailed JSONL sink
+        // should show live gauges, and a killed process shouldn't lose the
+        // whole run to a buffered writer.
+        recorder.flush();
+        if stopping {
+            break;
+        }
+    }
+}

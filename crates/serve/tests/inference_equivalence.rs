@@ -1,0 +1,143 @@
+//! Pins the grad-free serving path to the training graph, bit for bit.
+//!
+//! The no-grad forwards in `mfn-core`/`mfn-autodiff` exist so serving can
+//! skip the autodiff tape; they are only trustworthy if they produce the
+//! *same bits* as the tape in eval mode. These tests are the contract: they
+//! sweep seeded random weights, BN statistics drifted by training-mode
+//! forwards, and seeded random inputs/queries, comparing `f32::to_bits`
+//! exactly — no tolerance, because the kernels are literally shared
+//! (`mfn_tensor::rowops`), not approximately reimplemented.
+
+use mfn_autodiff::Graph;
+use mfn_core::{FrozenModel, MeshfreeFlowNet, MfnConfig};
+use mfn_data::PatchSpec;
+use mfn_serve::{Engine, EngineConfig};
+use mfn_tensor::Tensor;
+
+fn tiny_cfg(seed: u64) -> MfnConfig {
+    let mut cfg = MfnConfig::small();
+    cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 8, queries: 16 };
+    cfg.base_channels = 4;
+    cfg.latent_channels = 8;
+    cfg.mlp_hidden = vec![16, 16];
+    cfg.levels = 2;
+    cfg.seed = seed;
+    cfg
+}
+
+fn lcg_f32(state: &mut u64) -> f32 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    ((*state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+}
+
+fn rand_patch(cfg: &MfnConfig, batch: usize, seed: u64) -> Tensor {
+    let dims = [batch, cfg.in_channels, cfg.patch.nt, cfg.patch.nz, cfg.patch.nx];
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let n: usize = dims.iter().product();
+    Tensor::from_vec((0..n).map(|_| lcg_f32(&mut state)).collect(), &dims)
+}
+
+fn rand_queries(state: &mut u64, batch: usize, n: usize) -> Vec<(usize, [f32; 3])> {
+    let mut qs: Vec<(usize, [f32; 3])> = (0..n)
+        .map(|i| (i % batch, [lcg_f32(state) + 0.5, lcg_f32(state) + 0.5, lcg_f32(state) + 0.5]))
+        .collect();
+    // Cell corners and edges are where trilinear indexing off-by-ones hide.
+    qs.push((0, [0.0, 0.0, 0.0]));
+    qs.push((0, [1.0, 1.0, 1.0]));
+    qs.push((batch - 1, [0.5, 0.0, 1.0]));
+    qs
+}
+
+fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.dims(), b.dims(), "{what}: dims differ");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i} differs ({x} vs {y})");
+    }
+}
+
+/// Builds a (tape-path reference, frozen engine) pair over identical
+/// weights and identical *non-trivial* BN running statistics: the reference
+/// runs some training-mode forwards to drift the stats off their init,
+/// then the stats are serialized into the twin before freezing.
+fn twin_models(seed: u64) -> (MeshfreeFlowNet, FrozenModel) {
+    let cfg = tiny_cfg(seed);
+    let mut reference = MeshfreeFlowNet::new(cfg.clone());
+    for i in 0..3 {
+        let mut g = Graph::new();
+        let x = g.constant(rand_patch(&cfg, 2, seed * 100 + i));
+        let _ = reference.unet.forward(&mut g, &reference.store, x, true);
+    }
+    let mut twin = MeshfreeFlowNet::new(cfg);
+    let mut stats = Vec::new();
+    reference.write_bn_stats(&mut stats).expect("serialize BN stats");
+    twin.read_bn_stats(&mut stats.as_slice()).expect("restore BN stats");
+    (reference, FrozenModel::from_model(twin))
+}
+
+#[test]
+fn nograd_encode_is_bit_identical_to_tape_eval() {
+    for seed in 0..3u64 {
+        let (mut reference, frozen) = twin_models(seed);
+        let cfg = reference.cfg.clone();
+        for j in 0..3 {
+            let input = rand_patch(&cfg, 2, seed * 7 + j);
+            let tape = reference.encode(&input);
+            let eager = frozen.encode(&input);
+            assert_bits_eq(&tape, &eager, "encode");
+        }
+    }
+}
+
+#[test]
+fn nograd_decode_is_bit_identical_to_tape() {
+    for seed in 0..3u64 {
+        let (mut reference, frozen) = twin_models(seed);
+        let cfg = reference.cfg.clone();
+        let input = rand_patch(&cfg, 2, seed + 41);
+        let latent_tape = reference.encode(&input);
+        let latent_eager = frozen.encode(&input);
+        assert_bits_eq(&latent_tape, &latent_eager, "latent");
+        let mut qstate = seed + 9;
+        let qs = rand_queries(&mut qstate, 2, 32);
+        let tape = reference.decode_values(&latent_tape, qs.iter().copied());
+        let eager = frozen.decode_values(&latent_eager, qs.iter().copied());
+        assert_bits_eq(&tape, &eager, "decode");
+    }
+}
+
+#[test]
+fn cache_hit_is_bit_identical_to_fresh_encode() {
+    let cfg = tiny_cfg(5);
+    let numel = cfg.in_channels * cfg.patch.nt * cfg.patch.nz * cfg.patch.nx;
+    let mut state = 77u64;
+    let patch: Vec<f32> = (0..numel).map(|_| lcg_f32(&mut state)).collect();
+    let mut qstate = 13u64;
+    let qs = rand_queries(&mut qstate, 1, 24);
+
+    let warm = Engine::new(
+        FrozenModel::from_model(MeshfreeFlowNet::new(cfg.clone())),
+        EngineConfig::default(),
+    );
+    let (digest, hit0) = warm.encode_patch(1, patch.clone()).unwrap();
+    assert!(!hit0);
+    let (miss_vals, _) = warm.query(digest, qs.clone()).unwrap();
+    let (digest2, hit1) = warm.encode_patch(1, patch.clone()).unwrap();
+    assert!(hit1, "identical bytes must hit the cache");
+    assert_eq!(digest, digest2);
+    let (hit_vals, _) = warm.query(digest, qs.clone()).unwrap();
+    assert_eq!(
+        miss_vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        hit_vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "cache-hit values must be bit-identical to the fresh-encode values"
+    );
+
+    // A cold engine over the same weights reproduces the same bits: the
+    // cache is invisible to results, it only skips work.
+    let cold =
+        Engine::new(FrozenModel::from_model(MeshfreeFlowNet::new(cfg)), EngineConfig::default());
+    let (_, _, cold_vals, _) = cold.encode_query(1, patch, qs).unwrap();
+    assert_eq!(
+        cold_vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        hit_vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+    );
+}

@@ -11,6 +11,8 @@
 //! - [`conv`]: 3D convolution (forward + both backwards, direct and
 //!   im2col+GEMM lowerings with a shape-based auto heuristic), max pooling
 //!   and nearest-neighbor upsampling for the 3D U-Net encoder;
+//! - [`rowops`]: the gather/blend/bias/affine row kernels shared verbatim by
+//!   the autodiff tape and the no-grad inference engine (bit-identical paths);
 //! - [`workspace`]: the buffer pool that lets kernels and tensor temporaries
 //!   reuse memory across training steps.
 //!
@@ -20,6 +22,7 @@
 pub mod conv;
 pub mod gemm;
 pub mod linalg;
+pub mod rowops;
 pub mod shape;
 pub mod tensor;
 pub mod workspace;
@@ -31,5 +34,6 @@ pub use conv::{
 };
 pub use gemm::{effective_threads, gemm, MatLayout, PAR_FLOP_THRESHOLD};
 pub use linalg::{matmul, matmul_nt, matmul_tn, matvec};
+pub use rowops::{add_bias_channels, add_bias_rows, blend_rows, channel_affine, gather_rows};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -5,6 +5,7 @@ pub use mfn_data as data;
 pub use mfn_dist as dist;
 pub use mfn_fft as fft;
 pub use mfn_physics as physics;
+pub use mfn_serve as serve;
 pub use mfn_solver as solver;
 pub use mfn_telemetry as telemetry;
 pub use mfn_tensor as tensor;
