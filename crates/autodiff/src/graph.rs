@@ -105,11 +105,86 @@ enum Op {
     },
 }
 
+impl Op {
+    /// Short name for taint diagnostics.
+    #[cfg(debug_assertions)]
+    fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::Neg(..) => "neg",
+            Op::Scale(..) => "scale",
+            Op::AddScalar(..) => "add_scalar",
+            Op::Matmul(..) => "matmul",
+            Op::MatmulNT(..) => "matmul_nt",
+            Op::BiasRow(..) => "bias_row",
+            Op::BiasChannel(..) => "bias_channel",
+            Op::Relu(..) => "relu",
+            Op::Softplus(..) => "softplus",
+            Op::Tanh(..) => "tanh",
+            Op::Abs(..) => "abs",
+            Op::Sum(..) => "sum",
+            Op::Mean(..) => "mean",
+            Op::Concat { .. } => "concat",
+            Op::SliceCols { .. } => "slice_cols",
+            Op::Reshape(..) => "reshape",
+            Op::Conv3d { .. } => "conv3d",
+            Op::MaxPool3d { .. } => "maxpool3d",
+            Op::Upsample3d { .. } => "upsample3d",
+            Op::BatchNorm { .. } => "batch_norm",
+            Op::ChannelAffine { .. } => "channel_affine",
+            Op::GatherVertices { .. } => "gather_vertices",
+            Op::VertexBlend { .. } => "vertex_blend",
+        }
+    }
+
+    /// Graph-input operands of this op (for taint propagation).
+    #[cfg(debug_assertions)]
+    fn inputs(&self) -> Vec<Var> {
+        match self {
+            Op::Leaf => vec![],
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::Matmul(a, b)
+            | Op::MatmulNT(a, b)
+            | Op::BiasRow(a, b)
+            | Op::BiasChannel(a, b) => vec![*a, *b],
+            Op::Neg(a)
+            | Op::Scale(a, _)
+            | Op::AddScalar(a)
+            | Op::Relu(a)
+            | Op::Softplus(a)
+            | Op::Tanh(a)
+            | Op::Abs(a)
+            | Op::Sum(a)
+            | Op::Mean(a)
+            | Op::Reshape(a) => vec![*a],
+            Op::Concat { inputs, .. } => inputs.clone(),
+            Op::SliceCols { input, .. }
+            | Op::MaxPool3d { input, .. }
+            | Op::Upsample3d { input, .. }
+            | Op::ChannelAffine { input, .. }
+            | Op::VertexBlend { input, .. } => vec![*input],
+            Op::Conv3d { input, weight, .. } => vec![*input, *weight],
+            Op::BatchNorm { input, gamma, beta, .. } => vec![*input, *gamma, *beta],
+            Op::GatherVertices { grid, .. } => vec![*grid],
+        }
+    }
+}
+
 struct Node {
     value: Tensor,
     grad: Option<Tensor>,
     op: Op,
     requires_grad: bool,
+    /// Debug builds track whether this node's value contains a non-finite
+    /// element, so the first op that *creates* one from healthy inputs can be
+    /// blamed directly instead of surfacing as a NaN loss much later.
+    #[cfg(debug_assertions)]
+    tainted: bool,
 }
 
 /// A single-use forward/backward tape.
@@ -132,7 +207,33 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
-        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        // Taint check (debug builds only): if this op's output contains a
+        // NaN/inf but none of its inputs did, the non-finite value was
+        // *produced here* — fail at the op that made it, not at the loss.
+        // Leaves are exempt: feeding non-finite data in is the caller's
+        // prerogative (it marks the node tainted, silencing downstream ops).
+        #[cfg(debug_assertions)]
+        let tainted = {
+            let bad = value.has_non_finite();
+            if bad && !matches!(op, Op::Leaf) {
+                let inherited = op.inputs().iter().any(|v| self.nodes[v.0].tainted);
+                debug_assert!(
+                    inherited,
+                    "op `{}` (node {}) produced non-finite values from finite inputs",
+                    op.name(),
+                    self.nodes.len()
+                );
+            }
+            bad
+        };
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            requires_grad,
+            #[cfg(debug_assertions)]
+            tainted,
+        });
         Var(self.nodes.len() - 1)
     }
 

@@ -489,3 +489,29 @@ fn batch_norm_with_captured_stats() {
         assert!((stats.1[c] - var).abs() < 1e-4, "var[{c}]");
     }
 }
+
+// ---- non-finite taint checks (debug builds) ----
+
+#[test]
+fn non_finite_leaf_values_flow_without_tripping_taint() {
+    // Feeding NaN/inf *in* is the caller's prerogative: the leaf is marked
+    // tainted and every downstream op stays silent about inherited poison.
+    let mut g = Graph::new();
+    let x = g.constant(Tensor::from_vec(vec![f32::NAN, f32::INFINITY, -1.0, 2.0], &[4]));
+    let y = g.relu(x);
+    let z = g.add(y, x);
+    let s = g.sum(z);
+    // relu maps NaN -> 0, so y is finite; the add re-poisons from x.
+    assert!(g.value(s).data()[0].is_nan() || g.value(s).data()[0].is_infinite());
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "produced non-finite values from finite inputs")]
+fn op_creating_non_finite_from_finite_inputs_is_blamed() {
+    let mut g = Graph::new();
+    // 3e38 is finite; scaling by 10 overflows f32 — the taint check must
+    // name `scale` as the producing op instead of letting inf flow on.
+    let x = g.constant(Tensor::from_vec(vec![3.0e38], &[1]));
+    let _ = g.scale(x, 10.0);
+}

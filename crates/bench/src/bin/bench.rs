@@ -356,21 +356,41 @@ fn bench_train_step(iters: usize, pool_on: bool) -> TrainSide {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut oracle = false;
     let mut out_path = String::from("BENCH_kernels.json");
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--quick" => quick = true,
+            "--oracle" => oracle = true,
             "--out" => {
                 i += 1;
                 out_path = argv.get(i).expect("--out needs a value").clone();
             }
             other => {
-                eprintln!("unknown argument {other}\nusage: bench [--quick] [--out PATH]");
+                eprintln!(
+                    "unknown argument {other}\nusage: bench [--quick] [--oracle] [--out PATH]"
+                );
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+
+    // ---- Differential oracle gate (--oracle): every optimized kernel vs
+    // its scalar f64 reference twin, before any number is trusted ---------
+    if oracle {
+        eprintln!("[bench] running differential oracle (mfn-reftest) ...");
+        let reports = mfn_reftest::run_all();
+        for r in &reports {
+            eprintln!("[oracle] {r}");
+        }
+        if !mfn_reftest::all_passed(&reports) {
+            eprintln!(
+                "[bench] FAIL: kernels diverged from reference; timings would be meaningless"
+            );
+            std::process::exit(1);
+        }
     }
 
     // ---- Correctness gates (always, before any timing) -----------------

@@ -335,6 +335,66 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_from_disagreeing_config_is_incompatible() {
+        use crate::config::MfnConfig;
+        use crate::infer::FrozenModel;
+        use crate::model::MeshfreeFlowNet;
+        use mfn_autodiff::{Adam, AdamConfig};
+        use mfn_data::PatchSpec;
+
+        let mut cfg = MfnConfig::small();
+        cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 4, queries: 16 };
+        cfg.base_channels = 4;
+        cfg.latent_channels = 8;
+        cfg.mlp_hidden = vec![16, 16];
+        cfg.levels = 2;
+
+        let model = MeshfreeFlowNet::new(cfg.clone());
+        let opt = Adam::new(&model.store, AdamConfig::default());
+        let meta = TrainStateMeta {
+            global_step: 7,
+            epoch: 1,
+            batch_cursor: 2,
+            rngs: vec![RngState { seed: 3, words: 11 }],
+        };
+        let dir = tmpdir("drift");
+        let path = dir.join("state.ckpt");
+        save_train_state(&path, &encode_train_state(&model, &opt, &meta)).expect("save");
+
+        // The matching config restores cleanly.
+        let ok = FrozenModel::load_state(cfg.clone(), &path).expect("matching config");
+        assert_eq!(ok.trained_steps(), 7);
+
+        // A config that disagrees with the one the checkpoint was written
+        // under (wider U-Net stem → different parameter shapes) must be a
+        // typed Incompatible, not silently-misloaded weights or a panic.
+        let mut wider = cfg.clone();
+        wider.base_channels = 8;
+        match FrozenModel::load_state(wider, &path) {
+            Err(CheckpointError::Incompatible(m)) => {
+                // base_channels changes both parameter count and shapes;
+                // whichever check fires first must name the disagreement.
+                assert!(
+                    m.contains("mismatch") || m.contains("parameters"),
+                    "message should name the mismatch: {m}"
+                )
+            }
+            Err(other) => panic!("expected Incompatible, got {other:?}"),
+            Ok(_) => panic!("expected Incompatible, got a loaded model"),
+        }
+
+        // Structural drift (extra MLP layer → different parameter count)
+        // is caught too, before any tensor data is interpreted.
+        let mut deeper = cfg;
+        deeper.mlp_hidden = vec![16, 16, 16];
+        assert!(matches!(
+            FrozenModel::load_state(deeper, &path),
+            Err(CheckpointError::Incompatible(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn fallback_recovers_previous_good_checkpoint() {
         let dir = tmpdir("fallback");
         let path = dir.join("state.ckpt");

@@ -202,7 +202,14 @@ impl MfnConfig {
 /// On-disk representation of [`MfnConfig`]. Kept separate (plain scalars,
 /// activation/constraints as data) so `mfn-autodiff` and `mfn-data` need no
 /// serde dependency.
+///
+/// `deny_unknown_fields`: a sidecar with fields this build does not know
+/// about was written by a different (newer or diverged) schema. Silently
+/// dropping those fields would rebuild a model that disagrees with the one
+/// the checkpoint was trained with — the drift must be a load error, not a
+/// quiet default.
 #[derive(Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 struct ConfigFile {
     patch_nt: usize,
     patch_nz: usize,
@@ -298,5 +305,40 @@ mod tests {
     fn mlp_widths_shape() {
         let cfg = MfnConfig::paper();
         assert_eq!(cfg.mlp_widths(), vec![35, 512, 256, 128, 64, 32, 4]);
+    }
+
+    #[test]
+    fn json_sidecar_roundtrips() {
+        let mut cfg = MfnConfig::small();
+        cfg.mlp_hidden = vec![48, 24];
+        cfg.gamma = 0.5;
+        cfg.seed = 99;
+        let back = MfnConfig::from_json(&cfg.to_json()).expect("roundtrip");
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn unknown_sidecar_field_is_rejected() {
+        // A sidecar carrying a field this build does not know about was
+        // written by a diverged schema; dropping it silently could rebuild
+        // a different model than the checkpoint was trained with.
+        let json = MfnConfig::small().to_json().replacen('{', "{ \"dropout\": 0.1,", 1);
+        let err = MfnConfig::from_json(&json).expect_err("must reject");
+        assert!(err.contains("dropout"), "error should name the unknown field: {err}");
+    }
+
+    #[test]
+    fn renamed_sidecar_field_is_rejected() {
+        // A renamed field is both unknown (new name) and missing (old
+        // name); either way the load must fail, not default the value.
+        let json = MfnConfig::small().to_json().replace("latent_channels", "latent_width");
+        assert!(MfnConfig::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn unknown_activation_is_rejected() {
+        let json = MfnConfig::small().to_json().replace("softplus", "gelu");
+        let err = MfnConfig::from_json(&json).expect_err("must reject");
+        assert!(err.contains("gelu"));
     }
 }

@@ -7,6 +7,44 @@
 //! grid points, so the LR grid geometry stays exact.
 
 use crate::dataset::{Dataset, DatasetMeta, CHANNELS};
+use std::fmt;
+
+/// Why a downsampling request cannot produce a geometrically valid LR grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DownsampleError {
+    /// A factor was zero.
+    ZeroFactor,
+    /// Fewer than 2 frames would remain in time.
+    TooFewFrames { nt: usize, ft: usize },
+    /// Fewer than 2 grid points would remain along a spatial axis.
+    TooFewPoints { nz: usize, nx: usize, fs: usize },
+    /// `fs` does not divide the periodic extent `nx`: the strided points
+    /// `0, fs, 2fs, …` then have a wrap-around gap different from `fs·dx`,
+    /// so no uniform periodic LR grid exists and any reported `lx` would
+    /// misstate the geometry.
+    UnalignedPeriodicFactor { nx: usize, fs: usize },
+}
+
+impl fmt::Display for DownsampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DownsampleError::ZeroFactor => write!(f, "downsampling factors must be positive"),
+            DownsampleError::TooFewFrames { nt, ft } => {
+                write!(f, "factor {ft} leaves fewer than 2 of {nt} frames")
+            }
+            DownsampleError::TooFewPoints { nz, nx, fs } => {
+                write!(f, "factor {fs} leaves fewer than 2 points of {nz}x{nx}")
+            }
+            DownsampleError::UnalignedPeriodicFactor { nx, fs } => write!(
+                f,
+                "spatial factor {fs} does not divide the periodic extent nx = {nx}; \
+                 the strided grid would have an uneven wrap-around gap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DownsampleError {}
 
 /// Strided downsampling by `ft` in time and `fs` in both spatial directions.
 ///
@@ -14,15 +52,26 @@ use crate::dataset::{Dataset, DatasetMeta, CHANNELS};
 /// extents are the largest strided grids that fit. Normalization statistics
 /// are recomputed on the LR data.
 ///
-/// # Panics
-/// Panics if a factor is zero or leaves fewer than 2 points along any axis.
-pub fn downsample(hr: &Dataset, ft: usize, fs: usize) -> Dataset {
-    assert!(ft >= 1 && fs >= 1, "factors must be positive");
+/// # Errors
+/// Rejects factors that are zero, leave fewer than 2 points along any axis,
+/// or do not divide the periodic `x` extent (see
+/// [`DownsampleError::UnalignedPeriodicFactor`]).
+pub fn try_downsample(hr: &Dataset, ft: usize, fs: usize) -> Result<Dataset, DownsampleError> {
+    if ft == 0 || fs == 0 {
+        return Err(DownsampleError::ZeroFactor);
+    }
     let nt = (hr.meta.nt - 1) / ft + 1;
     let nz = (hr.meta.nz - 1) / fs + 1;
     let nx = hr.meta.nx / fs; // periodic direction: plain stride, no endpoint
-    assert!(nt >= 2, "too few LR frames");
-    assert!(nz >= 2 && nx >= 2, "too few LR grid points");
+    if nt < 2 {
+        return Err(DownsampleError::TooFewFrames { nt: hr.meta.nt, ft });
+    }
+    if nz < 2 || nx < 2 {
+        return Err(DownsampleError::TooFewPoints { nz: hr.meta.nz, nx: hr.meta.nx, fs });
+    }
+    if !hr.meta.nx.is_multiple_of(fs) {
+        return Err(DownsampleError::UnalignedPeriodicFactor { nx: hr.meta.nx, fs });
+    }
     let mut data = vec![0.0f32; nt * CHANNELS * nz * nx];
     for f in 0..nt {
         for c in 0..CHANNELS {
@@ -36,8 +85,9 @@ pub fn downsample(hr: &Dataset, ft: usize, fs: usize) -> Dataset {
     }
     // The last LR frame sits at HR frame (nt-1)*ft, which may be before the
     // HR end; duration shrinks accordingly. Spatial lengths follow the same
-    // logic: z keeps the node-grid convention, x keeps full periodic length
-    // only if fs divides nx (asserted by construction of the solver grids).
+    // logic: z keeps the node-grid convention; for x, fs | nx is guaranteed
+    // above, so nx_lr·fs == nx_hr and the full periodic length is preserved
+    // exactly.
     let duration = hr.dt() * ((nt - 1) * ft) as f64;
     let lz = hr.dz() * ((nz - 1) * fs) as f64;
     let lx = hr.dx() * (nx * fs) as f64;
@@ -58,7 +108,19 @@ pub fn downsample(hr: &Dataset, ft: usize, fs: usize) -> Dataset {
         data,
     );
     out.refresh_stats();
-    out
+    Ok(out)
+}
+
+/// Panicking convenience wrapper over [`try_downsample`], for the training
+/// pipeline where the factors are static configuration.
+///
+/// # Panics
+/// Panics with the [`DownsampleError`] message on any invalid factor.
+pub fn downsample(hr: &Dataset, ft: usize, fs: usize) -> Dataset {
+    match try_downsample(hr, ft, fs) {
+        Ok(ds) => ds,
+        Err(e) => panic!("downsample: {e}"),
+    }
 }
 
 /// The paper's default factors: `d_t = 4`, `d_s = 8`.
@@ -125,9 +187,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "too few")]
+    #[should_panic(expected = "fewer than 2")]
     fn over_aggressive_factor_panics() {
         let hr = make_hr();
         downsample(&hr, 100, 1);
+    }
+
+    #[test]
+    fn non_dividing_spatial_factor_is_rejected() {
+        // nx = 32; fs = 3 leaves strided points 0,3,…,30 with a wrap gap of
+        // 2 — not a uniform periodic grid. The old code silently reported
+        // lx = dx·30 (shrinking the domain by the seam gap); now it must be
+        // a typed rejection.
+        let hr = make_hr();
+        match try_downsample(&hr, 1, 3) {
+            Err(DownsampleError::UnalignedPeriodicFactor { nx: 32, fs: 3 }) => {}
+            other => panic!("expected UnalignedPeriodicFactor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide the periodic extent")]
+    fn non_dividing_spatial_factor_panics_via_wrapper() {
+        let hr = make_hr();
+        downsample(&hr, 1, 3);
+    }
+
+    #[test]
+    fn zero_factor_is_rejected() {
+        let hr = make_hr();
+        assert_eq!(try_downsample(&hr, 0, 2).unwrap_err(), DownsampleError::ZeroFactor);
+        assert_eq!(try_downsample(&hr, 2, 0).unwrap_err(), DownsampleError::ZeroFactor);
+    }
+
+    #[test]
+    fn dividing_factor_preserves_periodic_length_exactly() {
+        let hr = make_hr();
+        let lr = try_downsample(&hr, 2, 4).expect("4 divides 32");
+        assert_eq!(lr.meta.lx.to_bits(), hr.meta.lx.to_bits());
     }
 }

@@ -20,7 +20,9 @@ pub mod io;
 pub mod patch;
 
 pub use dataset::{Dataset, DatasetMeta, CHANNELS, CH_P, CH_T, CH_U, CH_W};
-pub use downsample::{downsample, PAPER_DS_FACTOR, PAPER_DT_FACTOR};
+pub use downsample::{
+    downsample, try_downsample, DownsampleError, PAPER_DS_FACTOR, PAPER_DT_FACTOR,
+};
 pub use interp::{sample_trilinear, upsample_trilinear};
 pub use io::{load_dataset, save_dataset};
 pub use patch::{make_batch, stack_patches, Batch, PatchSampler, PatchSpec, Sample};

@@ -8,7 +8,7 @@
 //! paper's Sec. 3.3 expects.
 
 use crate::complex::Complex;
-use crate::fft::RealFftPlan;
+use crate::fft::{dft_naive, RealFftPlan};
 
 /// The 1D kinetic-energy spectrum of a set of velocity components.
 #[derive(Debug, Clone)]
@@ -53,22 +53,33 @@ impl EnergySpectrum {
 /// periodic direction. Rows are transformed independently and the resulting
 /// per-mode energies averaged over `z`.
 ///
+/// Power-of-two widths use the FFT; other widths fall back to a naive
+/// O(nx²) real DFT, so arbitrary grids (e.g. cropped patches) are accepted.
+///
 /// # Panics
-/// Panics if any field's length is not `nz * nx` or if `nx` is not a power of
-/// two.
+/// Panics if any field's length is not `nz * nx` or if `nx` is zero.
 pub fn energy_spectrum_x(components: &[&[f64]], nz: usize, nx: usize, lx: f64) -> EnergySpectrum {
     assert!(!components.is_empty(), "need at least one velocity component");
+    assert!(nx > 0, "nx must be positive");
     for c in components {
         assert_eq!(c.len(), nz * nx, "field shape mismatch");
     }
-    let plan = RealFftPlan::new(nx);
-    let nbins = plan.spectrum_len();
+    let plan = if nx >= 2 && nx.is_power_of_two() { Some(RealFftPlan::new(nx)) } else { None };
+    let nbins = nx / 2 + 1;
     let mut energy = vec![0.0; nbins];
     let mut row = vec![0.0f64; nx];
     for comp in components {
         for z in 0..nz {
             row.copy_from_slice(&comp[z * nx..(z + 1) * nx]);
-            let spec = plan.forward(&row);
+            let spec = match &plan {
+                Some(p) => p.forward(&row),
+                None => {
+                    let full: Vec<Complex> = row.iter().map(|&v| Complex::new(v, 0.0)).collect();
+                    let mut half = dft_naive(&full);
+                    half.truncate(nbins);
+                    half
+                }
+            };
             accumulate_row_energy(&spec, nx, &mut energy);
         }
     }
@@ -83,11 +94,15 @@ pub fn energy_spectrum_x(components: &[&[f64]], nz: usize, nx: usize, lx: f64) -
 
 /// Adds one row's spectral energy into `energy`, with the normalization that
 /// makes `sum_k E(k) = 0.5 * mean(u^2)` for that row. Interior bins are
-/// doubled to account for the conjugate-symmetric negative wavenumbers.
+/// doubled to account for the conjugate-symmetric negative wavenumbers; only
+/// DC and — for even `nx` — the Nyquist bin are their own conjugates and
+/// counted once. (`k == nx / 2` would silently halve the last bin for odd
+/// `nx`, where mode `nx/2` still has a distinct conjugate partner and must
+/// be doubled; `2 * k == nx` holds only for a true Nyquist bin.)
 fn accumulate_row_energy(spec: &[Complex], nx: usize, energy: &mut [f64]) {
     let n2 = (nx * nx) as f64;
     for (k, z) in spec.iter().enumerate() {
-        let mult = if k == 0 || k == nx / 2 { 1.0 } else { 2.0 };
+        let mult = if k == 0 || 2 * k == nx { 1.0 } else { 2.0 };
         energy[k] += 0.5 * mult * z.norm_sqr() / n2;
     }
 }
@@ -113,6 +128,27 @@ mod tests {
         let spec = energy_spectrum_x(&[&u], nz, nx, lx);
         let phys: f64 = 0.5 * u.iter().map(|v| v * v).sum::<f64>() / (nz * nx) as f64;
         assert!((spec.total_energy() - phys).abs() < 1e-12, "{} vs {phys}", spec.total_energy());
+    }
+
+    #[test]
+    fn parseval_holds_for_all_parities() {
+        // Parseval must hold whether or not a Nyquist bin exists: even
+        // power-of-two (FFT path), even and odd non-power-of-two (naive
+        // path). Odd widths are the regression case for the old
+        // `k == nx / 2` weighting, which halved the last bin.
+        for &(nz, nx) in &[(3, 8), (2, 12), (2, 7), (3, 9), (1, 1)] {
+            let mut u = vec![0.0; nz * nx];
+            for (i, v) in u.iter_mut().enumerate() {
+                *v = (i as f64 * 0.37).sin() + 0.2 * (i as f64 * 1.91).cos() - 0.05;
+            }
+            let spec = energy_spectrum_x(&[&u], nz, nx, 2.0);
+            let phys: f64 = 0.5 * u.iter().map(|v| v * v).sum::<f64>() / (nz * nx) as f64;
+            assert!(
+                (spec.total_energy() - phys).abs() < 1e-12 * (1.0 + phys),
+                "Parseval broken at nz={nz} nx={nx}: {} vs {phys}",
+                spec.total_energy()
+            );
+        }
     }
 
     #[test]

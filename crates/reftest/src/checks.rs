@@ -1,0 +1,574 @@
+//! Per-kernel differential checks: drive the optimized kernel and its f64
+//! reference twin over the adversarial case set and enforce the budget.
+//!
+//! Accumulating kernels (GEMM, conv, blend, batch norm) are fed inputs
+//! bounded so that no *intermediate* f32 sum can overflow — overflow order
+//! is a property of the accumulation schedule, not a correctness claim the
+//! kernels make. Element-wise kernels get the unbounded set plus explicit
+//! `±inf`/NaN probes.
+
+use crate::cases::{adversarial, adversarial_bounded, Lcg, CONV_SHAPES, GEMM_SHAPES};
+use crate::compare::{Checker, Report, Tolerance};
+use crate::reference as refk;
+use mfn_autodiff::Graph;
+use mfn_data::{Dataset, DatasetMeta, CHANNELS};
+use mfn_fft::{energy_spectrum_x, Complex, FftPlan, RealFftPlan};
+use mfn_solver::{d2dx2, d2dz2, ddx, ddz, dealias_x, laplacian, Domain};
+use mfn_tensor::{rowops, MatLayout, Tensor};
+
+/// Bound for accumulating kernels: products stay ≤ 1e30 and sums of a few
+/// hundred of them stay below f32::MAX, so intermediates cannot overflow.
+const ACC_CAP: f32 = 1.0e15;
+
+fn layout_tag(l: MatLayout) -> &'static str {
+    match l {
+        MatLayout::Normal => "N",
+        MatLayout::Transposed => "T",
+    }
+}
+
+/// Blocked GEMM vs the triple loop, over every layout pair and
+/// tile-boundary shape.
+pub fn check_gemm() -> Report {
+    let mut c = Checker::new("gemm", Tolerance::new(4, 1.0e-4, 0.0));
+    let layouts = [MatLayout::Normal, MatLayout::Transposed];
+    for (si, &(m, k, n)) in GEMM_SHAPES.iter().enumerate() {
+        for al in layouts {
+            for bl in layouts {
+                let seed = (si as u64) * 4 + 1;
+                c.case(format!("m{m} k{k} n{n} {}{} seed {seed}", layout_tag(al), layout_tag(bl)));
+                let a = adversarial_bounded(m * k, seed, ACC_CAP);
+                let b = adversarial_bounded(k * n, seed ^ 0xDEAD, ACC_CAP);
+                let mut out = vec![f32::NAN; m * n]; // NaN canary: must be overwritten
+                mfn_tensor::gemm(m, k, n, &a, al, &b, bl, &mut out);
+                let want = refk::gemm_ref(m, k, n, &a, al, &b, bl);
+                for (i, &got) in out.iter().enumerate() {
+                    c.check_f32(i, got, want.value[i], want.scale[i]);
+                }
+            }
+        }
+    }
+    c.finish()
+}
+
+/// Direct and im2col conv3d forward vs the seven-deep definition loop.
+pub fn check_conv3d() -> Report {
+    let mut c = Checker::new("conv3d", Tolerance::new(4, 1.0e-4, 0.0));
+    for (si, &(n, cin, cout, spatial, kernel)) in CONV_SHAPES.iter().enumerate() {
+        let [sd, sh, sw] = spatial;
+        let [kd, kh, kw] = kernel;
+        let seed = 100 + si as u64;
+        let x = adversarial_bounded(n * cin * sd * sh * sw, seed, ACC_CAP);
+        let w = adversarial_bounded(cout * cin * kd * kh * kw, seed ^ 0xBEEF, ACC_CAP);
+        let xt = Tensor::from_vec(x.clone(), &[n, cin, sd, sh, sw]);
+        let wt = Tensor::from_vec(w.clone(), &[cout, cin, kd, kh, kw]);
+        let want = refk::conv3d_ref(n, cin, cout, spatial, kernel, &x, &w);
+        c.case(format!("direct {spatial:?}*{kernel:?} seed {seed}"));
+        for (i, &got) in mfn_tensor::conv3d(&xt, &wt).data().iter().enumerate() {
+            c.check_f32(i, got, want.value[i], want.scale[i]);
+        }
+        c.case(format!("im2col {spatial:?}*{kernel:?} seed {seed}"));
+        for (i, &got) in mfn_tensor::conv3d_im2col(&xt, &wt).data().iter().enumerate() {
+            c.check_f32(i, got, want.value[i], want.scale[i]);
+        }
+    }
+    c.finish()
+}
+
+/// conv3d input gradient vs its definition loop.
+pub fn check_conv3d_grad_input() -> Report {
+    let mut c = Checker::new("conv3d_grad_input", Tolerance::new(4, 1.0e-4, 0.0));
+    for (si, &(n, cin, cout, spatial, kernel)) in CONV_SHAPES.iter().enumerate() {
+        let [sd, sh, sw] = spatial;
+        let [kd, kh, kw] = kernel;
+        let seed = 200 + si as u64;
+        let x = adversarial_bounded(n * cin * sd * sh * sw, seed, ACC_CAP);
+        let w = adversarial_bounded(cout * cin * kd * kh * kw, seed ^ 0xBEEF, ACC_CAP);
+        let gout = adversarial_bounded(n * cout * sd * sh * sw, seed ^ 0xFACE, ACC_CAP);
+        let xt = Tensor::from_vec(x, &[n, cin, sd, sh, sw]);
+        let wt = Tensor::from_vec(w.clone(), &[cout, cin, kd, kh, kw]);
+        let gt = Tensor::from_vec(gout.clone(), &[n, cout, sd, sh, sw]);
+        let dims = mfn_tensor::Conv3dDims::infer(&xt, &wt);
+        let want = refk::conv3d_grad_input_ref(n, cin, cout, spatial, kernel, &gout, &w);
+        c.case(format!("{spatial:?}*{kernel:?} seed {seed}"));
+        let got = mfn_tensor::conv3d_grad_input(&gt, &wt, dims);
+        for (i, &g) in got.data().iter().enumerate() {
+            c.check_f32(i, g, want.value[i], want.scale[i]);
+        }
+    }
+    c.finish()
+}
+
+/// conv3d weight gradient vs its definition loop.
+pub fn check_conv3d_grad_weight() -> Report {
+    let mut c = Checker::new("conv3d_grad_weight", Tolerance::new(4, 1.0e-4, 0.0));
+    for (si, &(n, cin, cout, spatial, kernel)) in CONV_SHAPES.iter().enumerate() {
+        let [sd, sh, sw] = spatial;
+        let [kd, kh, kw] = kernel;
+        let seed = 300 + si as u64;
+        let x = adversarial_bounded(n * cin * sd * sh * sw, seed, ACC_CAP);
+        let w = adversarial_bounded(cout * cin * kd * kh * kw, seed ^ 0xBEEF, ACC_CAP);
+        let gout = adversarial_bounded(n * cout * sd * sh * sw, seed ^ 0xFACE, ACC_CAP);
+        let xt = Tensor::from_vec(x.clone(), &[n, cin, sd, sh, sw]);
+        let wt = Tensor::from_vec(w, &[cout, cin, kd, kh, kw]);
+        let gt = Tensor::from_vec(gout.clone(), &[n, cout, sd, sh, sw]);
+        let dims = mfn_tensor::Conv3dDims::infer(&xt, &wt);
+        let want = refk::conv3d_grad_weight_ref(n, cin, cout, spatial, kernel, &x, &gout);
+        c.case(format!("{spatial:?}*{kernel:?} seed {seed}"));
+        let got = mfn_tensor::conv3d_grad_weight(&xt, &gt, dims);
+        for (i, &g) in got.data().iter().enumerate() {
+            c.check_f32(i, g, want.value[i], want.scale[i]);
+        }
+    }
+    c.finish()
+}
+
+/// Training-mode batch norm (graph op) vs the all-f64 twin. Inputs bounded
+/// to a physical range: the optimized path's statistics contract does not
+/// cover fields whose squares overflow f32.
+pub fn check_batch_norm() -> Report {
+    let mut c = Checker::new("batch_norm", Tolerance::new(16, 1.0e-5, 0.0));
+    for (si, &(n, ch, inner)) in
+        [(2usize, 3usize, 40usize), (1, 4, 7), (3, 1, 64)].iter().enumerate()
+    {
+        let seed = 400 + si as u64;
+        let x = adversarial_bounded(n * ch * inner, seed, 1.0e3);
+        let gamma = adversarial_bounded(ch, seed ^ 1, 8.0);
+        let beta = adversarial_bounded(ch, seed ^ 2, 8.0);
+        let eps = 1.0e-5f32;
+        let mut g = Graph::new();
+        let xv = g.constant(Tensor::from_vec(x.clone(), &[n, ch, inner]));
+        let gv = g.constant(Tensor::from_vec(gamma.clone(), &[ch]));
+        let bv = g.constant(Tensor::from_vec(beta.clone(), &[ch]));
+        let out = g.batch_norm(xv, gv, bv, eps, None);
+        let want = refk::batchnorm_train_ref(n, ch, inner, &x, &gamma, &beta, f64::from(eps));
+        c.case(format!("[{n},{ch},{inner}] seed {seed}"));
+        for (i, &got) in g.value(out).data().iter().enumerate() {
+            c.check_f32(i, got, want.value[i], want.scale[i]);
+        }
+    }
+    c.finish()
+}
+
+/// Inference-mode per-channel affine (shared by batch-norm eval).
+pub fn check_channel_affine() -> Report {
+    let mut c = Checker::new("channel_affine", Tolerance::new(2, 1.0e-6, 0.0));
+    for (si, &(n, ch, inner)) in [(2usize, 3usize, 40usize), (1, 5, 9)].iter().enumerate() {
+        let seed = 500 + si as u64;
+        let x = adversarial_bounded(n * ch * inner, seed, ACC_CAP);
+        let sc = adversarial_bounded(ch, seed ^ 1, ACC_CAP);
+        let sh = adversarial_bounded(ch, seed ^ 2, ACC_CAP);
+        let mut t = Tensor::from_vec(x.clone(), &[n, ch, inner]);
+        rowops::channel_affine(&mut t, &sc, &sh);
+        let want = refk::channel_affine_ref(n, ch, inner, &x, &sc, &sh);
+        c.case(format!("[{n},{ch},{inner}] seed {seed}"));
+        for (i, &got) in t.data().iter().enumerate() {
+            c.check_f32(i, got, want.value[i], want.scale[i]);
+        }
+    }
+    c.finish()
+}
+
+/// Element-wise activations (graph ops and the scalar helpers) against f64
+/// twins, on the unbounded set plus explicit ±inf / NaN / saturation probes.
+pub fn check_activations() -> Report {
+    let mut c = Checker::new("activations", Tolerance::new(8, 1.0e-6, 0.0));
+    let mut xs = adversarial(512, 600);
+    xs.extend_from_slice(&[
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::NAN,
+        100.0,
+        -100.0,
+        88.0, // expf saturation boundary
+        -88.0,
+    ]);
+    let t = Tensor::from_vec(xs.clone(), &[xs.len()]);
+    let mut g = Graph::new();
+    let v = g.constant(t);
+    type GraphOp = fn(&mut Graph, mfn_autodiff::Var) -> mfn_autodiff::Var;
+    type RefOp = fn(f64) -> f64;
+    let unary: [(&str, GraphOp, RefOp); 4] = [
+        ("relu", Graph::relu, refk::relu_ref),
+        ("softplus", Graph::softplus, refk::softplus_ref),
+        ("tanh", Graph::tanh, refk::tanh_ref),
+        ("abs", Graph::abs, refk::abs_ref),
+    ];
+    for (name, op, rf) in unary {
+        c.case(format!("graph {name}"));
+        let out = op(&mut g, v);
+        for (i, (&got, &x)) in g.value(out).data().iter().zip(&xs).enumerate() {
+            let want = rf(f64::from(x));
+            c.check_f32_in(i, Some(f64::from(x)), got, want, want.abs().max(1.0));
+        }
+    }
+    c.case("sigmoid_scalar");
+    for (i, &x) in xs.iter().enumerate() {
+        let want = refk::sigmoid_ref(f64::from(x));
+        c.check_f32_in(i, Some(f64::from(x)), mfn_autodiff::sigmoid_scalar(x), want, 1.0);
+    }
+    c.case("softplus_scalar");
+    for (i, &x) in xs.iter().enumerate() {
+        let want = refk::softplus_ref(f64::from(x));
+        c.check_f32_in(
+            i,
+            Some(f64::from(x)),
+            mfn_autodiff::softplus_scalar(x),
+            want,
+            want.abs().max(1.0),
+        );
+    }
+    c.finish()
+}
+
+/// Row- and channel-broadcast bias adds: a single f32 addition per element,
+/// so the budget is 1 ULP (double-rounding ties only).
+pub fn check_bias() -> Report {
+    let mut c = Checker::new("bias_add", Tolerance::new(1, 0.0, 0.0));
+    let (m, n) = (17, 33);
+    let x = adversarial(m * n, 700);
+    let b = adversarial(n, 701);
+    let mut t = Tensor::from_vec(x.clone(), &[m, n]);
+    rowops::add_bias_rows(&mut t, &b);
+    let want = refk::bias_rows_ref(m, n, &x, &b);
+    c.case("rows 17x33 seed 700");
+    for (i, &got) in t.data().iter().enumerate() {
+        c.check_f32(i, got, want.value[i], want.scale[i]);
+    }
+    let (n2, ch, inner) = (3, 5, 14);
+    let x = adversarial(n2 * ch * inner, 702);
+    let b = adversarial(ch, 703);
+    let mut t = Tensor::from_vec(x.clone(), &[n2, ch, inner]);
+    rowops::add_bias_channels(&mut t, &b);
+    let want = refk::bias_channels_ref(n2, ch, inner, &x, &b);
+    c.case("channels [3,5,14] seed 702");
+    for (i, &got) in t.data().iter().enumerate() {
+        c.check_f32(i, got, want.value[i], want.scale[i]);
+    }
+    c.finish()
+}
+
+/// Grouped weighted row blending (the continuous decoder's vertex blend),
+/// including the pinned zero-weight NaN-masking contract.
+pub fn check_blend_rows() -> Report {
+    let mut c = Checker::new("blend_rows", Tolerance::new(4, 1.0e-6, 0.0));
+    for (si, &(q, group, ch)) in
+        [(7usize, 8usize, 5usize), (16, 2, 3), (4, 1, 9)].iter().enumerate()
+    {
+        let seed = 800 + si as u64;
+        let rows = q * group;
+        let x = adversarial_bounded(rows * ch, seed, ACC_CAP);
+        let w = adversarial_bounded(rows, seed ^ 7, ACC_CAP);
+        let t = Tensor::from_vec(x.clone(), &[rows, ch]);
+        let got = rowops::blend_rows(&t, &w, group);
+        let want = refk::blend_rows_ref(rows, ch, &x, &w, group);
+        c.case(format!("q{q} g{group} c{ch} seed {seed}"));
+        for (i, &g) in got.data().iter().enumerate() {
+            c.check_f32(i, g, want.value[i], want.scale[i]);
+        }
+    }
+    // Zero weight must mask a NaN row — both sides, by contract.
+    let mut x = vec![1.0f32; 2 * 8 * 3];
+    x[0] = f32::NAN; // row 0 of query 0
+    let mut w = vec![0.125f32; 16];
+    w[0] = 0.0;
+    let t = Tensor::from_vec(x.clone(), &[16, 3]);
+    let got = rowops::blend_rows(&t, &w, 8);
+    let want = refk::blend_rows_ref(16, 3, &x, &w, 8);
+    c.case("zero-weight NaN masking");
+    for (i, &g) in got.data().iter().enumerate() {
+        assert!(!want.value[i].is_nan(), "reference must mask the NaN row");
+        c.check_f32(i, g, want.value[i], want.scale[i]);
+    }
+    c.finish()
+}
+
+/// Vertex gather from a latent grid: exact copies, bit-for-bit.
+pub fn check_gather_rows() -> Report {
+    let mut c = Checker::new("gather_rows", Tolerance::exact());
+    let (n, ch, vol_dims, picks) = (2usize, 3usize, [2usize, 2, 3], 40usize);
+    let vol: usize = vol_dims.iter().product();
+    let x = adversarial(n * ch * vol, 900);
+    let mut g = Lcg::new(901);
+    // index[m] = batch*vol + spatial, per the gather_rows contract.
+    let index: Vec<u32> = (0..picks).map(|_| g.index(n * vol) as u32).collect();
+    let t = Tensor::from_vec(x.clone(), &[n, ch, vol_dims[0], vol_dims[1], vol_dims[2]]);
+    let got = rowops::gather_rows(&t, &index);
+    c.case("[2,3,2,2,3] pick 40 seed 900");
+    for (r, &flat) in index.iter().enumerate() {
+        let (ni, sp) = (flat as usize / vol, flat as usize % vol);
+        for j in 0..ch {
+            c.check_f32(
+                r * ch + j,
+                got.data()[r * ch + j],
+                f64::from(x[(ni * ch + j) * vol + sp]),
+                0.0,
+            );
+        }
+    }
+    c.finish()
+}
+
+/// Max pooling: bit-exact vs the NaN-propagating reference, and the returned
+/// argmax indices must point at the returned values.
+pub fn check_maxpool() -> Report {
+    let mut c = Checker::new("maxpool3d", Tolerance::exact());
+    let (n, ch, spatial, factors) = (2usize, 3usize, [4usize, 4, 6], [2usize, 2, 3]);
+    let vol: usize = spatial.iter().product();
+    let mut x = adversarial(n * ch * vol, 1000);
+    // Poison a few windows, including one that is all-NaN.
+    x[5] = f32::NAN;
+    x[vol + 1] = f32::NAN;
+    for v in x.iter_mut().take(spatial[1] * spatial[2]).step_by(3) {
+        *v = f32::NAN;
+    }
+    let t = Tensor::from_vec(x.clone(), &[n, ch, spatial[0], spatial[1], spatial[2]]);
+    let (got, idx) = mfn_tensor::maxpool3d(&t, factors);
+    let want = refk::maxpool3d_ref(n * ch, spatial, factors, &x);
+    c.case("[2,3,4,4,6]/[2,2,3] seed 1000 + NaN windows");
+    for (i, &g) in got.data().iter().enumerate() {
+        c.check_f32(i, g, want[i], 0.0);
+    }
+    c.case("argmax indices point at returned values");
+    for (i, &g) in got.data().iter().enumerate() {
+        c.check_f32(i, g, f64::from(x[idx[i] as usize]), 0.0);
+    }
+    c.finish()
+}
+
+/// Nearest-neighbour upsampling: exact replication.
+pub fn check_upsample() -> Report {
+    let mut c = Checker::new("upsample_nearest3d", Tolerance::exact());
+    let (n, ch, spatial, factors) = (2usize, 2usize, [2usize, 3, 4], [3usize, 2, 2]);
+    let vol: usize = spatial.iter().product();
+    let x = adversarial(n * ch * vol, 1100);
+    let t = Tensor::from_vec(x.clone(), &[n, ch, spatial[0], spatial[1], spatial[2]]);
+    let got = mfn_tensor::upsample_nearest3d(&t, factors);
+    let want = refk::upsample_nearest3d_ref(n * ch, spatial, factors, &x);
+    c.case("[2,2,2,3,4]x[3,2,2] seed 1100");
+    for (i, &g) in got.data().iter().enumerate() {
+        c.check_f32(i, g, want[i], 0.0);
+    }
+    c.finish()
+}
+
+/// Radix-2 FFT (complex forward, inverse round-trip, real-input plan)
+/// against the naive O(n²) DFT in f64.
+pub fn check_fft() -> Report {
+    let mut c = Checker::new("fft", Tolerance::new(0, 1.0e-12, 0.0));
+    for (si, &n) in [1usize, 2, 8, 64].iter().enumerate() {
+        let seed = 1200 + si as u64;
+        let re: Vec<f64> =
+            adversarial_bounded(n, seed, ACC_CAP).iter().map(|&v| f64::from(v)).collect();
+        let im: Vec<f64> =
+            adversarial_bounded(n, seed ^ 3, ACC_CAP).iter().map(|&v| f64::from(v)).collect();
+        let plan = FftPlan::new(n);
+        let mut data: Vec<Complex> =
+            re.iter().zip(&im).map(|(&r, &i)| Complex::new(r, i)).collect();
+        plan.forward(&mut data);
+        let (want, mag) = refk::dft_ref(&re, &im);
+        c.case(format!("forward n{n} seed {seed}"));
+        for (k, z) in data.iter().enumerate() {
+            c.check_f64(2 * k, z.re, want[k].0, mag);
+            c.check_f64(2 * k + 1, z.im, want[k].1, mag);
+        }
+        c.case(format!("inverse round-trip n{n} seed {seed}"));
+        plan.inverse(&mut data);
+        for (j, z) in data.iter().enumerate() {
+            c.check_f64(2 * j, z.re, re[j], mag);
+            c.check_f64(2 * j + 1, z.im, im[j], mag);
+        }
+        if n >= 2 {
+            let rplan = RealFftPlan::new(n);
+            let (rwant, rmag) = refk::real_dft_ref(&re);
+            c.case(format!("real forward n{n} seed {seed}"));
+            for (k, z) in rplan.forward(&re).iter().enumerate() {
+                c.check_f64(2 * k, z.re, rwant[k].0, rmag);
+                c.check_f64(2 * k + 1, z.im, rwant[k].1, rmag);
+            }
+        }
+    }
+    c.finish()
+}
+
+/// Energy-spectrum binning vs the naive twin, on even, odd and
+/// non-power-of-two widths, plus Parseval against the physical energy.
+pub fn check_spectrum() -> Report {
+    let mut c = Checker::new("energy_spectrum_x", Tolerance::new(0, 1.0e-11, 0.0));
+    for (si, &(nz, nx)) in
+        [(3usize, 8usize), (2, 16), (2, 12), (2, 7), (3, 9), (1, 1)].iter().enumerate()
+    {
+        let seed = 1300 + si as u64;
+        let u: Vec<f64> =
+            adversarial_bounded(nz * nx, seed, 1.0e6).iter().map(|&v| f64::from(v)).collect();
+        let w: Vec<f64> =
+            adversarial_bounded(nz * nx, seed ^ 5, 1.0e6).iter().map(|&v| f64::from(v)).collect();
+        let got = energy_spectrum_x(&[&u, &w], nz, nx, 2.0);
+        let want = refk::energy_spectrum_x_ref(&[&u, &w], nz, nx);
+        c.case(format!("nz{nz} nx{nx} seed {seed}"));
+        for (k, &e) in got.energy.iter().enumerate() {
+            c.check_f64(k, e, want.value[k], want.scale[k]);
+        }
+        // Parseval: Σ E(k) == 0.5·mean(u² + w²), ULP-budget tight.
+        let phys = 0.5
+            * (u.iter().map(|v| v * v).sum::<f64>() + w.iter().map(|v| v * v).sum::<f64>())
+            / (nz * nx) as f64;
+        c.case(format!("Parseval nz{nz} nx{nx}"));
+        c.check_f64(0, got.energy.iter().sum::<f64>(), phys, phys.abs());
+    }
+    c.finish()
+}
+
+/// One report per solver stencil against its f64 twin.
+fn check_solver_stencil(
+    kernel: &'static str,
+    tol: Tolerance,
+    run: impl Fn(&Domain, &[f64]) -> Vec<f64>,
+    reference: impl Fn(&Domain, &[f64]) -> refk::RefOut,
+) -> Report {
+    let mut c = Checker::new(kernel, tol);
+    for (si, &(nx, nz)) in [(8usize, 5usize), (16, 9), (8, 4)].iter().enumerate() {
+        let seed = 1400 + si as u64;
+        let dom = Domain::new(nx, nz, 3.7, 1.3);
+        let f: Vec<f64> =
+            adversarial_bounded(nz * nx, seed, 1.0e6).iter().map(|&v| f64::from(v)).collect();
+        let got = run(&dom, &f);
+        let want = reference(&dom, &f);
+        c.case(format!("nx{nx} nz{nz} seed {seed}"));
+        for (i, &g) in got.iter().enumerate() {
+            c.check_f64(i, g, want.value[i], want.scale[i]);
+        }
+    }
+    c.finish()
+}
+
+/// All solver stencils: spectral x-derivatives, FD z-derivatives, Laplacian
+/// and dealiasing.
+pub fn check_solver() -> Vec<Report> {
+    let spectral = Tolerance::new(0, 1.0e-11, 0.0);
+    let fd = Tolerance::new(4, 1.0e-12, 0.0);
+    vec![
+        check_solver_stencil("solver_ddx", spectral, ddx, |d, f| {
+            refk::ddx_ref(d.nz, d.nx, d.lx, f)
+        }),
+        check_solver_stencil("solver_d2dx2", spectral, d2dx2, |d, f| {
+            refk::d2dx2_ref(d.nz, d.nx, d.lx, f)
+        }),
+        check_solver_stencil("solver_ddz", fd, ddz, |d, f| refk::ddz_ref(d.nz, d.nx, d.dz(), f)),
+        check_solver_stencil("solver_d2dz2", fd, d2dz2, |d, f| {
+            refk::d2dz2_ref(d.nz, d.nx, d.dz(), f)
+        }),
+        check_solver_stencil("solver_laplacian", spectral, laplacian, |d, f| {
+            refk::laplacian_ref(d.nz, d.nx, d.lx, d.dz(), f)
+        }),
+        check_solver_stencil(
+            "solver_dealias_x",
+            spectral,
+            |d, f| {
+                let mut g = f.to_vec();
+                dealias_x(d, &mut g);
+                g
+            },
+            |d, f| refk::dealias_x_ref(d.nz, d.nx, f),
+        ),
+    ]
+}
+
+fn synthetic_dataset(nt: usize, nz: usize, nx: usize, seed: u64) -> Dataset {
+    let meta = DatasetMeta {
+        nt,
+        nz,
+        nx,
+        lx: 1.6,
+        lz: 1.0,
+        duration: 0.9,
+        ra: 1.0e5,
+        pr: 1.0,
+        seed: 0,
+        channel_mean: [0.0; CHANNELS],
+        channel_std: [1.0; CHANNELS],
+    };
+    Dataset::from_parts(meta, adversarial_bounded(nt * CHANNELS * nz * nx, seed, 1.0e3))
+}
+
+/// Space-time trilinear sampling vs the all-f64 twin: on-grid, generic
+/// off-grid, clamped out-of-range and periodic-wrap queries.
+pub fn check_trilinear() -> Report {
+    let mut c = Checker::new("sample_trilinear", Tolerance::new(8, 1.0e-5, 0.0));
+    let ds = synthetic_dataset(4, 5, 8, 1500);
+    let mut g = Lcg::new(1501);
+    let mut queries: Vec<(f64, f64, f64)> = Vec::new();
+    for ft in 0..4 {
+        queries.push((ft as f64 * ds.dt(), ds.dz() * 2.0, ds.dx() * 3.0)); // on-grid in t
+    }
+    for _ in 0..48 {
+        queries.push((
+            f64::from(g.uniform()) * 1.2, // includes t < 0 (clamped)
+            f64::from(g.uniform()) * 1.4, // includes z out of range
+            f64::from(g.uniform()) * 4.0, // several periods, negative wraps
+        ));
+    }
+    for (qi, &(t, z, x)) in queries.iter().enumerate() {
+        c.case(format!("query {qi} ({t:.4},{z:.4},{x:.4})"));
+        let got = mfn_data::sample_trilinear(&ds, t, z, x);
+        let (want, scale) = refk::sample_trilinear_ref(&ds, t, z, x);
+        for ch in 0..CHANNELS {
+            c.check_f32(ch, got[ch], want[ch], scale[ch]);
+        }
+    }
+    c.finish()
+}
+
+/// Strided downsampling: every LR sample is an exact copy of its HR source.
+pub fn check_downsample() -> Report {
+    let mut c = Checker::new("downsample", Tolerance::exact());
+    let hr = synthetic_dataset(5, 9, 16, 1600);
+    let lr = mfn_data::downsample(&hr, 2, 2);
+    c.case("5x9x16 / (2,2) seed 1600");
+    let mut i = 0usize;
+    for f in 0..lr.meta.nt {
+        for ch in 0..CHANNELS {
+            for j in 0..lr.meta.nz {
+                for k in 0..lr.meta.nx {
+                    c.check_f32(
+                        i,
+                        lr.at(f, ch, j, k),
+                        f64::from(hr.at(f * 2, ch, j * 2, k * 2)),
+                        0.0,
+                    );
+                    i += 1;
+                }
+            }
+        }
+    }
+    c.finish()
+}
+
+/// Runs every kernel check, in dependency order (primitives first).
+pub fn run_all() -> Vec<Report> {
+    let mut reports = vec![
+        check_gemm(),
+        check_conv3d(),
+        check_conv3d_grad_input(),
+        check_conv3d_grad_weight(),
+        check_batch_norm(),
+        check_channel_affine(),
+        check_activations(),
+        check_bias(),
+        check_blend_rows(),
+        check_gather_rows(),
+        check_maxpool(),
+        check_upsample(),
+        check_fft(),
+        check_spectrum(),
+    ];
+    reports.extend(check_solver());
+    reports.push(check_trilinear());
+    reports.push(check_downsample());
+    reports
+}
+
+/// True iff every report passed.
+pub fn all_passed(reports: &[Report]) -> bool {
+    reports.iter().all(Report::passed)
+}

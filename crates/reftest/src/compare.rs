@@ -1,0 +1,374 @@
+//! The comparison harness: ULP distance, per-kernel error budgets, and
+//! worst-offender reporting.
+//!
+//! Every optimized kernel is compared element-wise against its f64 scalar
+//! reference. An element passes if any of three criteria holds:
+//!
+//! 1. **bit-equal**: `got.to_bits() == (want as f32).to_bits()` (this also
+//!    accepts agreement on `inf` after f64→f32 overflow, and NaN vs NaN);
+//! 2. **ULP**: the units-in-the-last-place distance between `got` and the
+//!    correctly-rounded reference is within the kernel's budget;
+//! 3. **scale-aware absolute**: `|got − want| ≤ atol + rtol·scale`, where
+//!    `scale` is a per-element magnitude bound supplied by the reference
+//!    (e.g. `Σ|aᵢ||bᵢ|` for a dot product). This is what makes the harness
+//!    sound under catastrophic cancellation: a blocked summation may lose
+//!    *all* relative accuracy of a tiny result whose intermediate terms were
+//!    huge, and that is a property of f32 accumulation order, not a bug.
+//!
+//! Criterion 3 is deliberately *not* plain relative error against the
+//! result: that would either reject legitimate reorderings (tight rtol) or
+//! pass genuinely broken kernels (loose rtol).
+
+use std::fmt;
+
+/// Per-kernel error budget. An element passes on bit-equality, ULP distance
+/// `≤ ulp`, or `|got − want| ≤ atol + rtol·scale`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Maximum units-in-the-last-place distance from the correctly rounded
+    /// reference value.
+    pub ulp: u64,
+    /// Relative slack against the per-element magnitude bound (`scale`), not
+    /// against the result itself.
+    pub rtol: f64,
+    /// Absolute floor, for results whose magnitude bound is itself tiny.
+    pub atol: f64,
+}
+
+impl Tolerance {
+    /// A budget expressed purely in ULPs (no scale-aware escape hatch);
+    /// `ulp = 0` demands bit-identical results.
+    pub const fn exact() -> Self {
+        Tolerance { ulp: 0, rtol: 0.0, atol: 0.0 }
+    }
+
+    /// A budget of `ulp` ULPs with a scale-aware fallback.
+    pub const fn new(ulp: u64, rtol: f64, atol: f64) -> Self {
+        Tolerance { ulp, rtol, atol }
+    }
+}
+
+/// Ordered-integer mapping of an f32: monotone in the reals, ±0 coincide.
+fn ordered_f32(x: f32) -> i64 {
+    let b = x.to_bits() as i32;
+    if b < 0 {
+        i64::from(i32::MIN) - i64::from(b)
+    } else {
+        i64::from(b)
+    }
+}
+
+/// Ordered-integer mapping of an f64 (see [`ordered_f32`]).
+fn ordered_f64(x: f64) -> i128 {
+    let b = x.to_bits() as i64;
+    if b < 0 {
+        i128::from(i64::MIN) - i128::from(b)
+    } else {
+        i128::from(b)
+    }
+}
+
+/// ULP distance between two non-NaN f32s. `+0` and `-0` are 0 apart;
+/// `f32::MAX` and `inf` are 1 apart.
+pub fn ulp_diff_f32(a: f32, b: f32) -> u64 {
+    debug_assert!(!a.is_nan() && !b.is_nan());
+    (ordered_f32(a) - ordered_f32(b)).unsigned_abs()
+}
+
+/// ULP distance between two non-NaN f64s, saturating at `u64::MAX`.
+pub fn ulp_diff_f64(a: f64, b: f64) -> u64 {
+    debug_assert!(!a.is_nan() && !b.is_nan());
+    let d = (ordered_f64(a) - ordered_f64(b)).unsigned_abs();
+    u64::try_from(d).unwrap_or(u64::MAX)
+}
+
+/// One divergent (or worst-so-far) element, with enough context to
+/// regenerate its inputs: the case label carries the deterministic seed and
+/// shape, `input` the offending element's input value where one exists.
+#[derive(Debug, Clone)]
+pub struct Offender {
+    /// Case label (shape, layout, generator seed).
+    pub case: String,
+    /// Flat element index within the kernel output.
+    pub index: usize,
+    /// The offending element's direct input, for element-wise kernels.
+    pub input: Option<f64>,
+    /// Optimized-kernel output (f32 widened, or native f64).
+    pub got: f64,
+    /// Reference value.
+    pub want: f64,
+    /// ULP distance (`u64::MAX` when exactly one side is NaN).
+    pub ulp: u64,
+    /// `|got − want|`.
+    pub abs_err: f64,
+    /// The reference's magnitude bound for this element.
+    pub scale: f64,
+}
+
+impl fmt::Display for Offender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "case \"{}\" [{}]: got {:e} want {:e} (ulp {}, |err| {:e}, scale {:e}",
+            self.case, self.index, self.got, self.want, self.ulp, self.abs_err, self.scale
+        )?;
+        if let Some(x) = self.input {
+            write!(f, ", input {x:e}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Outcome of checking one kernel over its full adversarial case set.
+#[derive(Debug)]
+pub struct Report {
+    /// Kernel under test.
+    pub kernel: &'static str,
+    /// Budget the kernel was held to.
+    pub tol: Tolerance,
+    /// Number of cases (shape × layout × seed combinations).
+    pub cases: u64,
+    /// Total elements compared.
+    pub elems: u64,
+    /// Largest ULP distance observed across all elements (passing or not).
+    pub max_ulp: u64,
+    /// The worst element seen, even if it passed.
+    pub worst: Option<Offender>,
+    /// Total elements outside budget.
+    pub failure_count: u64,
+    /// First few failures (capped so a totally broken kernel stays readable).
+    pub failures: Vec<Offender>,
+}
+
+impl Report {
+    /// Whether every element stayed within budget.
+    pub fn passed(&self) -> bool {
+        self.failure_count == 0
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} cases {:>3}  elems {:>8}  max_ulp {:>6}  ",
+            self.kernel, self.cases, self.elems, self.max_ulp
+        )?;
+        if self.passed() {
+            write!(f, "ok")
+        } else {
+            write!(f, "FAIL ({} divergent)", self.failure_count)?;
+            if let Some(w) = self.failures.first() {
+                write!(f, "\n  worst offender: {w}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// How many failures a report keeps verbatim.
+const MAX_STORED_FAILURES: usize = 8;
+
+/// Accumulates element comparisons for one kernel into a [`Report`].
+pub struct Checker {
+    kernel: &'static str,
+    tol: Tolerance,
+    case: String,
+    cases: u64,
+    elems: u64,
+    max_ulp: u64,
+    worst: Option<Offender>,
+    failure_count: u64,
+    failures: Vec<Offender>,
+}
+
+impl Checker {
+    /// Starts a checker for `kernel` under budget `tol`.
+    pub fn new(kernel: &'static str, tol: Tolerance) -> Self {
+        Checker {
+            kernel,
+            tol,
+            case: String::new(),
+            cases: 0,
+            elems: 0,
+            max_ulp: 0,
+            worst: None,
+            failure_count: 0,
+            failures: Vec::new(),
+        }
+    }
+
+    /// Opens a new case; subsequent `check_*` calls are attributed to it.
+    /// The label should identify the inputs deterministically (shape, layout,
+    /// generator seed).
+    pub fn case(&mut self, label: impl Into<String>) {
+        self.case = label.into();
+        self.cases += 1;
+    }
+
+    #[allow(clippy::too_many_arguments)] // private sink for every comparison field
+    fn record(
+        &mut self,
+        index: usize,
+        input: Option<f64>,
+        got: f64,
+        want: f64,
+        ulp: u64,
+        scale: f64,
+        pass: bool,
+    ) {
+        let abs_err = (got - want).abs();
+        if ulp != u64::MAX && ulp > self.max_ulp {
+            self.max_ulp = ulp;
+        }
+        let worse = match &self.worst {
+            None => true,
+            Some(w) => ulp > w.ulp || (ulp == w.ulp && abs_err > w.abs_err),
+        };
+        if worse || (!pass && self.failures.len() < MAX_STORED_FAILURES) {
+            let off =
+                Offender { case: self.case.clone(), index, input, got, want, ulp, abs_err, scale };
+            if worse {
+                self.worst = Some(off.clone());
+            }
+            if !pass && self.failures.len() < MAX_STORED_FAILURES {
+                self.failures.push(off);
+            }
+        }
+        if !pass {
+            self.failure_count += 1;
+        }
+    }
+
+    /// Compares an f32 kernel output against an f64 reference with magnitude
+    /// bound `scale`.
+    pub fn check_f32(&mut self, index: usize, got: f32, want: f64, scale: f64) {
+        self.check_f32_in(index, None, got, want, scale);
+    }
+
+    /// Like [`Checker::check_f32`], recording the element's input value for
+    /// the offender report (element-wise kernels).
+    pub fn check_f32_in(
+        &mut self,
+        index: usize,
+        input: Option<f64>,
+        got: f32,
+        want: f64,
+        scale: f64,
+    ) {
+        self.elems += 1;
+        let want32 = want as f32;
+        if got.to_bits() == want32.to_bits() {
+            return; // covers NaN-pattern equality, signed zeros, inf agreement
+        }
+        if got.is_nan() && want32.is_nan() {
+            return;
+        }
+        if got.is_nan() || want32.is_nan() {
+            self.record(index, input, f64::from(got), want, u64::MAX, scale, false);
+            return;
+        }
+        let ulp = ulp_diff_f32(got, want32);
+        let abs_err = (f64::from(got) - want).abs();
+        let pass = ulp <= self.tol.ulp || abs_err <= self.tol.atol + self.tol.rtol * scale;
+        self.record(index, input, f64::from(got), want, ulp, scale, pass);
+    }
+
+    /// Compares an f64 kernel output (FFT, solver stencils) against an f64
+    /// reference with magnitude bound `scale`.
+    pub fn check_f64(&mut self, index: usize, got: f64, want: f64, scale: f64) {
+        self.elems += 1;
+        if got.to_bits() == want.to_bits() {
+            return;
+        }
+        if got.is_nan() && want.is_nan() {
+            return;
+        }
+        if got.is_nan() || want.is_nan() {
+            self.record(index, None, got, want, u64::MAX, scale, false);
+            return;
+        }
+        let ulp = ulp_diff_f64(got, want);
+        let abs_err = (got - want).abs();
+        let pass = ulp <= self.tol.ulp || abs_err <= self.tol.atol + self.tol.rtol * scale;
+        self.record(index, None, got, want, ulp, scale, pass);
+    }
+
+    /// Finalizes into a [`Report`].
+    pub fn finish(self) -> Report {
+        Report {
+            kernel: self.kernel,
+            tol: self.tol,
+            cases: self.cases,
+            elems: self.elems,
+            max_ulp: self.max_ulp,
+            worst: self.worst,
+            failure_count: self.failure_count,
+            failures: self.failures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_diff_f32(0.0, -0.0), 0);
+        assert_eq!(ulp_diff_f32(1.0, 1.0), 0);
+        assert_eq!(ulp_diff_f32(1.0, 1.0 + f32::EPSILON), 1);
+        assert_eq!(ulp_diff_f32(f32::MAX, f32::INFINITY), 1);
+        // Straddling zero: distance is the sum of each side's offset.
+        assert_eq!(ulp_diff_f32(f32::from_bits(1), -f32::from_bits(1)), 2);
+        assert_eq!(ulp_diff_f64(1.0, 1.0 + f64::EPSILON), 1);
+        assert_eq!(ulp_diff_f64(0.0, -0.0), 0);
+    }
+
+    #[test]
+    fn checker_accepts_within_budget_and_rejects_outside() {
+        let mut c = Checker::new("t", Tolerance::new(2, 0.0, 0.0));
+        c.case("unit");
+        c.check_f32(0, 1.0, 1.0 + f64::from(f32::EPSILON), 1.0); // 1 ULP
+        c.check_f32(1, 1.0, 1.0 + 8.0 * f64::from(f32::EPSILON), 1.0); // 8 ULP
+        let r = c.finish();
+        assert_eq!(r.failure_count, 1);
+        assert_eq!(r.max_ulp, 8);
+        assert_eq!(r.failures[0].index, 1);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn scale_aware_criterion_rescues_cancellation() {
+        // got 0.0 vs want 1e-5 is infinitely many ULPs apart, but with a
+        // magnitude bound of 1e3 (huge cancelling terms) it is within
+        // rtol·scale.
+        let mut c = Checker::new("t", Tolerance::new(2, 1e-6, 0.0));
+        c.case("cancel");
+        c.check_f32(0, 0.0, 1e-5, 1e3);
+        assert!(c.finish().passed());
+    }
+
+    #[test]
+    fn nan_mismatch_is_always_fatal() {
+        let mut c = Checker::new("t", Tolerance::new(u64::MAX / 2, 1e9, 1e9));
+        c.case("nan");
+        c.check_f32(0, f32::NAN, 1.0, 1.0);
+        c.check_f32(1, 1.0, f64::NAN, 1.0);
+        c.check_f32(2, f32::NAN, f64::NAN, 1.0); // agreement is fine
+        let r = c.finish();
+        assert_eq!(r.failure_count, 2);
+    }
+
+    #[test]
+    fn exact_budget_demands_bit_equality() {
+        let mut c = Checker::new("t", Tolerance::exact());
+        c.case("exact");
+        c.check_f32(0, 1.5, 1.5, 0.0);
+        c.check_f32(1, -0.0, 0.0, 0.0); // ±0 are 0 ULP apart: passes
+        c.check_f32(2, 1.0, 1.0 + f64::from(f32::EPSILON), 0.0);
+        let r = c.finish();
+        assert_eq!(r.failure_count, 1);
+        assert_eq!(r.failures[0].index, 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Differential correctness oracle for the MeshfreeFlowNet numerical stack.
+//!
+//! Every optimized kernel in the workspace — blocked GEMM, conv3d and its
+//! gradients, batch norm, activations, row/blend ops, pooling, FFT and the
+//! spectrum binning, the solver's spectral/FD stencils, and trilinear
+//! interpolation — has a *reference twin* here: a naive scalar f64
+//! implementation written straight from the mathematical definition, with no
+//! blocking, no fusion and no layout tricks. The harness drives both over a
+//! deterministic adversarial input set (subnormals, signed zeros, huge/tiny
+//! magnitudes, near-cancelling pairs, tile-unaligned shapes) and enforces a
+//! per-kernel ULP / scale-aware error budget, reporting the worst offender
+//! with enough context to replay it.
+//!
+//! House rule (DESIGN.md §12): **a new fast path must land with its
+//! reference twin.** If you optimize a kernel, extend this crate in the same
+//! change.
+//!
+//! Three consumers:
+//! - `cargo test -p mfn-reftest` — the oracle suite, one test per kernel;
+//! - `bench --oracle` — cross-checks every kernel before timing it;
+//! - CI runs the suite under both the pinned `x86-64-v3` and
+//!   `target-cpu=generic` so codegen differences are covered.
+
+pub mod cases;
+pub mod checks;
+pub mod compare;
+pub mod reference;
+
+pub use checks::{all_passed, run_all};
+pub use compare::{Checker, Report, Tolerance};

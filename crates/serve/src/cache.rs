@@ -13,6 +13,14 @@
 //! frames. Eviction is least-recently-used over a small capacity — serving
 //! workloads replay a handful of hot patches (a frame being super-resolved,
 //! a region being explored), not a uniform stream.
+//!
+//! A 64-bit digest is not a proof of identity: two *different* patches can
+//! collide, and a cache that trusts the digest alone would then silently
+//! hand the second client the first client's latent — wrong answers with no
+//! error. Every entry therefore also stores a second, independently-mixed
+//! verification hash of the same bytes ([`patch_verify`]); an encode-time
+//! hit is only honoured when both hashes agree, and a digest match with a
+//! verify mismatch is surfaced as [`Lookup::Collision`] and counted.
 
 use mfn_tensor::Tensor;
 use std::collections::HashMap;
@@ -46,8 +54,51 @@ pub fn patch_digest(dims: &[usize], data: &[f32]) -> u64 {
     h
 }
 
+/// Second, independent hash of the same `(dims, data)` bytes, used to
+/// verify that a digest hit really refers to the submitted patch.
+///
+/// This is a SplitMix64-style sequential mix over 64-bit words (each dim,
+/// then each f32's bit pattern). Its avalanche structure (xor-shift +
+/// odd-constant multiply) shares nothing with FNV-1a's byte-wise
+/// multiply-xor, so an input pair colliding under one hash has no special
+/// likelihood of colliding under the other: a simultaneous collision needs
+/// ~128 matching bits. Unlike [`patch_digest`], this value never travels on
+/// the wire — it only guards cache hits, so it can change without a
+/// protocol bump.
+pub fn patch_verify(dims: &[usize], data: &[f32]) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut eat = |w: u64| {
+        h = h.wrapping_add(w).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+    };
+    for &d in dims {
+        eat(d as u64);
+    }
+    for &v in data {
+        eat(v.to_bits() as u64);
+    }
+    h
+}
+
+/// Outcome of a verified cache lookup.
+#[derive(Debug, Clone)]
+pub enum Lookup {
+    /// Digest and verification hash both match: this latent was encoded
+    /// from exactly the submitted bytes.
+    Hit(Arc<Tensor>),
+    /// The digest matches a cached entry but the verification hash does
+    /// not: a different patch already owns this digest. Serving the cached
+    /// latent would be silently wrong.
+    Collision,
+    /// No entry under this digest.
+    Miss,
+}
+
 struct Entry {
     latent: Arc<Tensor>,
+    verify: u64,
     last_used: u64,
 }
 
@@ -67,6 +118,7 @@ pub struct LatentCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    collisions: AtomicU64,
 }
 
 impl LatentCache {
@@ -77,6 +129,7 @@ impl LatentCache {
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
         }
     }
 
@@ -87,7 +140,14 @@ impl LatentCache {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Looks up a latent, bumping its recency. Counts a hit or miss.
+    /// Looks up a latent by digest alone, bumping its recency. Counts a hit
+    /// or miss.
+    ///
+    /// This is the `Query` path: the client holds only the wire handle (the
+    /// digest from a previous `Encode`), so there are no bytes to verify
+    /// against. Collision safety comes from the encode path — a digest is
+    /// only handed out after [`LatentCache::get_verified`] confirmed the
+    /// submitted bytes own it.
     pub fn get(&self, digest: u64) -> Option<Arc<Tensor>> {
         let mut inner = self.lock();
         inner.tick += 1;
@@ -105,14 +165,42 @@ impl LatentCache {
         }
     }
 
+    /// Looks up a latent by digest *and* verification hash.
+    ///
+    /// Only a two-hash match is a [`Lookup::Hit`] (recency bumped, hit
+    /// counted). A digest match whose stored verify differs is a
+    /// [`Lookup::Collision`]: the entry belongs to different patch bytes,
+    /// so its recency is left alone and the collision counter is bumped.
+    pub fn get_verified(&self, digest: u64, verify: u64) -> Lookup {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&digest) {
+            Some(e) if e.verify == verify => {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Lookup::Hit(e.latent.clone())
+            }
+            Some(_) => {
+                self.collisions.fetch_add(1, Ordering::Relaxed);
+                Lookup::Collision
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Lookup::Miss
+            }
+        }
+    }
+
     /// Checks presence without touching recency or counters (used by the
     /// engine to decide hit/miss before paying for an encode).
     pub fn contains(&self, digest: u64) -> bool {
         self.lock().map.contains_key(&digest)
     }
 
-    /// Inserts a latent, evicting the least-recently-used entry if full.
-    pub fn insert(&self, digest: u64, latent: Arc<Tensor>) {
+    /// Inserts a latent under its digest and verification hash, evicting
+    /// the least-recently-used entry if full.
+    pub fn insert(&self, digest: u64, verify: u64, latent: Arc<Tensor>) {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -123,7 +211,7 @@ impl LatentCache {
                 inner.map.remove(&lru);
             }
         }
-        inner.map.insert(digest, Entry { latent, last_used: tick });
+        inner.map.insert(digest, Entry { latent, verify, last_used: tick });
     }
 
     /// Number of cached latents.
@@ -144,6 +232,14 @@ impl LatentCache {
     /// Total lookup misses since creation.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total digest collisions detected since creation (a digest hit whose
+    /// verification hash disagreed). Any nonzero value here means a client
+    /// would have received a wrong latent under the old trust-the-digest
+    /// scheme.
+    pub fn collisions(&self) -> u64 {
+        self.collisions.load(Ordering::Relaxed)
     }
 }
 
@@ -169,10 +265,10 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let c = LatentCache::new(2);
-        c.insert(1, t(1.0));
-        c.insert(2, t(2.0));
+        c.insert(1, 10, t(1.0));
+        c.insert(2, 20, t(2.0));
         assert!(c.get(1).is_some()); // 1 is now more recent than 2
-        c.insert(3, t(3.0)); // evicts 2
+        c.insert(3, 30, t(3.0)); // evicts 2
         assert!(c.get(2).is_none());
         assert!(c.get(1).is_some());
         assert!(c.get(3).is_some());
@@ -182,9 +278,9 @@ mod tests {
     #[test]
     fn reinsert_does_not_evict() {
         let c = LatentCache::new(2);
-        c.insert(1, t(1.0));
-        c.insert(2, t(2.0));
-        c.insert(1, t(1.5)); // overwrite, cache stays at 2 entries
+        c.insert(1, 10, t(1.0));
+        c.insert(2, 20, t(2.0));
+        c.insert(1, 10, t(1.5)); // overwrite, cache stays at 2 entries
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(2).unwrap().item(), 2.0);
         assert_eq!(c.get(1).unwrap().item(), 1.5);
@@ -194,7 +290,7 @@ mod tests {
     fn counters_track_hits_and_misses() {
         let c = LatentCache::new(4);
         assert!(c.get(9).is_none());
-        c.insert(9, t(9.0));
+        c.insert(9, 90, t(9.0));
         assert!(c.get(9).is_some());
         assert_eq!((c.hits(), c.misses()), (1, 1));
     }
@@ -202,10 +298,56 @@ mod tests {
     #[test]
     fn eviction_does_not_invalidate_borrowed_latent() {
         let c = LatentCache::new(1);
-        c.insert(1, t(1.0));
+        c.insert(1, 10, t(1.0));
         let held = c.get(1).unwrap();
-        c.insert(2, t(2.0)); // evicts 1 from the map
+        c.insert(2, 20, t(2.0)); // evicts 1 from the map
         assert!(c.get(1).is_none());
         assert_eq!(held.item(), 1.0, "Arc keeps the evicted latent alive");
+    }
+
+    #[test]
+    fn verify_hash_is_independent_of_digest() {
+        // Two inputs whose digests differ must (with overwhelming
+        // probability) also have differing verify hashes, and the two
+        // hashes of one input must not be trivially related.
+        let a = ([2usize, 2], [1.0f32, 2.0, 3.0, 4.0]);
+        let b = ([2usize, 2], [1.0f32, 2.0, 3.0, 5.0]);
+        assert_ne!(patch_verify(&a.0, &a.1), patch_verify(&b.0, &b.1));
+        assert_ne!(patch_verify(&a.0, &a.1), patch_digest(&a.0, &a.1));
+        // Deterministic (it guards the cache across worker threads).
+        assert_eq!(patch_verify(&a.0, &a.1), patch_verify(&a.0, &a.1));
+        // Dims are part of the keyed bytes, and bit patterns matter.
+        assert_ne!(patch_verify(&[4, 1], &a.1), patch_verify(&[2, 2], &a.1));
+        assert_ne!(patch_verify(&[1], &[0.0]), patch_verify(&[1], &[-0.0]));
+    }
+
+    #[test]
+    fn verified_lookup_detects_poisoned_digest() {
+        // Simulate an FNV collision: a latent already sits under digest 7
+        // with verify hash 111; a different patch arrives whose bytes also
+        // digest to 7 but verify to 222.
+        let c = LatentCache::new(4);
+        c.insert(7, 111, t(1.0));
+        assert!(matches!(c.get_verified(7, 111), Lookup::Hit(_)));
+        assert!(matches!(c.get_verified(7, 222), Lookup::Collision));
+        assert!(matches!(c.get_verified(8, 111), Lookup::Miss));
+        assert_eq!(c.collisions(), 1);
+        // The collision neither hit nor missed; counters stay consistent.
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        // The rightful owner still gets its latent afterwards.
+        assert!(matches!(c.get_verified(7, 111), Lookup::Hit(_)));
+    }
+
+    #[test]
+    fn collision_does_not_bump_recency() {
+        let c = LatentCache::new(2);
+        c.insert(1, 10, t(1.0));
+        c.insert(2, 20, t(2.0));
+        // A colliding probe against 1 must not refresh it...
+        assert!(matches!(c.get_verified(1, 999), Lookup::Collision));
+        // ...so inserting a third entry still evicts 1 (the true LRU).
+        c.insert(3, 30, t(3.0));
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_some());
     }
 }

@@ -6,7 +6,7 @@
 //! must never reach a kernel assert.
 
 use crate::batcher::{Batcher, BatcherConfig, Query};
-use crate::cache::{patch_digest, LatentCache};
+use crate::cache::{patch_digest, patch_verify, LatentCache, Lookup};
 use crate::error::ServeError;
 use crate::metrics::ServeStats;
 use crate::protocol::ModelInfo;
@@ -111,15 +111,25 @@ impl Engine {
         let cfg = self.model.cfg();
         let dims = [batch, cfg.in_channels, cfg.patch.nt, cfg.patch.nz, cfg.patch.nx];
         let digest = patch_digest(&dims, &data);
-        if self.cache.get(digest).is_some() {
-            return Ok((digest, true));
+        let verify = patch_verify(&dims, &data);
+        // A bare digest match is not proof the cached latent came from
+        // these bytes — 64-bit digests collide. Only honour the hit when
+        // the independent verification hash agrees; a mismatch means a
+        // different patch owns this digest, and since the digest is the
+        // wire handle for later `Query` frames, the new patch cannot be
+        // cached at all — refuse loudly instead of answering from the
+        // wrong latent.
+        match self.cache.get_verified(digest, verify) {
+            Lookup::Hit(_) => return Ok((digest, true)),
+            Lookup::Collision => return Err(ServeError::DigestCollision(digest)),
+            Lookup::Miss => {}
         }
         // Concurrent misses on the same patch both encode and race the
         // insert; the result is identical either way (the encode is a pure
         // function of the bytes), so we take the duplicated work over
         // holding a lock across the U-Net.
         let latent = self.model.encode(&Tensor::from_vec(data, &dims));
-        self.cache.insert(digest, Arc::new(latent));
+        self.cache.insert(digest, verify, Arc::new(latent));
         Ok((digest, false))
     }
 
@@ -244,6 +254,28 @@ mod tests {
             ServeError::ShapeMismatch(_)
         ));
         assert!(matches!(e.query(d, vec![]).unwrap_err(), ServeError::ShapeMismatch(_)));
+    }
+
+    #[test]
+    fn digest_collision_is_refused_not_served() {
+        use crate::cache::{patch_digest, patch_verify};
+        let e = tiny_engine();
+        let cfg = e.model().cfg();
+        let dims = [1, cfg.in_channels, cfg.patch.nt, cfg.patch.nz, cfg.patch.nx];
+        let p = patch(&e, 5);
+        let digest = patch_digest(&dims, &p);
+        // Crafting two real FNV-colliding patches is a 2^32-work birthday
+        // search; instead plant an entry under this patch's digest that was
+        // "encoded" from different bytes (its verify hash disagrees) —
+        // byte-for-byte what a genuine collision leaves in the cache.
+        let poisoned = Arc::new(Tensor::full(&[1], 42.0));
+        e.cache().insert(digest, patch_verify(&dims, &p) ^ 0xdead_beef, poisoned);
+        let err = e.encode_patch(1, p.clone()).unwrap_err();
+        assert_eq!(err, ServeError::DigestCollision(digest));
+        assert_eq!(e.cache().collisions(), 1);
+        // The occupant is untouched: the colliding request must not evict
+        // or overwrite the latent its rightful owner will query by digest.
+        assert_eq!(e.cache().get(digest).unwrap().item(), 42.0);
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub mod code {
     pub const TIMEOUT: u16 = 11;
     /// Unexpected server-side failure.
     pub const INTERNAL: u16 = 12;
+    /// Encode found a cached latent under this digest that was built from
+    /// *different* patch bytes (a 64-bit digest collision).
+    pub const DIGEST_COLLISION: u16 = 13;
 }
 
 /// Everything that can go wrong between a client request and its response.
@@ -65,6 +68,11 @@ pub enum ServeError {
     ShapeMismatch(String),
     /// The queried latent digest is not (or no longer) cached.
     UnknownDigest(u64),
+    /// The submitted patch hashes to a digest already owned by a cached
+    /// latent with different bytes. The digest namespace is occupied, so
+    /// this patch cannot be addressed over the wire; the client must not
+    /// be served the colliding latent.
+    DigestCollision(u64),
     /// The server's connection backlog is full.
     Busy,
     /// The server is draining connections for shutdown.
@@ -96,6 +104,7 @@ impl ServeError {
             ServeError::BadPayload(_) => code::BAD_PAYLOAD,
             ServeError::ShapeMismatch(_) => code::SHAPE_MISMATCH,
             ServeError::UnknownDigest(_) => code::UNKNOWN_DIGEST,
+            ServeError::DigestCollision(_) => code::DIGEST_COLLISION,
             ServeError::Busy => code::BUSY,
             ServeError::ShuttingDown => code::SHUTTING_DOWN,
             ServeError::Timeout => code::TIMEOUT,
@@ -129,6 +138,9 @@ impl fmt::Display for ServeError {
             ServeError::BadPayload(m) => write!(f, "bad payload: {m}"),
             ServeError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
             ServeError::UnknownDigest(d) => write!(f, "unknown latent digest {d:#018x}"),
+            ServeError::DigestCollision(d) => {
+                write!(f, "latent digest {d:#018x} collides with a different cached patch")
+            }
             ServeError::Busy => write!(f, "server busy"),
             ServeError::ShuttingDown => write!(f, "server shutting down"),
             ServeError::Timeout => write!(f, "request timed out"),
@@ -161,13 +173,14 @@ mod tests {
             ServeError::ShuttingDown,
             ServeError::Timeout,
             ServeError::Internal(String::new()),
+            ServeError::DigestCollision(0),
         ];
         let codes: Vec<u16> = all.iter().map(ServeError::code).collect();
         let mut sorted = codes.clone();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), all.len(), "duplicate wire codes");
-        assert_eq!(codes, (1..=12).collect::<Vec<u16>>());
+        assert_eq!(codes, (1..=13).collect::<Vec<u16>>());
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod protocol;
 pub mod server;
 
 pub use batcher::{Batcher, BatcherConfig, Query};
-pub use cache::{patch_digest, LatentCache};
+pub use cache::{patch_digest, patch_verify, LatentCache, Lookup};
 pub use client::{Client, QueryResult};
 pub use engine::{Engine, EngineConfig};
 pub use error::ServeError;

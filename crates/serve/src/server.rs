@@ -419,6 +419,7 @@ fn publish_loop(
         recorder.gauge("serve.inflight", stats.inflight() as f64);
         recorder.gauge("serve.cache_hits", engine.cache().hits() as f64);
         recorder.gauge("serve.cache_misses", engine.cache().misses() as f64);
+        recorder.gauge("serve.cache_collisions", engine.cache().collisions() as f64);
         let calls = engine.batcher().decode_calls();
         if calls > 0 {
             recorder.gauge(

@@ -402,7 +402,13 @@ pub fn maxpool3d(input: &Tensor, factors: [usize; 3]) -> (Tensor, Vec<u32>) {
                                     let i = base
                                         + ((zd * fd + dd) * h + (zh * fh + hh)) * w
                                         + (zw * fw + ww);
-                                    if x[i] > best {
+                                    // `>` alone would drop NaN (NaN > x is
+                                    // false), silently turning a poisoned
+                                    // window into the max of its healthy
+                                    // elements. A NaN must win and stick:
+                                    // once `best` is NaN, `x[i] > best` stays
+                                    // false forever.
+                                    if x[i] > best || x[i].is_nan() {
                                         best = x[i];
                                         best_i = i;
                                     }
@@ -701,6 +707,25 @@ mod tests {
         for &v in out.data() {
             assert!(input.data().contains(&v));
         }
+    }
+
+    #[test]
+    fn maxpool_propagates_nan() {
+        // A poisoned window must pool to NaN, not to the max of its healthy
+        // elements (and certainly not to -inf for an all-NaN window). Found
+        // by the reftest oracle: `>` alone never admits a NaN candidate.
+        let mut v = vec![0.0f32; 16];
+        v[5] = f32::NAN; // lands in the first 2x2x2 block
+        v[10] = 7.0; // healthy max of the second block
+        let input = Tensor::from_vec(v, &[1, 1, 2, 2, 4]);
+        let (out, idx) = maxpool3d(&input, [2, 2, 2]);
+        assert!(out.data()[0].is_nan(), "NaN window must pool to NaN");
+        assert_eq!(idx[0], 5, "argmax must point at the NaN");
+        assert_eq!(out.data()[1], 7.0, "healthy window unaffected");
+
+        let all_nan = Tensor::from_vec(vec![f32::NAN; 8], &[1, 1, 2, 2, 2]);
+        let (out, _) = maxpool3d(&all_nan, [2, 2, 2]);
+        assert!(out.data()[0].is_nan(), "all-NaN window must not become -inf");
     }
 
     #[test]
