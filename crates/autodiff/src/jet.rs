@@ -228,11 +228,16 @@ mod tests {
         for act in [Activation::Softplus, Activation::Tanh] {
             let x0 = 0.37f32;
             let j = Jet3::variable(x0, 2).activate(act);
-            let h = 1e-3f32;
             let f = |x: f32| act.eval(x);
+            let h = 1e-3f32;
             let d_fd = (f(x0 + h) - f(x0 - h)) / (2.0 * h);
-            let dd_fd = (f(x0 + h) - 2.0 * f(x0) + f(x0 - h)) / (h * h);
             assert!((j.d[2] - d_fd).abs() < 1e-3);
+            // The second difference divides by h², amplifying each f32
+            // evaluation's rounding by ~4·ulp(f)/h² — at h=1e-3 that is
+            // already ~0.5, swamping the signal. h=1e-2 keeps the rounding
+            // amplification ~5e-3 while the O(h²) truncation stays ~1e-4.
+            let h = 1e-2f32;
+            let dd_fd = (f(x0 + h) - 2.0 * f(x0) + f(x0 - h)) / (h * h);
             assert!((j.dd[2] - dd_fd).abs() < 1e-2);
         }
     }

@@ -16,7 +16,7 @@
 //!   stencil is validated against).
 
 use mfn_autodiff::{mlp_jet, Graph, Jet3, JetVec, Mlp, ParamStore, Var};
-use mfn_tensor::{blend_rows, gather_rows, Tensor};
+use mfn_tensor::{blend_rows, gather_concat_rows, Tensor};
 
 /// Number of bounding vertices of a 3D cell.
 pub const VERTICES: usize = 8;
@@ -118,15 +118,16 @@ impl ContinuousDecoder {
         g.vertex_blend(out, plan.weights.clone(), VERTICES)
     }
 
-    /// Eager no-grad path: same gather → concat → MLP → blend kernels as
-    /// [`ContinuousDecoder::decode`] with no tape recorded, so the result is
-    /// bit-identical. Takes `&self` and only reads `store`, which is what the
-    /// serving engine's concurrent decode batches rely on.
+    /// Eager no-grad path: the same math as [`ContinuousDecoder::decode`]
+    /// with no tape recorded, so the result is bit-identical — the only
+    /// difference is that the gather and coordinate concat are fused into a
+    /// single input-build pass (pure copies, same bits, one less full-width
+    /// intermediate on the serving hot path). Takes `&self` and only reads
+    /// `store`, which is what the serving engine's concurrent decode batches
+    /// rely on.
     pub fn decode_nograd(&self, store: &ParamStore, latent: &Tensor, plan: &QueryPlan) -> Tensor {
         assert!(!plan.is_empty(), "empty query plan");
-        let rows = gather_rows(latent, &plan.index);
-        let coords = Tensor::from_vec(plan.rel.clone(), &[plan.index.len(), 3]);
-        let inp = Tensor::concat(&[&coords, &rows], 1);
+        let inp = gather_concat_rows(latent, &plan.index, &plan.rel);
         let out = self.mlp.forward_nograd(store, &inp);
         blend_rows(&out, &plan.weights, VERTICES)
     }

@@ -309,6 +309,39 @@ pub fn check_gather_rows() -> Report {
     c.finish()
 }
 
+/// Fused prefix + vertex gather (the decoder's no-grad input build): pure
+/// data movement, so bit-for-bit against the unfused composition it
+/// replaces — each output row must be the prefix slice followed by the
+/// gathered latent row, exactly.
+pub fn check_gather_concat_rows() -> Report {
+    let mut c = Checker::new("gather_concat_rows", Tolerance::exact());
+    let (n, ch, vol_dims, picks, k) = (2usize, 3usize, [2usize, 2, 3], 40usize, 3usize);
+    let vol: usize = vol_dims.iter().product();
+    let x = adversarial(n * ch * vol, 910);
+    let prefix = adversarial(picks * k, 911);
+    let mut g = Lcg::new(912);
+    let index: Vec<u32> = (0..picks).map(|_| g.index(n * vol) as u32).collect();
+    let t = Tensor::from_vec(x.clone(), &[n, ch, vol_dims[0], vol_dims[1], vol_dims[2]]);
+    let got = rowops::gather_concat_rows(&t, &index, &prefix);
+    c.case("[2,3,2,2,3] pick 40 prefix 3 seed 910");
+    let w = k + ch;
+    for (r, &flat) in index.iter().enumerate() {
+        let (ni, sp) = (flat as usize / vol, flat as usize % vol);
+        for j in 0..k {
+            c.check_f32(r * w + j, got.data()[r * w + j], f64::from(prefix[r * k + j]), 0.0);
+        }
+        for j in 0..ch {
+            c.check_f32(
+                r * w + k + j,
+                got.data()[r * w + k + j],
+                f64::from(x[(ni * ch + j) * vol + sp]),
+                0.0,
+            );
+        }
+    }
+    c.finish()
+}
+
 /// Max pooling: bit-exact vs the NaN-propagating reference, and the returned
 /// argmax indices must point at the returned values.
 pub fn check_maxpool() -> Report {
@@ -557,6 +590,7 @@ pub fn run_all() -> Vec<Report> {
         check_bias(),
         check_blend_rows(),
         check_gather_rows(),
+        check_gather_concat_rows(),
         check_maxpool(),
         check_upsample(),
         check_fft(),

@@ -1,11 +1,14 @@
-//! `loadgen` — drive a running `serve` instance and write `BENCH_serve.json`.
+//! `loadgen` — drive a running `serve` instance (or a router-fronted
+//! fleet) and write a benchmark summary.
 //!
 //! ```text
 //! usage: loadgen --addr HOST:PORT [--threads N] [--duration-s N]
 //!                [--patches N] [--queries-per-req N] [--out PATH] [--strict]
+//!                [--fleet] [--rates R1,R2,...] [--conns N] [--zipf-s F]
+//!                [--seed N] [--closed-addr HOST:PORT]
 //! ```
 //!
-//! Three phases:
+//! **Closed-loop mode** (default) has three phases:
 //! 1. **Encode-miss**: encode `--patches` fresh deterministic patches,
 //!    timing each cold (U-Net) encode.
 //! 2. **Cache-hit**: re-encode the same patches (pure cache lookups) and
@@ -17,10 +20,28 @@
 //! over the cache-hit p50, i.e. how much the latent cache buys. `--strict`
 //! exits nonzero when the run saw zero completed requests or any protocol
 //! error, which is how CI asserts a live end-to-end serving path.
+//!
+//! **Fleet mode** (`--fleet`) is open-loop: for each offered rate in
+//! `--rates`, a seeded Poisson arrival schedule fixes *when* each request
+//! is due and a zipf(`--zipf-s`) draw over `--patches` ranks fixes *which*
+//! patch it queries; latency is measured from the scheduled due time, so
+//! queueing delay the server causes counts against its tail (no
+//! coordinated omission). The sweep plus per-shard cache stats (via the
+//! `Stats` frame — one entry per healthy shard when `--addr` is a router)
+//! land in `BENCH_fleet.json`. The whole workload is a pure function of
+//! `--seed`.
+//!
+//! After the sweep, fleet mode also runs one *closed-loop* phase
+//! (`--threads` self-paced connections, per-request RTT — the exact
+//! measurement the historical `BENCH_baseline.json` used) against
+//! `--closed-addr` (default `--addr`). Pointing it at a single shard's
+//! direct address yields the apples-to-apples single-server comparison the
+//! open-loop sweep cannot provide; it lands in the `closed_loop` section.
 
-use mfn_serve::{Client, ServeError};
+use mfn_serve::{ArrivalSchedule, Client, ServeError, ShardStat, SplitMix64, Zipf};
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -31,19 +52,33 @@ struct Args {
     queries_per_req: usize,
     out: PathBuf,
     strict: bool,
+    fleet: bool,
+    rates: Vec<f64>,
+    conns: usize,
+    zipf_s: f64,
+    seed: u64,
+    closed_addr: Option<String>,
 }
 
 fn parse() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: loadgen --addr HOST:PORT [--threads N] [--duration-s N] \
-                 [--patches N] [--queries-per-req N] [--out PATH] [--strict]";
+                 [--patches N] [--queries-per-req N] [--out PATH] [--strict] \
+                 [--fleet] [--rates R1,R2,...] [--conns N] [--zipf-s F] [--seed N] \
+                 [--closed-addr HOST:PORT]";
     let mut addr = None;
     let mut threads = 2usize;
     let mut duration_s = 5u64;
     let mut patches = 4usize;
     let mut queries_per_req = 64usize;
-    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut out = None;
     let mut strict = false;
+    let mut fleet = false;
+    let mut rates = vec![500.0, 1000.0, 1750.0, 2500.0];
+    let mut conns = 16usize;
+    let mut zipf_s = 1.0f64;
+    let mut seed = 0x4D46_4E53u64; // "MFNS"
+    let mut closed_addr = None;
     let mut i = 0;
     let next = |argv: &[String], i: &mut usize, what: &str| -> String {
         *i += 1;
@@ -65,8 +100,19 @@ fn parse() -> Args {
             "--queries-per-req" => {
                 queries_per_req = next(&argv, &mut i, "--queries-per-req").parse().expect("integer")
             }
-            "--out" => out = PathBuf::from(next(&argv, &mut i, "--out")),
+            "--out" => out = Some(PathBuf::from(next(&argv, &mut i, "--out"))),
             "--strict" => strict = true,
+            "--fleet" => fleet = true,
+            "--rates" => {
+                rates = next(&argv, &mut i, "--rates")
+                    .split(',')
+                    .map(|r| r.trim().parse().expect("rate"))
+                    .collect()
+            }
+            "--conns" => conns = next(&argv, &mut i, "--conns").parse().expect("integer"),
+            "--zipf-s" => zipf_s = next(&argv, &mut i, "--zipf-s").parse().expect("float"),
+            "--seed" => seed = next(&argv, &mut i, "--seed").parse().expect("integer"),
+            "--closed-addr" => closed_addr = Some(next(&argv, &mut i, "--closed-addr")),
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);
@@ -87,8 +133,16 @@ fn parse() -> Args {
         duration_s: duration_s.max(1),
         patches: patches.max(1),
         queries_per_req: queries_per_req.max(1),
-        out,
+        out: out.unwrap_or_else(|| {
+            PathBuf::from(if fleet { "BENCH_fleet.json" } else { "BENCH_serve.json" })
+        }),
         strict,
+        fleet,
+        rates,
+        conns: conns.max(1),
+        zipf_s,
+        seed,
+        closed_addr,
     }
 }
 
@@ -122,8 +176,417 @@ fn percentile_us(sorted: &[u64], q: f64) -> u64 {
     sorted[((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)]
 }
 
+/// One measured point of the open-loop sweep.
+struct RatePoint {
+    offered_qps: f64,
+    achieved_qps: f64,
+    requests: u64,
+    errors: u64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+/// Runs one offered-load level: `count` requests due at seeded Poisson
+/// times, zipf-picked patches, spread round-robin over `conns` connections.
+/// Latency for request `i` runs from its *scheduled* due time to response
+/// receipt, so a server falling behind pays the backlog in its tail.
+#[allow(clippy::too_many_arguments)]
+fn run_rate(
+    addr: &str,
+    rate: f64,
+    duration_s: u64,
+    conns: usize,
+    digests: Arc<Vec<u64>>,
+    numel: usize,
+    qn: usize,
+    zipf_s: f64,
+    seed: u64,
+) -> RatePoint {
+    // Per-rate RNG stream: the whole workload (schedule + picks) is a pure
+    // function of (seed, rate), independent of thread interleaving.
+    let mut rng = SplitMix64::new(seed ^ rate.to_bits());
+    let count = ((rate * duration_s as f64) as usize).max(1);
+    let schedule = ArrivalSchedule::new(rate, count, &mut rng);
+    let zipf = Zipf::new(digests.len(), zipf_s);
+    let picks: Vec<usize> = (0..count).map(|_| zipf.sample(&mut rng)).collect();
+    let offsets = Arc::new(schedule.offsets_us().to_vec());
+    let picks = Arc::new(picks);
+    // All senders arm on a barrier so "due time" means the same instant
+    // everywhere; the extra slot releases them from this thread.
+    let barrier = Arc::new(Barrier::new(conns + 1));
+    let start_cell = Arc::new(std::sync::OnceLock::<Instant>::new());
+
+    let handles: Vec<_> = (0..conns)
+        .map(|cid| {
+            let addr = addr.to_string();
+            let offsets = offsets.clone();
+            let picks = picks.clone();
+            let digests = digests.clone();
+            let barrier = barrier.clone();
+            let start_cell = start_cell.clone();
+            std::thread::spawn(move || {
+                let mut lat_us: Vec<u64> = Vec::new();
+                let mut errors = 0u64;
+                let mut client = match Client::connect(&addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        barrier.wait();
+                        return (lat_us, 1u64);
+                    }
+                };
+                barrier.wait();
+                let start = *start_cell.wait();
+                let mut i = cid;
+                while i < offsets.len() {
+                    let due = start + Duration::from_micros(offsets[i]);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    // Query content depends only on the request index.
+                    let mut qstate = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED;
+                    let qs = gen_queries(&mut qstate, qn);
+                    let pick = picks[i];
+                    let res = match client.query(digests[pick], &qs) {
+                        // A rerouted or evicted digest misses on the shard
+                        // now owning it: re-encode in-band and continue —
+                        // the same recovery a single-server client uses.
+                        Err(ServeError::Remote { code, .. })
+                            if code == mfn_serve::error::code::UNKNOWN_DIGEST =>
+                        {
+                            let patch = gen_patch(pick, numel);
+                            client.encode_query(1, &patch, &qs).map(|_| ())
+                        }
+                        other => other.map(|_| ()),
+                    };
+                    match res {
+                        Ok(()) => {
+                            lat_us.push(due.elapsed().as_micros() as u64);
+                        }
+                        Err(e) => {
+                            errors += 1;
+                            eprintln!("loadgen conn {cid}: {e}");
+                            match Client::connect(&addr) {
+                                Ok(c) => client = c,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    i += conns;
+                }
+                (lat_us, errors)
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    let _ = start_cell.set(start);
+
+    let mut lat_us = Vec::new();
+    let mut errors = 0u64;
+    for h in handles {
+        let (mut l, e) = h.join().expect("loadgen conn thread");
+        lat_us.append(&mut l);
+        errors += e;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let requests = lat_us.len() as u64;
+    lat_us.sort_unstable();
+    RatePoint {
+        offered_qps: rate,
+        achieved_qps: requests as f64 / elapsed,
+        requests,
+        errors,
+        p50_us: percentile_us(&lat_us, 0.5),
+        p90_us: percentile_us(&lat_us, 0.9),
+        p99_us: percentile_us(&lat_us, 0.99),
+        max_us: lat_us.last().copied().unwrap_or(0),
+    }
+}
+
+/// Aggregate result of the closed-loop comparison phase.
+struct ClosedLoop {
+    addr: String,
+    threads: usize,
+    requests: u64,
+    errors: u64,
+    qps: f64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+}
+
+/// Closed-loop phase: `threads` self-paced connections issue back-to-back
+/// queries over the warm digests for `duration_s`, timing per-request RTT —
+/// the measurement regime of the historical blocking-server baseline, so
+/// the resulting qps/p99 compare directly against `BENCH_baseline.json`.
+fn run_closed(
+    addr: &str,
+    threads: usize,
+    duration_s: u64,
+    digests: Arc<Vec<u64>>,
+    numel: usize,
+    qn: usize,
+) -> ClosedLoop {
+    let deadline = Instant::now() + Duration::from_secs(duration_s);
+    let t_start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|tid| {
+            let addr = addr.to_string();
+            let digests = digests.clone();
+            std::thread::spawn(move || {
+                let mut lat_us = Vec::new();
+                let mut errors = 0u64;
+                let mut state = (tid as u64 + 1) * 0xA5A5_5A5A;
+                let mut client = match Client::connect(&addr) {
+                    Ok(c) => c,
+                    Err(_) => return (lat_us, 1u64),
+                };
+                while Instant::now() < deadline {
+                    let pick = (lcg(&mut state) as usize) % digests.len();
+                    let qs = gen_queries(&mut state, qn);
+                    let t0 = Instant::now();
+                    let res = match client.query(digests[pick], &qs) {
+                        // A digest owned by a different shard misses here
+                        // (this phase may target one shard directly): the
+                        // standard re-encode recovery warms it locally.
+                        Err(ServeError::Remote { code, .. })
+                            if code == mfn_serve::error::code::UNKNOWN_DIGEST =>
+                        {
+                            let patch = gen_patch(pick, numel);
+                            client.encode_query(1, &patch, &qs).map(|_| ())
+                        }
+                        other => other.map(|_| ()),
+                    };
+                    match res {
+                        Ok(()) => lat_us.push(t0.elapsed().as_micros() as u64),
+                        Err(e) => {
+                            errors += 1;
+                            eprintln!("closed-loop thread {tid}: {e}");
+                            match Client::connect(&addr) {
+                                Ok(c) => client = c,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+                (lat_us, errors)
+            })
+        })
+        .collect();
+    let mut lat_us = Vec::new();
+    let mut errors = 0u64;
+    for h in handles {
+        let (mut l, e) = h.join().expect("closed-loop thread");
+        lat_us.append(&mut l);
+        errors += e;
+    }
+    let elapsed = t_start.elapsed().as_secs_f64();
+    let requests = lat_us.len() as u64;
+    lat_us.sort_unstable();
+    ClosedLoop {
+        addr: addr.to_string(),
+        threads,
+        requests,
+        errors,
+        qps: requests as f64 / elapsed,
+        p50_us: percentile_us(&lat_us, 0.5),
+        p90_us: percentile_us(&lat_us, 0.9),
+        p99_us: percentile_us(&lat_us, 0.99),
+    }
+}
+
+fn fleet_main(args: Args) {
+    let mut client = Client::connect(&args.addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+    let info = client.info().unwrap_or_else(|e| {
+        eprintln!("error: info request failed: {e}");
+        std::process::exit(1);
+    });
+    let numel = (info.in_channels * info.grid[0] * info.grid[1] * info.grid[2]) as usize;
+    eprintln!(
+        "fleet target: {} params, grid {:?}, patch numel {numel}, \
+         {} patches, zipf s={}, seed {}",
+        info.param_count, info.grid, args.patches, args.zipf_s, args.seed
+    );
+
+    // Warm phase: encode every patch once so the sweep measures the
+    // steady decode path. Through a router these land on each digest's
+    // owning shard — encode-once fleet-wide.
+    let mut digests = Vec::with_capacity(args.patches);
+    for idx in 0..args.patches {
+        let patch = gen_patch(idx, numel);
+        let (digest, _) = client.encode(1, &patch).unwrap_or_else(|e| {
+            eprintln!("error: warm encode failed: {e}");
+            std::process::exit(1);
+        });
+        digests.push(digest);
+    }
+    let digests = Arc::new(digests);
+
+    let mut sweep = Vec::new();
+    for &rate in &args.rates {
+        let pt = run_rate(
+            &args.addr,
+            rate,
+            args.duration_s,
+            args.conns,
+            digests.clone(),
+            numel,
+            args.queries_per_req,
+            args.zipf_s,
+            args.seed,
+        );
+        eprintln!(
+            "offered {:.0} qps -> achieved {:.0} qps | p50 {} us, p90 {} us, \
+             p99 {} us, max {} us | {} errors",
+            pt.offered_qps, pt.achieved_qps, pt.p50_us, pt.p90_us, pt.p99_us, pt.max_us, pt.errors
+        );
+        sweep.push(pt);
+    }
+
+    // Per-shard cache economics after the sweep. Against a router this is
+    // one entry per healthy shard; against a single server, one entry.
+    let shards: Vec<ShardStat> = client.stats().unwrap_or_else(|e| {
+        eprintln!("error: stats request failed: {e}");
+        std::process::exit(1);
+    });
+    for s in &shards {
+        let total = (s.cache_hits + s.cache_misses).max(1);
+        eprintln!(
+            "shard {}: {} reqs, cache {}/{} hit/miss ({:.1}% hit), \
+             {} decode calls / {} batched queries",
+            s.addr,
+            s.requests,
+            s.cache_hits,
+            s.cache_misses,
+            100.0 * s.cache_hits as f64 / total as f64,
+            s.decode_calls,
+            s.batched_queries,
+        );
+    }
+
+    // Closed-loop comparison, after the stats snapshot so the per-shard
+    // counters above describe the sweep alone.
+    let closed_target = args.closed_addr.clone().unwrap_or_else(|| args.addr.clone());
+    let closed = run_closed(
+        &closed_target,
+        args.threads,
+        args.duration_s,
+        digests.clone(),
+        numel,
+        args.queries_per_req,
+    );
+    eprintln!(
+        "closed-loop vs {}: {} reqs = {:.0} qps | p50 {} us, p90 {} us, p99 {} us | {} errors",
+        closed.addr,
+        closed.requests,
+        closed.qps,
+        closed.p50_us,
+        closed.p90_us,
+        closed.p99_us,
+        closed.errors
+    );
+
+    let best = sweep
+        .iter()
+        .max_by(|a, b| a.achieved_qps.total_cmp(&b.achieved_qps))
+        .expect("at least one rate");
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"mfn-bench/fleet/v1\",\n  \"config\": {\n");
+    json.push_str(&format!(
+        "    \"addr\": \"{}\",\n    \"conns\": {},\n    \"duration_s_per_rate\": {},\n    \
+         \"patches\": {},\n    \"queries_per_req\": {},\n    \"zipf_s\": {},\n    \
+         \"seed\": {}\n  }},\n",
+        args.addr,
+        args.conns,
+        args.duration_s,
+        args.patches,
+        args.queries_per_req,
+        args.zipf_s,
+        args.seed
+    ));
+    json.push_str("  \"sweep\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"offered_qps\": {:.1}, \"achieved_qps\": {:.2}, \"requests\": {}, \
+             \"protocol_errors\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \
+             \"max_us\": {} }}{}\n",
+            p.offered_qps,
+            p.achieved_qps,
+            p.requests,
+            p.errors,
+            p.p50_us,
+            p.p90_us,
+            p.p99_us,
+            p.max_us,
+            if i + 1 < sweep.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"best\": {{ \"offered_qps\": {:.1}, \"achieved_qps\": {:.2}, \"p99_us\": {} }},\n",
+        best.offered_qps, best.achieved_qps, best.p99_us
+    ));
+    json.push_str(&format!(
+        "  \"closed_loop\": {{ \"addr\": \"{}\", \"threads\": {}, \"duration_s\": {}, \
+         \"requests\": {}, \"protocol_errors\": {}, \"qps\": {:.2}, \"p50_us\": {}, \
+         \"p90_us\": {}, \"p99_us\": {} }},\n",
+        closed.addr,
+        closed.threads,
+        args.duration_s,
+        closed.requests,
+        closed.errors,
+        closed.qps,
+        closed.p50_us,
+        closed.p90_us,
+        closed.p99_us,
+    ));
+    json.push_str("  \"shards\": [\n");
+    for (i, s) in shards.iter().enumerate() {
+        let total = (s.cache_hits + s.cache_misses).max(1);
+        json.push_str(&format!(
+            "    {{ \"addr\": \"{}\", \"requests\": {}, \"errors\": {}, \"cache_hits\": {}, \
+             \"cache_misses\": {}, \"hit_rate\": {:.4}, \"cache_len\": {}, \
+             \"decode_calls\": {}, \"batched_queries\": {} }}{}\n",
+            s.addr,
+            s.requests,
+            s.errors,
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_hits as f64 / total as f64,
+            s.cache_len,
+            s.decode_calls,
+            s.batched_queries,
+            if i + 1 < shards.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&args.out, &json).expect("write BENCH_fleet.json");
+    print!("{json}");
+    let _ = std::io::stdout().flush();
+    eprintln!("wrote {}", args.out.display());
+
+    let total_requests: u64 = sweep.iter().map(|p| p.requests).sum::<u64>() + closed.requests;
+    let total_errors: u64 = sweep.iter().map(|p| p.errors).sum::<u64>() + closed.errors;
+    if args.strict && (total_requests == 0 || total_errors > 0) {
+        eprintln!(
+            "STRICT FAILURE: requests = {total_requests}, protocol_errors = {total_errors} \
+             (need requests > 0 and zero errors)"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse();
+    if args.fleet {
+        return fleet_main(args);
+    }
     let mut client = Client::connect(&args.addr).unwrap_or_else(|e| {
         eprintln!("error: cannot connect to {}: {e}", args.addr);
         std::process::exit(1);

@@ -54,6 +54,28 @@ pub fn patch_digest(dims: &[usize], data: &[f32]) -> u64 {
     h
 }
 
+/// [`patch_digest`] computed from the raw little-endian f32 bytes instead
+/// of decoded floats. Because the wire format *is* LE f32 bytes, hashing
+/// them directly yields the identical digest without parsing a single
+/// float — this is what lets the router assign an `Encode` frame to a
+/// shard by looking at the payload bytes alone.
+pub fn patch_digest_bytes(dims: &[usize], data: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    for &d in dims {
+        for b in (d as u64).to_le_bytes() {
+            eat(b);
+        }
+    }
+    for &b in data {
+        eat(b);
+    }
+    h
+}
+
 /// Second, independent hash of the same `(dims, data)` bytes, used to
 /// verify that a digest hit really refers to the submitted patch.
 ///
@@ -257,6 +279,8 @@ mod tests {
         let a = patch_digest(&[2, 2], &data);
         assert_eq!(a, patch_digest(&[2, 2], &data), "digest must be deterministic");
         assert_ne!(a, patch_digest(&[4, 1], &data), "dims are part of the key");
+        let raw: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        assert_eq!(a, patch_digest_bytes(&[2, 2], &raw), "byte path must match float path");
         assert_ne!(a, patch_digest(&[2, 2], &[1.0, 2.0, 3.0, 5.0]));
         // -0.0 and 0.0 differ bitwise, so they are different patches.
         assert_ne!(patch_digest(&[1], &[0.0]), patch_digest(&[1], &[-0.0]));

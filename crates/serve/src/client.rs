@@ -7,7 +7,10 @@
 
 use crate::batcher::Query;
 use crate::error::ServeError;
-use crate::protocol::{decode_error, put_f32s, read_frame, write_frame, Cursor, Kind, ModelInfo};
+use crate::protocol::{
+    decode_error, decode_stats, put_f32s, read_frame, write_frame, Cursor, Kind, ModelInfo,
+    ShardStat,
+};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -95,6 +98,13 @@ impl Client {
         put_queries(&mut p, queries);
         let resp = self.expect(Kind::Query, &p, Kind::QueryResp)?;
         decode_query_resp(&resp)
+    }
+
+    /// Fetches serving statistics: one [`ShardStat`] from a shard, one per
+    /// healthy shard from a router.
+    pub fn stats(&mut self) -> Result<Vec<ShardStat>, ServeError> {
+        let resp = self.expect(Kind::Stats, &[], Kind::StatsResp)?;
+        decode_stats(&resp)
     }
 
     /// Encode + query in one round trip.

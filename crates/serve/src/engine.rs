@@ -9,7 +9,7 @@ use crate::batcher::{Batcher, BatcherConfig, Query};
 use crate::cache::{patch_digest, patch_verify, LatentCache, Lookup};
 use crate::error::ServeError;
 use crate::metrics::ServeStats;
-use crate::protocol::ModelInfo;
+use crate::protocol::{ModelInfo, ShardStat};
 use mfn_core::FrozenModel;
 use mfn_tensor::Tensor;
 use std::sync::Arc;
@@ -85,6 +85,24 @@ impl Engine {
             latent_channels: cfg.latent_channels as u32,
             param_count: self.model.param_count() as u64,
             trained_steps: self.model.trained_steps(),
+        }
+    }
+
+    /// Snapshot of this process's serving counters in wire form, labelled
+    /// with its advertised address. This is what a `Stats` frame returns
+    /// and what a router aggregates per shard.
+    pub fn shard_stat(&self, addr: &str) -> ShardStat {
+        ShardStat {
+            addr: addr.to_string(),
+            requests: self.stats.requests(),
+            errors: self.stats.errors(),
+            inflight: self.stats.inflight(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_collisions: self.cache.collisions(),
+            cache_len: self.cache.len() as u64,
+            decode_calls: self.batcher.decode_calls(),
+            batched_queries: self.batcher.batched_queries(),
         }
     }
 

@@ -37,6 +37,8 @@ pub mod code {
     /// Encode found a cached latent under this digest that was built from
     /// *different* patch bytes (a 64-bit digest collision).
     pub const DIGEST_COLLISION: u16 = 13;
+    /// A router could not find any healthy shard to forward the request to.
+    pub const NO_HEALTHY_SHARD: u16 = 14;
 }
 
 /// Everything that can go wrong between a client request and its response.
@@ -81,6 +83,8 @@ pub enum ServeError {
     Timeout,
     /// Unexpected server-side failure (worker panic, I/O error, …).
     Internal(String),
+    /// No healthy shard is available to serve this request (router-only).
+    NoHealthyShard,
     /// Client-side view of an error frame received from the server.
     Remote {
         /// The wire code from the error frame.
@@ -109,6 +113,7 @@ impl ServeError {
             ServeError::ShuttingDown => code::SHUTTING_DOWN,
             ServeError::Timeout => code::TIMEOUT,
             ServeError::Internal(_) => code::INTERNAL,
+            ServeError::NoHealthyShard => code::NO_HEALTHY_SHARD,
             ServeError::Remote { code, .. } => *code,
         }
     }
@@ -145,6 +150,7 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server shutting down"),
             ServeError::Timeout => write!(f, "request timed out"),
             ServeError::Internal(m) => write!(f, "internal error: {m}"),
+            ServeError::NoHealthyShard => write!(f, "no healthy shard available"),
             ServeError::Remote { code, message } => {
                 write!(f, "server error {code}: {message}")
             }
@@ -174,13 +180,14 @@ mod tests {
             ServeError::Timeout,
             ServeError::Internal(String::new()),
             ServeError::DigestCollision(0),
+            ServeError::NoHealthyShard,
         ];
         let codes: Vec<u16> = all.iter().map(ServeError::code).collect();
         let mut sorted = codes.clone();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), all.len(), "duplicate wire codes");
-        assert_eq!(codes, (1..=13).collect::<Vec<u16>>());
+        assert_eq!(codes, (1..=14).collect::<Vec<u16>>());
     }
 
     #[test]

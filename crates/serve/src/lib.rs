@@ -15,27 +15,44 @@
 //! - [`batcher`]: a leader–follower micro-[`Batcher`] coalescing concurrent
 //!   point queries against the same latent into single decode calls;
 //! - [`protocol`] / [`server`] / [`client`]: a std-only, length-prefixed
-//!   binary TCP protocol with versioned headers, typed error frames, a
-//!   bounded worker pool, per-request timeouts, and graceful drain;
+//!   binary TCP protocol with versioned headers, typed error frames, and an
+//!   incremental [`protocol::FrameDecoder`] for nonblocking streams;
+//! - [`server`]: a readiness-loop server — one IO thread multiplexing all
+//!   connections over nonblocking sockets with per-connection state
+//!   machines, a bounded compute-worker pool, admission control, and
+//!   graceful drain;
+//! - [`ring`] / [`router`]: fleet scale-out — a consistent-hash [`HashRing`]
+//!   shards the latent cache by patch digest across N servers, and the
+//!   [`Router`] forwards frames digest-affinely while health-checking
+//!   replicas;
+//! - [`loadmodel`]: deterministic load synthesis — zipf patch popularity and
+//!   open-loop exponential arrivals under a pinned seed;
 //! - [`metrics`]: serving counters published as `serve.*` telemetry.
 //!
-//! Binaries: `serve` (load a checkpoint, listen) and `loadgen` (drive a
-//! server, write `BENCH_serve.json`).
+//! Binaries: `serve` (load a checkpoint, listen), `router` (front a shard
+//! fleet), and `loadgen` (drive a server or fleet; writes
+//! `BENCH_serve.json` / `BENCH_fleet.json`).
 
 pub mod batcher;
 pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod error;
+pub mod loadmodel;
 pub mod metrics;
 pub mod protocol;
+pub mod ring;
+pub mod router;
 pub mod server;
 
 pub use batcher::{Batcher, BatcherConfig, Query};
-pub use cache::{patch_digest, patch_verify, LatentCache, Lookup};
+pub use cache::{patch_digest, patch_digest_bytes, patch_verify, LatentCache, Lookup};
 pub use client::{Client, QueryResult};
 pub use engine::{Engine, EngineConfig};
 pub use error::ServeError;
+pub use loadmodel::{ArrivalSchedule, SplitMix64, Zipf};
 pub use metrics::ServeStats;
-pub use protocol::ModelInfo;
+pub use protocol::{ModelInfo, ShardStat};
+pub use ring::HashRing;
+pub use router::{Router, RouterConfig};
 pub use server::{Server, ServerConfig};

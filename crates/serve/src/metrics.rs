@@ -25,6 +25,8 @@ pub struct ServeStats {
     errors: AtomicU64,
     inflight: AtomicU64,
     queries: AtomicU64,
+    conns: AtomicU64,
+    busy_rejects: AtomicU64,
     latencies: Mutex<Ring>,
 }
 
@@ -42,6 +44,8 @@ impl ServeStats {
             errors: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            conns: AtomicU64::new(0),
+            busy_rejects: AtomicU64::new(0),
             latencies: Mutex::new(Ring { buf: vec![0; RING_CAPACITY], next: 0, len: 0 }),
         }
     }
@@ -95,6 +99,26 @@ impl ServeStats {
     /// Query points answered so far.
     pub fn queries(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the current open-connection count (set by the IO loop).
+    pub fn set_conns(&self, n: u64) {
+        self.conns.store(n, Ordering::Relaxed);
+    }
+
+    /// Connections currently open.
+    pub fn conns(&self) -> u64 {
+        self.conns.load(Ordering::Relaxed)
+    }
+
+    /// Records one admission-control rejection (`Busy`).
+    pub fn note_busy(&self) {
+        self.busy_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests or connections refused with `Busy` so far.
+    pub fn busy_rejects(&self) -> u64 {
+        self.busy_rejects.load(Ordering::Relaxed)
     }
 
     /// Latency percentiles (µs) over the recent window, one per requested

@@ -31,7 +31,7 @@ pub const HEADER_LEN: usize = 12;
 /// Maximum payload size (16 MiB) — caps memory a frame can demand.
 pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
 
-/// Frame kinds. Requests are `0x01..=0x05`; each response is the request
+/// Frame kinds. Requests are `0x01..=0x06`; each response is the request
 /// kind with the high bit set; `0xFF` is the error frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -48,6 +48,9 @@ pub enum Kind {
     /// Encode + query in one round trip (Encode payload ++ Query payload
     /// without the digest).
     EncodeQuery = 0x05,
+    /// Serving statistics request (empty payload). A shard answers with one
+    /// [`ShardStat`]; a router answers with one per healthy shard.
+    Stats = 0x06,
     /// Response to [`Kind::Ping`] (empty payload).
     Pong = 0x81,
     /// Response to [`Kind::Info`]: a [`ModelInfo`].
@@ -58,6 +61,9 @@ pub enum Kind {
     /// `cache_hit: u8`, `count: u32`, `channels: u32`, then
     /// `count·channels` f32s.
     QueryResp = 0x84,
+    /// Response to [`Kind::Stats`]: `count: u32`, then `count`
+    /// [`ShardStat`]s.
+    StatsResp = 0x86,
     /// Error frame: `code: u16`, then a UTF-8 message.
     Error = 0xFF,
 }
@@ -71,10 +77,12 @@ impl Kind {
             0x03 => Some(Kind::Encode),
             0x04 => Some(Kind::Query),
             0x05 => Some(Kind::EncodeQuery),
+            0x06 => Some(Kind::Stats),
             0x81 => Some(Kind::Pong),
             0x82 => Some(Kind::InfoResp),
             0x83 => Some(Kind::EncodeResp),
             0x84 => Some(Kind::QueryResp),
+            0x86 => Some(Kind::StatsResp),
             0xFF => Some(Kind::Error),
             _ => None,
         }
@@ -125,6 +133,106 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, ServeError
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload).map_err(|e| ServeError::from_io(&e))?;
     Ok(Some((header[5], payload)))
+}
+
+/// Incremental frame decoder for nonblocking streams.
+///
+/// [`read_frame`] assumes it can block until a whole frame arrives; a
+/// readiness-loop server instead gets bytes in arbitrary slices across poll
+/// wakeups. The decoder buffers whatever arrives and yields complete frames
+/// as they form. Header validation happens the moment 12 bytes are buffered
+/// — a hostile length prefix is rejected *before* any payload allocation,
+/// exactly as in the blocking path.
+///
+/// After any `Err` the stream is desynced and the decoder refuses further
+/// input; the caller answers with the typed error frame and closes.
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by yielded frames.
+    pos: usize,
+    /// Validated header of the frame currently being assembled.
+    pending: Option<(u8, usize)>,
+    /// Set once a header violation is seen; the stream is unrecoverable.
+    poisoned: bool,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// An empty decoder at a frame boundary.
+    pub fn new() -> Self {
+        FrameDecoder { buf: Vec::new(), pos: 0, pending: None, poisoned: false }
+    }
+
+    /// Appends bytes read from the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.poisoned {
+            return;
+        }
+        // Reclaim consumed prefix before growing — keeps the buffer bounded
+        // by one frame plus one read's worth of bytes.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Yields the next complete frame, `Ok(None)` if more bytes are needed,
+    /// or a typed header error (after which the decoder is poisoned).
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, ServeError> {
+        if self.poisoned {
+            return Ok(None);
+        }
+        let (kind, len) = match self.pending {
+            Some(h) => h,
+            None => {
+                let avail = self.buf.len() - self.pos;
+                if avail < HEADER_LEN {
+                    return Ok(None);
+                }
+                let h = &self.buf[self.pos..self.pos + HEADER_LEN];
+                if h[0..4] != MAGIC {
+                    self.poisoned = true;
+                    return Err(ServeError::BadMagic);
+                }
+                if h[4] != VERSION {
+                    self.poisoned = true;
+                    return Err(ServeError::BadVersion { got: h[4] });
+                }
+                let len = u32::from_le_bytes([h[8], h[9], h[10], h[11]]);
+                if len > MAX_PAYLOAD {
+                    self.poisoned = true;
+                    return Err(ServeError::Oversized { len });
+                }
+                let header = (h[5], len as usize);
+                self.pos += HEADER_LEN;
+                self.pending = Some(header);
+                header
+            }
+        };
+        if self.buf.len() - self.pos < len {
+            return Ok(None);
+        }
+        let payload = self.buf[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        self.pending = None;
+        Ok(Some((kind, payload)))
+    }
+
+    /// Whether a frame has started but not finished (stall-timeout basis).
+    pub fn mid_frame(&self) -> bool {
+        !self.poisoned && (self.pending.is_some() || self.buf.len() - self.pos > 0)
+    }
+
+    /// Whether a header violation permanently desynced this stream.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
 }
 
 /// Writes an error frame carrying `err`'s wire code and display message.
@@ -198,6 +306,93 @@ impl ModelInfo {
     }
 }
 
+/// Per-shard serving statistics returned by [`Kind::Stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStat {
+    /// The shard's listen address (as configured, not as resolved).
+    pub addr: String,
+    /// Completed requests.
+    pub requests: u64,
+    /// Requests that ended in a typed error.
+    pub errors: u64,
+    /// Requests currently in flight.
+    pub inflight: u64,
+    /// Latent-cache hits.
+    pub cache_hits: u64,
+    /// Latent-cache misses.
+    pub cache_misses: u64,
+    /// Detected digest collisions.
+    pub cache_collisions: u64,
+    /// Latents currently cached.
+    pub cache_len: u64,
+    /// Decode invocations (micro-batches run).
+    pub decode_calls: u64,
+    /// Query points decoded across all batches.
+    pub batched_queries: u64,
+}
+
+impl ShardStat {
+    /// Appends this stat's wire form to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.addr.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.addr.as_bytes());
+        for v in [
+            self.requests,
+            self.errors,
+            self.inflight,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_collisions,
+            self.cache_len,
+            self.decode_calls,
+            self.batched_queries,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Reads one stat from a cursor.
+    pub fn decode_from(c: &mut Cursor<'_>) -> Result<ShardStat, ServeError> {
+        let n = c.u32()? as usize;
+        let addr = String::from_utf8(c.bytes(n)?.to_vec())
+            .map_err(|_| ServeError::BadPayload("shard address is not UTF-8".into()))?;
+        Ok(ShardStat {
+            addr,
+            requests: c.u64()?,
+            errors: c.u64()?,
+            inflight: c.u64()?,
+            cache_hits: c.u64()?,
+            cache_misses: c.u64()?,
+            cache_collisions: c.u64()?,
+            cache_len: c.u64()?,
+            decode_calls: c.u64()?,
+            batched_queries: c.u64()?,
+        })
+    }
+}
+
+/// Serializes a StatsResp payload (`count: u32` then the stats).
+pub fn encode_stats(stats: &[ShardStat]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(4 + stats.len() * 96);
+    p.extend_from_slice(&(stats.len() as u32).to_le_bytes());
+    for s in stats {
+        s.encode_into(&mut p);
+    }
+    p
+}
+
+/// Parses a StatsResp payload.
+pub fn decode_stats(payload: &[u8]) -> Result<Vec<ShardStat>, ServeError> {
+    let mut c = Cursor::new(payload);
+    let count = c.u32()? as usize;
+    let mut stats = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        stats.push(ShardStat::decode_from(&mut c)?);
+    }
+    c.finish()?;
+    Ok(stats)
+}
+
 /// Bounds-checked little-endian payload reader. Every read either yields a
 /// value or a typed [`ServeError::BadPayload`] — no slicing panics.
 pub struct Cursor<'a> {
@@ -227,6 +422,11 @@ impl<'a> Cursor<'a> {
     /// Reads a `u8`.
     pub fn u8(&mut self) -> Result<u8, ServeError> {
         Ok(self.take(1)?[0])
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        self.take(n)
     }
 
     /// Reads a LE `u32`.
@@ -340,6 +540,96 @@ mod tests {
             trained_steps: 789,
         };
         assert_eq!(ModelInfo::decode(&info.encode()).unwrap(), info);
+    }
+
+    #[test]
+    fn decoder_yields_frames_across_arbitrary_splits() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, Kind::Encode, &[1, 2, 3]).unwrap();
+        write_frame(&mut wire, Kind::Ping, &[]).unwrap();
+        // Feed one byte at a time: the worst fragmentation a poll loop sees.
+        let mut d = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for &b in &wire {
+            d.extend(&[b]);
+            while let Some(f) = d.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], (Kind::Encode as u8, vec![1, 2, 3]));
+        assert_eq!(frames[1], (Kind::Ping as u8, Vec::new()));
+        assert!(!d.mid_frame());
+    }
+
+    #[test]
+    fn decoder_rejects_bad_headers_then_poisons() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, Kind::Ping, &[]).unwrap();
+        wire[0] = b'X';
+        let mut d = FrameDecoder::new();
+        d.extend(&wire);
+        assert_eq!(d.next_frame(), Err(ServeError::BadMagic));
+        assert!(d.is_poisoned());
+        // Poisoned decoders swallow further input instead of resyncing on
+        // garbage mid-stream.
+        d.extend(&wire);
+        assert_eq!(d.next_frame(), Ok(None));
+
+        let mut oversized = Vec::new();
+        write_frame(&mut oversized, Kind::Ping, &[]).unwrap();
+        oversized[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut d2 = FrameDecoder::new();
+        d2.extend(&oversized);
+        assert_eq!(d2.next_frame(), Err(ServeError::Oversized { len: u32::MAX }));
+    }
+
+    #[test]
+    fn decoder_tracks_mid_frame() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, Kind::Encode, &[0u8; 32]).unwrap();
+        let mut d = FrameDecoder::new();
+        assert!(!d.mid_frame());
+        d.extend(&wire[..5]);
+        assert!(d.mid_frame(), "partial header is mid-frame");
+        d.extend(&wire[5..20]);
+        assert!(d.next_frame().unwrap().is_none());
+        assert!(d.mid_frame(), "partial payload is mid-frame");
+        d.extend(&wire[20..]);
+        assert!(d.next_frame().unwrap().is_some());
+        assert!(!d.mid_frame());
+    }
+
+    #[test]
+    fn shard_stats_roundtrip() {
+        let stats = vec![
+            ShardStat {
+                addr: "127.0.0.1:7077".into(),
+                requests: 10,
+                errors: 1,
+                inflight: 2,
+                cache_hits: 7,
+                cache_misses: 3,
+                cache_collisions: 0,
+                cache_len: 3,
+                decode_calls: 5,
+                batched_queries: 320,
+            },
+            ShardStat {
+                addr: "127.0.0.1:7078".into(),
+                requests: 0,
+                errors: 0,
+                inflight: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_collisions: 0,
+                cache_len: 0,
+                decode_calls: 0,
+                batched_queries: 0,
+            },
+        ];
+        assert_eq!(decode_stats(&encode_stats(&stats)).unwrap(), stats);
+        assert!(decode_stats(&[1, 0]).is_err(), "truncated stats payload must not panic");
     }
 
     #[test]

@@ -1,37 +1,54 @@
-//! Blocking TCP server over the frame protocol.
+//! Nonblocking readiness-loop TCP server over the frame protocol.
 //!
-//! Architecture: one accept thread feeding a bounded channel of connections,
-//! a fixed pool of worker threads each owning one connection at a time, and
-//! a telemetry publisher thread. Everything is std — no async runtime; the
-//! concurrency story is "a worker per active connection, blocking reads with
-//! short timeouts".
+//! Architecture: one IO thread owns every socket. The listener and all
+//! connections are nonblocking; each sweep of the loop drains compute
+//! completions, accepts new connections, and services every live connection
+//! through a per-connection state machine (incremental [`FrameDecoder`] on
+//! the read side, a buffered byte queue on the write side). Requests that
+//! need model work — `Encode`, `Query`, `EncodeQuery` — are handed to a
+//! fixed pool of compute workers over a bounded queue; cheap requests
+//! (`Ping`, `Info`, `Stats`) are answered inline. One process holds
+//! thousands of connections this way: idle connections cost a buffer and a
+//! slab slot, not a thread.
 //!
-//! Timeout discipline per connection: at a frame boundary the worker polls
-//! with a short *idle* read timeout so it can notice shutdown within
-//! [`ServerConfig::idle_poll`]; the moment the first byte of a header
-//! arrives, the socket switches to the full [`ServerConfig::request_timeout`]
-//! — a client that stalls mid-frame gets a typed `Timeout` error, not a
-//! leaked worker.
+//! Everything is std — no async runtime and no epoll binding. The loop
+//! polls with an adaptive backoff: while any socket or completion makes
+//! progress it spins hot; once idle it yields, then sleeps in escalating
+//! steps capped at [`ServerConfig::idle_poll`] (which therefore still
+//! bounds shutdown latency, exactly as in the blocking design).
 //!
-//! Error discipline: payload-level failures (`BadPayload`, `ShapeMismatch`,
-//! `UnknownDigest`, …) are answered with an error frame and the connection
-//! lives on — the stream is still frame-aligned. Header-level failures
-//! (`BadMagic`, `BadVersion`, `Oversized`, `Truncated`, `Timeout`) desync
-//! the stream: the server writes the error frame, then closes.
+//! Ordering: responses on a connection must come back in request order even
+//! though the compute pool finishes jobs out of order. Each decoded frame
+//! takes a per-connection sequence number; completed responses park in a
+//! reorder map and are flushed strictly in sequence.
 //!
-//! Shutdown is a drain: the accept thread stops taking connections, workers
-//! finish the request they are on (frame boundaries check the flag), queued
-//! but unstarted connections are told `ShuttingDown`, and `shutdown()`
-//! joins every thread before returning.
+//! Admission control bounds memory three ways: a connection with
+//! [`ServerConfig::max_inflight_per_conn`] requests in flight is simply not
+//! read from (TCP backpressure, no errors); a full compute queue answers
+//! `Busy` but keeps the connection; a process at
+//! [`ServerConfig::max_conns`] refuses new connections with `Busy`.
+//!
+//! Error discipline is unchanged from the blocking server: payload-level
+//! failures (`BadPayload`, `ShapeMismatch`, `UnknownDigest`, …) are
+//! answered and the connection lives on; header-level failures (`BadMagic`,
+//! `BadVersion`, `Oversized`, `Truncated`, `Timeout`) poison the stream —
+//! the server flushes the error frame, then closes. A client that stalls
+//! mid-frame gets a typed `Timeout` once [`ServerConfig::request_timeout`]
+//! passes without the frame completing.
+//!
+//! Shutdown is a drain: accepting stops, in-flight compute finishes and its
+//! responses flush, idle connections are told `ShuttingDown`, and
+//! `shutdown()` joins every thread before returning.
 
 use crate::engine::Engine;
 use crate::error::ServeError;
-use crate::protocol::{self, read_frame, write_error, write_frame, Cursor, Kind};
+use crate::protocol::{self, write_error, write_frame, Cursor, FrameDecoder, Kind};
 use mfn_telemetry::Recorder;
-use std::io::Read;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -41,18 +58,23 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7077` (port 0 for ephemeral).
     pub addr: String,
-    /// Worker threads (= concurrently served connections).
+    /// Compute worker threads (concurrent model evaluations).
     pub workers: usize,
-    /// Accepted-but-unclaimed connection queue bound; beyond it clients get
-    /// a typed `Busy` error.
+    /// Bound of the compute job queue; when full, requests get a typed
+    /// `Busy` error.
     pub backlog: usize,
-    /// Deadline for reading the remainder of a frame once it has started,
-    /// and for writing responses.
+    /// Deadline for a started frame to finish arriving, and for a blocked
+    /// write to make progress.
     pub request_timeout: Duration,
-    /// Poll interval at frame boundaries (bounds shutdown latency).
+    /// Cap on the IO loop's idle backoff sleep (bounds shutdown latency).
     pub idle_poll: Duration,
     /// Telemetry publish cadence.
     pub publish_interval: Duration,
+    /// Open-connection cap; beyond it new connections are refused `Busy`.
+    pub max_conns: usize,
+    /// Per-connection in-flight request bound; a connection at the bound is
+    /// not read from until a response completes (TCP backpressure).
+    pub max_inflight_per_conn: usize,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +86,8 @@ impl Default for ServerConfig {
             request_timeout: Duration::from_secs(2),
             idle_poll: Duration::from_millis(25),
             publish_interval: Duration::from_millis(500),
+            max_conns: 4096,
+            max_inflight_per_conn: 32,
         }
     }
 }
@@ -76,38 +100,45 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds, spawns the accept/worker/publisher threads, and returns.
+    /// Binds, spawns the IO/worker/publisher threads, and returns.
     pub fn start(
         engine: Arc<Engine>,
         cfg: ServerConfig,
         recorder: Recorder,
     ) -> std::io::Result<Server> {
+        let mut cfg = cfg;
         let listener = TcpListener::bind(resolve(&cfg.addr)?)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        // Stats frames identify this shard by address; report the bound
+        // one so port-0 servers are distinguishable in fleet aggregation.
+        cfg.addr = local_addr.to_string();
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.backlog.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<Job>(cfg.backlog.max(1));
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<Done>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
         let mut threads = Vec::new();
 
-        {
-            let shutdown = shutdown.clone();
+        for i in 0..cfg.workers.max(1) {
+            let engine = engine.clone();
+            let job_rx = job_rx.clone();
+            let done_tx = done_tx.clone();
             let idle = cfg.idle_poll;
             threads.push(
                 std::thread::Builder::new()
-                    .name("serve-accept".into())
-                    .spawn(move || accept_loop(listener, tx, shutdown, idle))?,
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(engine, job_rx, done_tx, idle))?,
             );
         }
-        for i in 0..cfg.workers.max(1) {
+        drop(done_tx); // the IO loop must see Disconnected once workers exit
+        {
             let engine = engine.clone();
-            let rx = rx.clone();
             let shutdown = shutdown.clone();
             let cfg = cfg.clone();
             threads.push(
                 std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(engine, rx, shutdown, cfg))?,
+                    .name("serve-io".into())
+                    .spawn(move || io_loop(listener, engine, cfg, shutdown, job_tx, done_rx))?,
             );
         }
         {
@@ -128,8 +159,8 @@ impl Server {
         self.local_addr
     }
 
-    /// Signals shutdown and joins every thread; in-flight requests finish,
-    /// queued connections are refused with `ShuttingDown`.
+    /// Signals shutdown and joins every thread; in-flight requests finish
+    /// and their responses flush, idle connections are told `ShuttingDown`.
     pub fn shutdown(mut self) {
         self.drain();
     }
@@ -154,133 +185,450 @@ fn resolve(addr: &str) -> std::io::Result<SocketAddr> {
     })
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    tx: SyncSender<TcpStream>,
-    shutdown: Arc<AtomicBool>,
-    idle: Duration,
-) {
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                // The accepted socket may inherit the listener's
-                // non-blocking flag; workers want blocking reads.
-                let _ = stream.set_nonblocking(false);
-                match tx.try_send(stream) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(stream)) => refuse(stream, &ServeError::Busy),
-                    Err(TrySendError::Disconnected(_)) => break,
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(idle),
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => break,
-        }
-    }
-    // Dropping `tx` lets idle workers observe Disconnected once the queue
-    // drains.
+/// A compute job dispatched from the IO loop to the worker pool.
+struct Job {
+    conn: usize,
+    gen: u64,
+    seq: u64,
+    kind: u8,
+    payload: Vec<u8>,
+    t0: Instant,
 }
 
-/// Best-effort typed refusal of a connection we will not serve.
+/// A finished job travelling back to the IO loop.
+struct Done {
+    conn: usize,
+    gen: u64,
+    seq: u64,
+    t0: Instant,
+    result: Result<(Kind, Vec<u8>), ServeError>,
+}
+
+type Response = (Result<(Kind, Vec<u8>), ServeError>, Instant);
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Generation stamp distinguishing this connection from a previous
+    /// occupant of the same slab slot (stale completions are dropped).
+    gen: u64,
+    decoder: FrameDecoder,
+    /// Bytes queued for writing; `out_pos` marks how much already left.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Sequence number the next decoded frame will take.
+    next_seq: u64,
+    /// Sequence number the next flushed response must have.
+    flush_seq: u64,
+    /// Completed responses waiting for their turn in the order.
+    ready: BTreeMap<u64, Response>,
+    /// Jobs dispatched to the compute pool, not yet completed.
+    inflight: usize,
+    /// No more reads; close once responses and output are fully flushed.
+    closing: bool,
+    /// Peer half-closed cleanly at a frame boundary.
+    read_closed: bool,
+    /// Deadline for the in-progress frame to finish arriving.
+    frame_deadline: Option<Instant>,
+    /// Deadline for a blocked write to make progress.
+    write_deadline: Option<Instant>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, gen: u64) -> Self {
+        Conn {
+            stream,
+            gen,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            next_seq: 0,
+            flush_seq: 0,
+            ready: BTreeMap::new(),
+            inflight: 0,
+            closing: false,
+            read_closed: false,
+            frame_deadline: None,
+            write_deadline: None,
+        }
+    }
+
+    /// Parks a response under its sequence number.
+    fn queue(&mut self, seq: u64, resp: Response) {
+        self.ready.insert(seq, resp);
+    }
+
+    /// Parks a connection-fatal error and stops further reads.
+    fn queue_close(&mut self, seq: u64, err: ServeError) {
+        self.queue(seq, (Err(err), Instant::now()));
+        self.closing = true;
+    }
+
+    /// Moves in-order completed responses from the reorder map into the
+    /// output buffer, recording stats as each is committed.
+    fn flush_ready(&mut self, engine: &Engine) {
+        while let Some((result, t0)) = self.ready.remove(&self.flush_seq) {
+            self.flush_seq += 1;
+            match result {
+                Ok((kind, payload)) => {
+                    write_frame(&mut self.out, kind, &payload).expect("vec write");
+                    engine.stats().note_request(t0.elapsed().as_micros() as u64);
+                }
+                Err(e) => {
+                    engine.stats().note_error();
+                    write_error(&mut self.out, &e).expect("vec write");
+                }
+            }
+        }
+    }
+
+    /// Decodes buffered frames and dispatches them, respecting the per-conn
+    /// in-flight bound. Returns whether anything happened.
+    fn parse_frames(
+        &mut self,
+        id: usize,
+        engine: &Engine,
+        cfg: &ServerConfig,
+        job_tx: &SyncSender<Job>,
+        draining: bool,
+    ) -> bool {
+        let mut progress = false;
+        while !self.closing && self.inflight < cfg.max_inflight_per_conn {
+            match self.decoder.next_frame() {
+                Ok(Some((kind, payload))) => {
+                    progress = true;
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    if draining {
+                        self.queue_close(seq, ServeError::ShuttingDown);
+                    } else {
+                        self.dispatch(id, seq, kind, payload, engine, cfg, job_tx);
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Header-level violation: answer, then close. The
+                    // decoder is poisoned, so no further frames can arrive.
+                    progress = true;
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.queue_close(seq, e);
+                    break;
+                }
+            }
+        }
+        self.flush_ready(engine);
+        progress
+    }
+
+    /// Routes one decoded frame: cheap kinds inline, model work to the pool.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &mut self,
+        id: usize,
+        seq: u64,
+        kind: u8,
+        payload: Vec<u8>,
+        engine: &Engine,
+        cfg: &ServerConfig,
+        job_tx: &SyncSender<Job>,
+    ) {
+        let t0 = Instant::now();
+        match Kind::from_u8(kind) {
+            Some(Kind::Ping) => {
+                let r = Cursor::new(&payload).finish().map(|_| (Kind::Pong, Vec::new()));
+                self.queue(seq, (r, t0));
+            }
+            Some(Kind::Info) => {
+                let r = Cursor::new(&payload)
+                    .finish()
+                    .map(|_| (Kind::InfoResp, engine.info().encode()));
+                self.queue(seq, (r, t0));
+            }
+            Some(Kind::Stats) => {
+                let r = Cursor::new(&payload).finish().map(|_| {
+                    (Kind::StatsResp, protocol::encode_stats(&[engine.shard_stat(&cfg.addr)]))
+                });
+                self.queue(seq, (r, t0));
+            }
+            Some(Kind::Encode | Kind::Query | Kind::EncodeQuery) => {
+                match job_tx.try_send(Job { conn: id, gen: self.gen, seq, kind, payload, t0 }) {
+                    Ok(()) => self.inflight += 1,
+                    Err(TrySendError::Full(_)) => {
+                        engine.stats().note_busy();
+                        self.queue(seq, (Err(ServeError::Busy), t0));
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        self.queue_close(seq, ServeError::ShuttingDown);
+                    }
+                }
+            }
+            // Response kinds arriving as requests are protocol misuse; the
+            // stream is still frame-aligned, so the connection survives.
+            Some(_) | None => {
+                self.queue(seq, (Err(ServeError::UnknownKind { kind }), t0));
+            }
+        }
+    }
+
+    /// One readiness sweep over this connection. Returns `(progress,
+    /// alive)`; a dead connection is dropped by the caller.
+    fn service(
+        &mut self,
+        id: usize,
+        engine: &Engine,
+        cfg: &ServerConfig,
+        job_tx: &SyncSender<Job>,
+        draining: bool,
+        buf: &mut [u8],
+    ) -> (bool, bool) {
+        // Frames may have been buffered while the in-flight bound paused
+        // reads; parse before reading so completions unblock them.
+        let mut progress = self.parse_frames(id, engine, cfg, job_tx, draining);
+
+        if !self.closing && !self.read_closed && !self.decoder.is_poisoned() {
+            let mut reads = 0usize;
+            while self.inflight < cfg.max_inflight_per_conn && reads < 4 {
+                match self.stream.read(buf) {
+                    Ok(0) => {
+                        progress = true;
+                        if self.decoder.mid_frame() {
+                            let seq = self.next_seq;
+                            self.next_seq += 1;
+                            self.queue_close(seq, ServeError::Truncated);
+                        }
+                        self.read_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        progress = true;
+                        reads += 1;
+                        self.decoder.extend(&buf[..n]);
+                        self.parse_frames(id, engine, cfg, job_tx, draining);
+                        if self.closing || n < buf.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => return (true, false),
+                }
+            }
+        }
+
+        // Stall timeout: a frame that started must finish within the
+        // request deadline. Suppressed while the in-flight bound pauses
+        // parsing — then the stall is ours, not the client's.
+        if self.closing || !self.decoder.mid_frame() || self.inflight >= cfg.max_inflight_per_conn {
+            self.frame_deadline = None;
+        } else {
+            let now = Instant::now();
+            let deadline = *self.frame_deadline.get_or_insert(now + cfg.request_timeout);
+            if now >= deadline {
+                progress = true;
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.queue_close(seq, ServeError::Timeout);
+                self.flush_ready(engine);
+            }
+        }
+
+        // Drain notice: an idle connection is told the server is going away.
+        if draining && !self.closing && self.inflight == 0 && self.ready.is_empty() {
+            write_error(&mut self.out, &ServeError::ShuttingDown).expect("vec write");
+            self.closing = true;
+            progress = true;
+        }
+
+        match self.flush_out(cfg.request_timeout) {
+            Ok(p) => progress |= p,
+            Err(()) => return (true, false),
+        }
+        if let Some(d) = self.write_deadline {
+            if Instant::now() >= d {
+                return (true, false);
+            }
+        }
+
+        let flushed = self.out_pos >= self.out.len();
+        if (self.closing || self.read_closed)
+            && self.inflight == 0
+            && self.ready.is_empty()
+            && flushed
+        {
+            return (progress, false);
+        }
+        (progress, true)
+    }
+
+    /// Writes as much queued output as the socket accepts.
+    fn flush_out(&mut self, timeout: Duration) -> Result<bool, ()> {
+        let mut progress = false;
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(()),
+                Ok(n) => {
+                    progress = true;
+                    self.out_pos += n;
+                    self.write_deadline = None;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.write_deadline.get_or_insert_with(|| Instant::now() + timeout);
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Err(()),
+            }
+        }
+        if self.out_pos >= self.out.len() && !self.out.is_empty() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(progress)
+    }
+}
+
+/// The readiness loop: completions → accepts → per-connection sweeps, with
+/// adaptive idle backoff.
+fn io_loop(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    cfg: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    job_tx: SyncSender<Job>,
+    done_rx: Receiver<Done>,
+) {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut live = 0usize;
+    let mut gen_counter = 0u64;
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut idle_spins = 0u32;
+    let mut draining = false;
+    let mut drain_deadline = Instant::now();
+
+    loop {
+        let mut progress = false;
+
+        if !draining && shutdown.load(Ordering::SeqCst) {
+            draining = true;
+            drain_deadline = Instant::now() + cfg.request_timeout;
+        }
+
+        // 1. Compute completions: park each response in its connection's
+        //    reorder map and flush whatever became in-order.
+        while let Ok(done) = done_rx.try_recv() {
+            progress = true;
+            if let Some(Some(c)) = conns.get_mut(done.conn) {
+                if c.gen == done.gen {
+                    c.inflight -= 1;
+                    c.queue(done.seq, (done.result, done.t0));
+                    c.flush_ready(&engine);
+                }
+            }
+        }
+
+        // 2. Accept until the listener runs dry.
+        if !draining {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        progress = true;
+                        let _ = stream.set_nonblocking(true);
+                        let _ = stream.set_nodelay(true);
+                        if live >= cfg.max_conns {
+                            engine.stats().note_busy();
+                            refuse(stream, &ServeError::Busy);
+                            continue;
+                        }
+                        gen_counter += 1;
+                        let conn = Conn::new(stream, gen_counter);
+                        match free.pop() {
+                            Some(id) => conns[id] = Some(conn),
+                            None => conns.push(Some(conn)),
+                        }
+                        live += 1;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => break, // transient accept failure; retry next sweep
+                }
+            }
+        }
+
+        // 3. Service every live connection.
+        for (id, slot) in conns.iter_mut().enumerate() {
+            let Some(c) = slot.as_mut() else { continue };
+            let (p, alive) = c.service(id, &engine, &cfg, &job_tx, draining, &mut buf);
+            progress |= p;
+            if !alive {
+                *slot = None;
+                free.push(id);
+                live -= 1;
+            }
+        }
+        engine.stats().set_conns(live as u64);
+
+        if draining && (live == 0 || Instant::now() >= drain_deadline) {
+            break;
+        }
+
+        // 4. Adaptive idle backoff: spin while hot, yield briefly, then
+        //    sleep in escalating steps capped at `idle_poll`.
+        if progress {
+            idle_spins = 0;
+        } else {
+            idle_spins = idle_spins.saturating_add(1);
+            if idle_spins <= 2 {
+                std::thread::yield_now();
+            } else {
+                let us = 50u64 << (idle_spins - 3).min(10);
+                std::thread::sleep(Duration::from_micros(us).min(cfg.idle_poll));
+            }
+        }
+    }
+    // Dropping `job_tx` lets idle workers observe Disconnected once the
+    // queue drains; remaining connections close when `conns` drops.
+}
+
+/// Best-effort typed refusal of a connection we will not serve. The socket
+/// is freshly accepted, so its send buffer is empty and a single
+/// nonblocking write fits the whole error frame.
 fn refuse(stream: TcpStream, err: &ServeError) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let mut frame = Vec::new();
+    write_error(&mut frame, err).expect("vec write");
     let mut s = stream;
-    let _ = write_error(&mut s, err);
+    let _ = s.write(&frame);
 }
 
 fn worker_loop(
     engine: Arc<Engine>,
-    rx: Arc<Mutex<Receiver<TcpStream>>>,
-    shutdown: Arc<AtomicBool>,
-    cfg: ServerConfig,
+    job_rx: Arc<Mutex<Receiver<Job>>>,
+    done_tx: Sender<Done>,
+    idle: Duration,
 ) {
     loop {
-        // Hold the receiver lock only for the dequeue, not while serving.
-        let next = {
-            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
-            guard.recv_timeout(cfg.idle_poll)
+        // Hold the receiver lock only for the dequeue, not while computing.
+        let job = {
+            let guard = job_rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv_timeout(idle)
         };
-        match next {
-            Ok(stream) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    refuse(stream, &ServeError::ShuttingDown);
-                    continue;
+        match job {
+            Ok(job) => {
+                let _inflight = engine.stats().begin_request();
+                // A panic below a request (a kernel assert slipping past
+                // validation) must not take the worker down with it.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_request(&engine, job.kind, &job.payload)
+                }))
+                .unwrap_or_else(|_| Err(ServeError::Internal("request handler panicked".into())));
+                let done = Done { conn: job.conn, gen: job.gen, seq: job.seq, t0: job.t0, result };
+                if done_tx.send(done).is_err() {
+                    break; // IO loop is gone
                 }
-                handle_conn(&engine, stream, &shutdown, &cfg);
             }
-            Err(RecvTimeoutError::Timeout) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
+            Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
-}
-
-fn handle_conn(engine: &Engine, stream: TcpStream, shutdown: &AtomicBool, cfg: &ServerConfig) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_write_timeout(Some(cfg.request_timeout));
-    let mut stream = stream;
-    let mut first = [0u8; 1];
-    loop {
-        // Frame boundary: drain point for graceful shutdown.
-        if shutdown.load(Ordering::SeqCst) {
-            let _ = write_error(&mut stream, &ServeError::ShuttingDown);
-            return;
-        }
-        let _ = stream.set_read_timeout(Some(cfg.idle_poll));
-        match stream.read(&mut first) {
-            Ok(0) => return, // peer closed cleanly between frames
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => return,
-        }
-        // A frame has started: switch to the request deadline.
-        let _ = stream.set_read_timeout(Some(cfg.request_timeout));
-        let t0 = Instant::now();
-        let _inflight = engine.stats().begin_request();
-        let frame = {
-            let mut r = (&first[..]).chain(&mut stream);
-            read_frame(&mut r)
-        };
-        let (kind, payload) = match frame {
-            Ok(Some(f)) => f,
-            // Can't happen: we already consumed a byte, EOF now is
-            // Truncated. Treat defensively as peer-gone.
-            Ok(None) => return,
-            Err(e) => {
-                engine.stats().note_error();
-                let _ = write_error(&mut stream, &e);
-                return; // header-level failure: stream is desynced
-            }
-        };
-        // A panic below a request (a kernel assert slipping past
-        // validation) must not take the worker down with it.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_request(engine, kind, &payload)
-        }))
-        .unwrap_or_else(|_| Err(ServeError::Internal("request handler panicked".into())));
-        match result {
-            Ok((resp_kind, resp)) => {
-                if write_frame(&mut stream, resp_kind, &resp).is_err() {
-                    return;
-                }
-                engine.stats().note_request(t0.elapsed().as_micros() as u64);
-            }
-            Err(e) => {
-                engine.stats().note_error();
-                if write_error(&mut stream, &e).is_err() {
-                    return;
-                }
-                // Payload-level failure: frame-aligned, keep serving.
-            }
         }
     }
 }
@@ -292,16 +640,8 @@ fn handle_request(
     payload: &[u8],
 ) -> Result<(Kind, Vec<u8>), ServeError> {
     match Kind::from_u8(kind) {
-        Some(Kind::Ping) => {
-            Cursor::new(payload).finish()?;
-            Ok((Kind::Pong, Vec::new()))
-        }
-        Some(Kind::Info) => {
-            Cursor::new(payload).finish()?;
-            Ok((Kind::InfoResp, engine.info().encode()))
-        }
         Some(Kind::Encode) => {
-            let (batch, data) = decode_encode_payload(engine, payload, true)?;
+            let (batch, data) = decode_encode_payload(engine, payload)?;
             let (digest, hit) = engine.encode_patch(batch, data)?;
             Ok((Kind::EncodeResp, encode_resp(digest, hit)))
         }
@@ -323,25 +663,19 @@ fn handle_request(
             let (digest, hit, values, channels) = engine.encode_query(batch, data, queries)?;
             Ok((Kind::QueryResp, query_resp(digest, hit, &values, channels)))
         }
-        // Response kinds arriving as requests are protocol misuse.
+        // Ping/Info/Stats are answered inline by the IO loop; anything else
+        // reaching the pool is protocol misuse.
         Some(_) | None => Err(ServeError::UnknownKind { kind }),
     }
 }
 
-/// Reads `batch: u32` then the patch f32s. With `rest_is_data` the entire
-/// remaining payload must be the patch (Encode frames).
-fn decode_encode_payload(
-    engine: &Engine,
-    payload: &[u8],
-    rest_is_data: bool,
-) -> Result<(usize, Vec<f32>), ServeError> {
+/// Reads `batch: u32` then the patch f32s, which must fill the payload.
+fn decode_encode_payload(engine: &Engine, payload: &[u8]) -> Result<(usize, Vec<f32>), ServeError> {
     let mut c = Cursor::new(payload);
     let batch = c.u32()? as usize;
     let expect = checked_patch_numel(engine, batch)?;
     let data = c.f32s(expect)?;
-    if rest_is_data {
-        c.finish()?;
-    }
+    c.finish()?;
     Ok((batch, data))
 }
 
@@ -417,6 +751,8 @@ fn publish_loop(
             recorder.gauge("serve.p99_us", p[1] as f64);
         }
         recorder.gauge("serve.inflight", stats.inflight() as f64);
+        recorder.gauge("serve.conns", stats.conns() as f64);
+        recorder.gauge("serve.busy_rejects", stats.busy_rejects() as f64);
         recorder.gauge("serve.cache_hits", engine.cache().hits() as f64);
         recorder.gauge("serve.cache_misses", engine.cache().misses() as f64);
         recorder.gauge("serve.cache_collisions", engine.cache().collisions() as f64);

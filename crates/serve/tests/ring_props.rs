@@ -1,0 +1,150 @@
+//! Property tests for the consistent-hash ring.
+//!
+//! The ring is part of the fleet protocol: every process must compute the
+//! same digest→shard assignment, and scale events must remap only the
+//! minimum keyspace. Three layers of evidence:
+//!
+//! - **Exact monotonicity** (property, all keys): adding a shard never
+//!   moves a key between two pre-existing shards — a moved key always
+//!   lands on the new shard; removing a shard never moves a key whose
+//!   owner survived. These are the defining invariants of consistent
+//!   hashing and they hold exactly, not statistically.
+//! - **Remap fraction** (statistical, seeded): the moved fraction on
+//!   add/remove is close to the fair `1/N` — the whole point versus
+//!   `digest % N`, which remaps nearly everything.
+//! - **Golden assignments**: pinned digest→shard expectations. The hash is
+//!   pure integer arithmetic, so these bytes must match on every platform
+//!   and codegen target; a change here is a fleet-wide cache invalidation
+//!   and must be deliberate.
+
+use mfn_serve::HashRing;
+use proptest::prelude::*;
+
+fn shard_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{}:7{:03}", i + 1, i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adding a shard only ever moves keys *to* the new shard.
+    fn adding_a_shard_moves_keys_only_to_it(
+        n in 1usize..8,
+        keys in prop::collection::vec(0u64..u64::MAX, 64..256),
+    ) {
+        let old = HashRing::new(&shard_names(n));
+        let new = HashRing::new(&shard_names(n + 1));
+        for &k in &keys {
+            let before = old.shard_for(k);
+            let after = new.shard_for(k);
+            prop_assert!(
+                after == before || after == n,
+                "key {k:#x} moved from shard {before} to {after}, not to the new shard {n}"
+            );
+        }
+    }
+
+    /// Removing a shard never moves a key whose owner survived.
+    fn removing_a_shard_preserves_surviving_owners(
+        n in 2usize..8,
+        victim in 0usize..7,
+        keys in prop::collection::vec(0u64..u64::MAX, 64..256),
+    ) {
+        let victim = victim % n;
+        let names = shard_names(n);
+        let old = HashRing::new(&names);
+        let survivors: Vec<String> =
+            names.iter().enumerate().filter(|(i, _)| *i != victim).map(|(_, s)| s.clone()).collect();
+        let new = HashRing::new(&survivors);
+        for &k in &keys {
+            let before = &names[old.shard_for(k)];
+            let after = &survivors[new.shard_for(k)];
+            if before != &names[victim] {
+                prop_assert_eq!(
+                    before, after,
+                    "key {:#x}: owner {} survived removal of {} but key moved to {}",
+                    k, before, &names[victim], after
+                );
+            }
+        }
+    }
+
+    /// Independently constructed rings agree on every assignment — the
+    /// determinism every router/loadgen/test process relies on.
+    fn independent_rings_agree(
+        n in 1usize..9,
+        keys in prop::collection::vec(0u64..u64::MAX, 32..128),
+    ) {
+        let a = HashRing::new(&shard_names(n));
+        let b = HashRing::new(&shard_names(n));
+        for &k in &keys {
+            prop_assert_eq!(a.shard_for(k), b.shard_for(k));
+        }
+    }
+}
+
+#[test]
+fn remap_fraction_is_near_fair_share_on_add_and_remove() {
+    // Seeded key population (SplitMix64 stream), large enough for tight-ish
+    // statistics but fast enough for every CI run.
+    let keys: Vec<u64> = {
+        let mut s = 0x5EED_u64;
+        (0..20_000)
+            .map(|_| {
+                s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            })
+            .collect()
+    };
+    for n in [2usize, 4, 8] {
+        let old = HashRing::new(&shard_names(n));
+        let grown = HashRing::new(&shard_names(n + 1));
+        let moved = keys.iter().filter(|&&k| old.shard_for(k) != grown.shard_for(k)).count() as f64;
+        let frac = moved / keys.len() as f64;
+        let fair = 1.0 / (n + 1) as f64;
+        // 128 vnodes/shard bounds the variance; allow ±60% of fair share.
+        assert!(
+            frac > fair * 0.4 && frac < fair * 1.6,
+            "add to {n} shards remapped {frac:.4}, fair share {fair:.4}"
+        );
+        // The modulo strawman remaps ~n/(n+1) — confirm we sit well below it.
+        assert!(
+            frac < 0.75 * (n as f64 / (n + 1) as f64),
+            "remap fraction not consistent-hash-like"
+        );
+    }
+}
+
+#[test]
+fn golden_assignments_are_pinned() {
+    // These exact mappings are computed by pure integer arithmetic (FNV-1a
+    // + SplitMix64 finish) and therefore must be identical on every
+    // platform, OS, and codegen target. Do not update casually: changing
+    // them reassigns every fleet's cached latents.
+    let ring = HashRing::new(&[
+        "127.0.0.1:7101".to_string(),
+        "127.0.0.1:7102".to_string(),
+        "127.0.0.1:7103".to_string(),
+    ]);
+    let golden: [(u64, usize); 8] = [
+        (0x0000_0000_0000_0000, ring.shard_for(0x0000_0000_0000_0000)),
+        (0x0000_0000_0000_0001, ring.shard_for(0x0000_0000_0000_0001)),
+        (0xDEAD_BEEF_DEAD_BEEF, ring.shard_for(0xDEAD_BEEF_DEAD_BEEF)),
+        (0xCBF2_9CE4_8422_2325, ring.shard_for(0xCBF2_9CE4_8422_2325)),
+        (0x9E37_79B9_7F4A_7C15, ring.shard_for(0x9E37_79B9_7F4A_7C15)),
+        (0xFFFF_FFFF_FFFF_FFFF, ring.shard_for(0xFFFF_FFFF_FFFF_FFFF)),
+        (0x0123_4567_89AB_CDEF, ring.shard_for(0x0123_4567_89AB_CDEF)),
+        (0x5555_5555_5555_5555, ring.shard_for(0x5555_5555_5555_5555)),
+    ];
+    // Snapshot taken at introduction; the self-reference above keeps the
+    // table readable while this assertion pins the actual values.
+    let expected: Vec<usize> = golden.iter().map(|&(_, s)| s).collect();
+    let pinned: [usize; 8] = GOLDEN_EXPECTED;
+    assert_eq!(expected.as_slice(), pinned.as_slice(), "digest→shard assignment drifted");
+}
+
+/// The pinned snapshot for [`golden_assignments_are_pinned`].
+const GOLDEN_EXPECTED: [usize; 8] = [0, 2, 2, 0, 1, 0, 2, 2];

@@ -34,6 +34,8 @@ pub use conv::{
 };
 pub use gemm::{effective_threads, gemm, MatLayout, PAR_FLOP_THRESHOLD};
 pub use linalg::{matmul, matmul_nt, matmul_tn, matvec};
-pub use rowops::{add_bias_channels, add_bias_rows, blend_rows, channel_affine, gather_rows};
+pub use rowops::{
+    add_bias_channels, add_bias_rows, blend_rows, channel_affine, gather_concat_rows, gather_rows,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;

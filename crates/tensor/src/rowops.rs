@@ -34,6 +34,43 @@ pub fn gather_rows(grid: &Tensor, index: &[u32]) -> Tensor {
     Tensor::from_vec(out, &[m, c])
 }
 
+/// Fused gather + coordinate prefix for the decoder's no-grad hot path:
+/// builds the MLP input `[M, K + C]` where each row is the `K` per-vertex
+/// values from `prefix` followed by the gathered latent row. Bit-identical
+/// to `Tensor::concat(&[prefix, gather_rows(grid, index)], 1)` — the values
+/// are plain copies — but skips the intermediate `[M, C]` tensor and the
+/// second full-width copy.
+///
+/// # Panics
+/// Panics if `grid` is not rank 5 or `prefix.len()` is not a multiple of
+/// `index.len()`.
+pub fn gather_concat_rows(grid: &Tensor, index: &[u32], prefix: &[f32]) -> Tensor {
+    assert_eq!(grid.shape().rank(), 5, "gather_concat_rows grid must be [N,C,D,H,W]");
+    let (n, c) = (grid.dims()[0], grid.dims()[1]);
+    let vol: usize = grid.dims()[2..].iter().product();
+    let g = grid.data();
+    let m = index.len();
+    assert!(
+        m > 0 && prefix.len().is_multiple_of(m),
+        "prefix length must be a multiple of the row count"
+    );
+    let k = prefix.len() / m;
+    let w = k + c;
+    let mut out = workspace::take_vec_scratch(m * w);
+    for (row, &flat) in index.iter().enumerate() {
+        let flat = flat as usize;
+        let ni = flat / vol;
+        let sp = flat % vol;
+        debug_assert!(ni < n, "gather index out of batch range");
+        let dst = &mut out[row * w..(row + 1) * w];
+        dst[..k].copy_from_slice(&prefix[row * k..(row + 1) * k]);
+        for (ci, d) in dst[k..].iter_mut().enumerate() {
+            *d = g[(ni * c + ci) * vol + sp];
+        }
+    }
+    Tensor::from_vec(out, &[m, w])
+}
+
 /// Blends groups of `group` consecutive rows of `x: [Q*group, C]` with fixed
 /// weights (`weights.len() == Q*group`), producing `[Q, C]` — the trilinear
 /// vertex interpolation of the paper's Eqn. 6.

@@ -1,0 +1,219 @@
+//! Offline stand-in for `criterion`: same macro/builder surface, minimal
+//! measurement. Each benchmark runs a short timed loop and prints a
+//! mean-per-iteration line; there is no statistics engine, HTML report or
+//! comparison store. Good enough to keep `cargo bench` runnable and the
+//! bench targets compiling offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Sets iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the time spent per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; warmup here is a single untimed
+    /// call inside [`Bencher::iter`].
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Throughput annotation attached to subsequent benchmarks in a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: self.sample_size,
+            budget: self.measurement_time,
+            elapsed: Duration::ZERO,
+            done: 0,
+        };
+        f(&mut bencher);
+        self.report(&id.0, &bencher);
+        self
+    }
+
+    /// Runs a benchmark closure with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters: self.sample_size,
+            budget: self.measurement_time,
+            elapsed: Duration::ZERO,
+            done: 0,
+        };
+        f(&mut bencher, input);
+        self.report(&id.0, &bencher);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let per_iter = if b.done > 0 { b.elapsed / b.done as u32 } else { Duration::ZERO };
+        let rate = match (self.throughput, per_iter.as_secs_f64()) {
+            (Some(Throughput::Elements(n)), s) if s > 0.0 => {
+                format!("  {:.3} Melem/s", n as f64 / s / 1e6)
+            }
+            (Some(Throughput::Bytes(n)), s) if s > 0.0 => {
+                format!("  {:.3} MiB/s", n as f64 / s / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {per_iter:?}/iter ({} iters){rate}", self.name, b.done);
+    }
+
+    /// Ends the group (upstream finalizes reports here; a no-op for us).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: usize,
+    budget: Duration,
+    elapsed: Duration,
+    done: usize,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` (one warmup call, then up to the
+    /// configured sample count within the time budget).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup, untimed
+        let start = Instant::now();
+        let mut done = 0usize;
+        while done < self.iters && start.elapsed() < self.budget {
+            black_box(f());
+            done += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.done = done.max(1);
+    }
+}
+
+/// Declares a benchmark group function, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `crossbeam`: the `channel` subset the workspace
+//! uses (`unbounded` + send/recv/try_recv), shimmed over `std::sync::mpsc`.
+
+pub mod channel {
+    //! MPSC channels with crossbeam's names over std's implementation.
+
+    pub use std::sync::mpsc::{Receiver, Sender};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// A channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

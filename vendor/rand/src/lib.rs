@@ -1,0 +1,150 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible subset).
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the small slice of the `rand` API it actually uses: the [`RngCore`] /
+//! [`SeedableRng`] / [`Rng`] traits, half-open and inclusive `gen_range`,
+//! and the `Standard` distribution behind `Rng::gen`. Determinism is the
+//! contract that matters here — every sampler in the workspace pins seeds —
+//! not bit-compatibility with upstream `rand` streams.
+
+pub mod distributions;
+
+pub use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: a stream of 32/64-bit words.
+pub trait RngCore {
+    /// Next 32-bit word of the stream.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64-bit value of the stream.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with stream bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be built from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed material (a fixed-size byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64, then builds the
+    /// generator. Matches `rand_core`'s scheme conceptually (SplitMix64
+    /// word expansion), which is all the workspace's pinned-seed tests
+    /// rely on: same u64 in, same stream out, on every target.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = (z as u32).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`] distribution (`f32`/`f64` in
+    /// `[0, 1)`, integers uniform over their full range).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::SampleUniform,
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Minimal prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (self.0 >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            (hi << 32) | lo
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(4) {
+                let b = self.next_u32().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&b[..n]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..17);
+            assert!(v < 17);
+            let w: usize = rng.gen_range(3..=5);
+            assert!((3..=5).contains(&w));
+            let f: f32 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u: f32 = rng.gen::<f32>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        // The expansion must be a pure function of the seed.
+        struct Raw([u8; 32]);
+        impl SeedableRng for Raw {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                Raw(seed)
+            }
+        }
+        assert_eq!(Raw::seed_from_u64(42).0, Raw::seed_from_u64(42).0);
+        assert_ne!(Raw::seed_from_u64(42).0, Raw::seed_from_u64(43).0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline stand-in for `rayon`: the parallel-iterator entry points the
+//! workspace uses, implemented as sequential shims returning the equivalent
+//! `std` iterators. On the single-core CI machine this is also the fastest
+//! correct implementation; the kernels' chunked structure is preserved so a
+//! real rayon can be swapped back in without touching call sites.
+
+/// Number of worker threads a real pool would use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// `slice.par_chunks(n)` — sequential shim over [`slice::chunks`].
+pub trait ParallelSlice<T> {
+    /// Immutable chunks of length `chunk_size` (last may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `slice.par_chunks_mut(n)` — sequential shim over [`slice::chunks_mut`].
+pub trait ParallelSliceMut<T> {
+    /// Mutable chunks of length `chunk_size` (last may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// `collection.par_iter()` — sequential shim over [`slice::iter`].
+pub trait IntoParallelRefIterator<T> {
+    /// Iterates items by reference.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// `collection.into_par_iter()` — sequential shim over [`IntoIterator`].
+pub trait IntoParallelIterator {
+    /// The underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+    /// Consumes `self`, iterating its items.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Iter = std::ops::Range<T>;
+    type Item = T;
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Runs both closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Mirrors `rayon::prelude` for the subset above.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelSlice, ParallelSliceMut,
+    };
+}

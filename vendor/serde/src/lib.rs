@@ -1,0 +1,286 @@
+//! Offline stand-in for `serde`: a Value-tree data model with
+//! `Serialize`/`Deserialize` traits whose derives come from the companion
+//! `serde_derive` stub. Wide enough for the workspace's JSON sidecars
+//! (plain structs of scalars, strings, vectors and fixed arrays), nothing
+//! more. Numbers keep integer/float identity so `u64` seeds round-trip
+//! exactly.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed JSON-like value. Object fields preserve insertion order so
+/// serialized sidecars are stable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object's fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array's items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error (message-only; the sidecars are small enough that
+/// positional context adds nothing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with the given message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        DeError(message.into())
+    }
+
+    /// Schema-drift error used by `deny_unknown_fields`.
+    pub fn unknown_field(name: &str) -> Self {
+        DeError(format!("unknown field `{name}`"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Value-producing serialization.
+pub trait Serialize {
+    /// This value as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Value-consuming deserialization.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a [`Value`] tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up `name` in an object's fields and deserializes it. Used by the
+/// derive-generated code.
+pub fn get_field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    for (key, value) in obj {
+        if key == name {
+            return T::from_value(value).map_err(|e| DeError::msg(format!("field `{name}`: {e}")));
+        }
+    }
+    Err(DeError::msg(format!("missing field `{name}`")))
+}
+
+// ---- Serialize impls -------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+// ---- Deserialize impls -----------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::msg("expected a boolean")),
+        }
+    }
+}
+
+macro_rules! deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let v = match value {
+                    Value::U64(v) => *v,
+                    // A float that is exactly a non-negative integer is
+                    // accepted ("3.0" for a count is a format quirk, not
+                    // data loss).
+                    Value::F64(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                        *f as u64
+                    }
+                    _ => return Err(DeError::msg("expected an unsigned integer")),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let v: i64 = match value {
+                    Value::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::msg("integer out of range"))?,
+                    Value::I64(v) => *v,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    _ => return Err(DeError::msg("expected an integer")),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::U64(v) => Ok(*v as f64),
+            Value::I64(v) => Ok(*v as f64),
+            Value::F64(v) => Ok(*v),
+            Value::Null => Ok(f64::NAN), // non-finite floats serialize as null
+            _ => Err(DeError::msg("expected a number")),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::msg("expected a string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::msg("expected an array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value.as_array().ok_or_else(|| DeError::msg("expected an array"))?;
+        if items.len() != N {
+            return Err(DeError::msg(format!("expected {N} elements, got {}", items.len())));
+        }
+        let vec: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        vec.try_into().map_err(|_| DeError::msg("array length mismatch"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` only for plain structs
+//! with named fields, so the generated impls need nothing but the struct
+//! name, the field names, and whether `#[serde(deny_unknown_fields)]` is
+//! present. Per-field types are never parsed: the generated code dispatches
+//! through the stub `serde` traits, which the compiler resolves per field.
+//! Implemented with `proc_macro` token iteration alone (no syn/quote, which
+//! are unavailable offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructDef {
+    name: String,
+    fields: Vec<String>,
+    deny_unknown_fields: bool,
+}
+
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut iter = input.into_iter();
+    let mut deny_unknown_fields = false;
+    let mut name = String::new();
+    let mut fields = Vec::new();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Outer attribute: `#` followed by a bracketed group. Doc
+            // comments arrive in this form too.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    let body = g.stream().to_string();
+                    if body.starts_with("serde") && body.contains("deny_unknown_fields") {
+                        deny_unknown_fields = true;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    name = n.to_string();
+                }
+                for tt2 in iter.by_ref() {
+                    if let TokenTree::Group(g) = &tt2 {
+                        if g.delimiter() == Delimiter::Brace {
+                            fields = parse_fields(g.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    if name.is_empty() {
+        panic!("serde_derive stub: only structs with named fields are supported");
+    }
+    StructDef { name, fields, deny_unknown_fields }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    'fields: loop {
+        // Skip field attributes and doc comments.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            iter.next();
+            iter.next(); // the bracketed attribute body
+        }
+        // Skip visibility: `pub` or `pub(...)`.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(field)) = iter.next() else { break };
+        fields.push(field.to_string());
+        // Consume `: Type` up to the comma separating fields. Commas inside
+        // generics are shielded by tracking `<`/`>` depth; commas inside
+        // array types like `[f32; N]` never surface because a bracketed
+        // group is a single token.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => continue 'fields,
+                    _ => {}
+                }
+            }
+        }
+        break; // last field without trailing comma
+    }
+    fields
+}
+
+/// Derives the stub `serde::Serialize` (struct → `Value::Object`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let entries: String = def
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl must parse")
+}
+
+/// Derives the stub `serde::Deserialize` (`Value::Object` → struct), with
+/// `#[serde(deny_unknown_fields)]` support.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let known: Vec<String> = def.fields.iter().map(|f| format!("\"{f}\"")).collect();
+    let deny = if def.deny_unknown_fields {
+        format!(
+            "for (key, _) in obj.iter() {{\n\
+                 if ![{known}].contains(&key.as_str()) {{\n\
+                     return Err(::serde::DeError::unknown_field(key));\n\
+                 }}\n\
+             }}",
+            known = known.join(","),
+        )
+    } else {
+        String::new()
+    };
+    let inits: String =
+        def.fields.iter().map(|f| format!("{f}: ::serde::get_field(obj, \"{f}\")?,")).collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let obj = value\n\
+                     .as_object()\n\
+                     .ok_or_else(|| ::serde::DeError::msg(\"expected a JSON object\"))?;\n\
+                 {deny}\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl must parse")
+}

@@ -1,0 +1,399 @@
+//! Offline stand-in for `serde_json` over the stub `serde` Value model:
+//! `to_string`, `to_string_pretty` and `from_str`, with a complete JSON
+//! parser (escapes, nested containers, integer/float discrimination).
+//! Integer values round-trip exactly; floats print via Rust's shortest
+//! round-trip `Display` so `f32`-origin values survive a text round trip.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse(text)?;
+    T::from_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+// ---- writer ----------------------------------------------------------------
+
+fn write_value(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => {
+            if v.is_finite() {
+                out.push_str(&v.to_string());
+            } else {
+                // JSON has no NaN/Infinity; match serde_json's `null`.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            write_container(out, indent, depth, '[', ']', items.len(), |out, i| {
+                write_value(&items[i], out, indent, depth + 1);
+            });
+        }
+        Value::Object(fields) => {
+            write_container(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                write_string(&fields[i].0, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(&fields[i].1, out, indent, depth + 1);
+            });
+        }
+    }
+}
+
+fn write_container(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(close);
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected '{}' at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error("nesting too deep".into()));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(Error(format!("unexpected character at byte {}", self.pos))),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'b') => s.push('\u{0008}'),
+                        Some(b'f') => s.push('\u{000C}'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pair?
+                            let c = if (0xD800..0xDC00).contains(&cp)
+                                && self.bytes[self.pos + 1..].starts_with(b"\\u")
+                            {
+                                self.pos += 2; // consume `\u` (hex4 advances past digits)
+                                let lo = self.hex4()?;
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            s.push(c.ok_or_else(|| Error("invalid \\u escape".into()))?);
+                            continue; // hex4 already advanced self.pos
+                        }
+                        _ => return Err(Error(format!("bad escape at byte {}", self.pos))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 char (input is a &str, so boundaries
+                    // are valid; find the char at this byte offset).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid UTF-8".into()))?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads 4 hex digits after the current position (which sits on the
+    /// escape letter `u`), leaving `pos` one past the final digit.
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let start = self.pos + 1;
+        let end = start + 4;
+        if end > self.bytes.len() {
+            return Err(Error("truncated \\u escape".into()));
+        }
+        let hex = std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| Error("invalid \\u escape".into()))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| Error("invalid \\u escape".into()))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::I64(v));
+            }
+        }
+        text.parse::<f64>().map(Value::F64).map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let src = r#"{"a": 1, "b": -2, "c": 3.5, "d": [true, false, null], "e": "x\"\\\n"}"#;
+        let v: Value = parse(src).unwrap();
+        match &v {
+            Value::Object(fields) => {
+                assert_eq!(fields[0], ("a".into(), Value::U64(1)));
+                assert_eq!(fields[1], ("b".into(), Value::I64(-2)));
+                assert_eq!(fields[2], ("c".into(), Value::F64(3.5)));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        // Compact re-serialization parses back to the same tree.
+        let mut out = String::new();
+        write_value(&v, &mut out, None, 0);
+        assert_eq!(parse(&out).unwrap(), v);
+        // Pretty form too.
+        let mut pretty = String::new();
+        write_value(&v, &mut pretty, Some(2), 0);
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn u64_seed_roundtrips_exactly() {
+        let v = Value::U64(u64::MAX);
+        let mut out = String::new();
+        write_value(&v, &mut out, None, 0);
+        assert_eq!(parse(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn f32_survives_text_roundtrip() {
+        for f in [0.1f32, 1.0 / 3.0, f32::MIN_POSITIVE, 1e30, -2.5e-4] {
+            let v = Value::F64(f64::from(f));
+            let mut out = String::new();
+            write_value(&v, &mut out, None, 0);
+            let back = match parse(&out).unwrap() {
+                Value::F64(x) => x as f32,
+                Value::U64(x) => x as f32,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(back, f, "{f} failed round trip via {out}");
+        }
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        for bad in ["", "{", "[1,", "\"unterminated", "{\"a\" 1}", "nul", "1e", "--3"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}
