@@ -25,6 +25,6 @@ pub mod params;
 pub use checkpoint::{load_params, read_adam, read_params, save_params, write_adam, write_params};
 pub use graph::{sigmoid_scalar, softplus_scalar, Graph, Var};
 pub use jet::{activation_jet, linear_jet, mlp_jet, Jet3, JetVec};
-pub use nn::{Activation, BatchNorm3d, Conv3dLayer, Linear, Mlp};
+pub use nn::{Activation, BatchNorm3d, Conv3dLayer, Linear, Mlp, QuantizedMlp};
 pub use optim::{clip_grad_norm, grad_l2_norm, Adam, AdamConfig, Sgd};
 pub use params::{flatten_grads, unflatten_grads, FrozenParams, ParamId, ParamStore};

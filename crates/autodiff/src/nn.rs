@@ -345,6 +345,76 @@ impl Mlp {
     }
 }
 
+/// A frozen, inference-only snapshot of an [`Mlp`] with weights quantized to
+/// bf16 and prepacked into the GEMM micro-kernel's panel layout.
+///
+/// Numerics contract: weights are rounded once (RNE) at quantize time;
+/// activations, biases, and every accumulation stay f32 — each output is the
+/// same k-ordered f32 FMA chain as the full-precision path, over weights that
+/// carry 8 mantissa bits instead of 24. Halves the resident weight bytes and
+/// the weight-stream memory traffic of the decode hot loop.
+#[derive(Debug, Clone)]
+pub struct QuantizedMlp {
+    layers: Vec<(mfn_tensor::bf16::PackedBf16Gemm, Vec<f32>)>,
+    activation: Activation,
+    in_features: usize,
+}
+
+impl QuantizedMlp {
+    /// Quantizes an MLP's current weights out of `store`. The source model
+    /// is untouched; the snapshot does not track later weight updates.
+    pub fn quantize(mlp: &Mlp, store: &ParamStore) -> Self {
+        let layers = mlp
+            .layers
+            .iter()
+            .map(|layer| {
+                let w = store.get(layer.weight);
+                let packed = mfn_tensor::bf16::PackedBf16Gemm::from_nt_weight(
+                    w.data(),
+                    layer.out_features,
+                    layer.in_features,
+                );
+                (packed, store.get(layer.bias).data().to_vec())
+            })
+            .collect();
+        QuantizedMlp { layers, activation: mlp.activation, in_features: mlp.in_features() }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.layers.last().expect("non-empty").1.len()
+    }
+
+    /// Resident bytes of the quantized weight panels (biases excluded).
+    pub fn weight_bytes(&self) -> usize {
+        self.layers.iter().map(|(w, _)| w.weight_bytes()).sum()
+    }
+
+    /// Eager forward for `x: [M, in]` — mirrors [`Mlp::forward_nograd`] with
+    /// the bf16 weight panels in place of the f32 `matmul_nt`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let m = x.dims()[0];
+        let last = self.layers.len() - 1;
+        let mut h: Option<Tensor> = None;
+        for (i, (weight, bias)) in self.layers.iter().enumerate() {
+            let inp = h.as_ref().unwrap_or(x);
+            let mut y = Tensor::zeros(&[m, weight.cols()]);
+            weight.matmul(m, inp.data(), y.data_mut());
+            rowops::add_bias_rows(&mut y, bias);
+            if i != last {
+                y = self.activation.apply_value(&y);
+            }
+            h = Some(y);
+        }
+        h.expect("non-empty MLP")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,7 +15,7 @@
 //!   blending (inference-time PDE residuals, and the oracle the training
 //!   stencil is validated against).
 
-use mfn_autodiff::{mlp_jet, Graph, Jet3, JetVec, Mlp, ParamStore, Var};
+use mfn_autodiff::{mlp_jet, Graph, Jet3, JetVec, Mlp, ParamStore, QuantizedMlp, Var};
 use mfn_tensor::{blend_rows, gather_concat_rows, Tensor};
 
 /// Number of bounding vertices of a 3D cell.
@@ -203,6 +203,47 @@ impl ContinuousDecoder {
     }
 }
 
+/// A bf16-quantized snapshot of a [`ContinuousDecoder`] for reduced-precision
+/// serving: the MLP's weights live as prepacked bf16 GEMM panels
+/// ([`QuantizedMlp`]), while the gather/concat input build, biases,
+/// activations, accumulation, and trilinear blending all stay f32. Opt-in —
+/// built once via [`QuantizedDecoder::quantize`], then decoded against like
+/// the full-precision path.
+#[derive(Debug, Clone)]
+pub struct QuantizedDecoder {
+    mlp: QuantizedMlp,
+    out_channels: usize,
+}
+
+impl QuantizedDecoder {
+    /// Quantizes a decoder's MLP weights out of `store` (source untouched).
+    pub fn quantize(dec: &ContinuousDecoder, store: &ParamStore) -> Self {
+        QuantizedDecoder {
+            mlp: QuantizedMlp::quantize(&dec.mlp, store),
+            out_channels: dec.out_channels,
+        }
+    }
+
+    /// Resident bytes of the quantized weight panels.
+    pub fn weight_bytes(&self) -> usize {
+        self.mlp.weight_bytes()
+    }
+
+    /// Physical output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Reduced-precision twin of [`ContinuousDecoder::decode_nograd`]: same
+    /// input build and blending, bf16 weight panels inside the MLP.
+    pub fn decode(&self, latent: &Tensor, plan: &QueryPlan) -> Tensor {
+        assert!(!plan.is_empty(), "empty query plan");
+        let inp = gather_concat_rows(latent, &plan.index, &plan.rel);
+        let out = self.mlp.forward(&inp);
+        blend_rows(&out, &plan.weights, VERTICES)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +390,33 @@ mod tests {
         let loss = g.sum(sq);
         g.backward(loss);
         assert!(g.grad(l).max_abs() > 0.0, "no gradient reached the latent grid");
+    }
+
+    /// The quantized decoder tracks the f32 path to bf16 weight precision:
+    /// ~2^-8 relative per product, amplified through two hidden layers.
+    #[test]
+    fn quantized_decoder_tracks_f32_path() {
+        let (store, dec) = setup();
+        let qdec = QuantizedDecoder::quantize(&dec, &store);
+        assert!(qdec.weight_bytes() > 0);
+        assert_eq!(qdec.out_channels(), dec.out_channels);
+        let latent = random_latent(6, &[2, 6, 3, 4, 4]);
+        let plan = plan_queries(
+            [3, 4, 4],
+            (0..40).map(|q| {
+                let f = q as f32 / 39.0;
+                (q % 2, [f, (f * 0.7).fract(), (f * 1.3).fract()])
+            }),
+        );
+        let exact = dec.decode_nograd(&store, &latent, &plan);
+        let quant = qdec.decode(&latent, &plan);
+        assert_eq!(exact.dims(), quant.dims());
+        for (i, (a, b)) in exact.data().iter().zip(quant.data()).enumerate() {
+            assert!(
+                (a - b).abs() < 3e-2 * (1.0 + a.abs()),
+                "row {i}: f32 {a} vs bf16 {b} diverged beyond quantization noise"
+            );
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::checkpoint::{decode_inference_state, load_train_state_with_fallback, CheckpointError};
 use crate::config::MfnConfig;
-use crate::decoder::{plan_queries, ContinuousDecoder};
+use crate::decoder::{plan_queries, ContinuousDecoder, QuantizedDecoder};
 use crate::model::MeshfreeFlowNet;
 use crate::unet::UNet3d;
 use mfn_autodiff::{FrozenParams, ParamStore};
@@ -29,6 +29,8 @@ pub struct FrozenModel {
     store: ParamStore,
     unet: UNet3d,
     decoder: ContinuousDecoder,
+    /// Opt-in bf16 decode path; populated by [`FrozenModel::quantize_decoder`].
+    quantized: Option<QuantizedDecoder>,
     trained_steps: u64,
 }
 
@@ -40,7 +42,27 @@ impl FrozenModel {
 
     fn with_steps(model: MeshfreeFlowNet, trained_steps: u64) -> Self {
         let MeshfreeFlowNet { cfg, store, unet, decoder } = model;
-        FrozenModel { cfg, store, unet, decoder, trained_steps }
+        FrozenModel { cfg, store, unet, decoder, quantized: None, trained_steps }
+    }
+
+    /// Quantizes the decoder MLP's weights to prepacked bf16 panels; every
+    /// later [`FrozenModel::decode_values`] call routes through them
+    /// (activations, biases, and accumulation stay f32). Halves the decode
+    /// weight bytes at a bounded precision cost — opt-in, and the
+    /// full-precision weights stay resident (the encode path and the exact
+    /// [`FrozenModel::decode_values_exact`] still use them).
+    pub fn quantize_decoder(&mut self) {
+        self.quantized = Some(QuantizedDecoder::quantize(&self.decoder, &self.store));
+    }
+
+    /// Whether [`FrozenModel::quantize_decoder`] has been applied.
+    pub fn decoder_is_quantized(&self) -> bool {
+        self.quantized.is_some()
+    }
+
+    /// Resident bytes of the bf16 decoder weight panels (0 if not quantized).
+    pub fn quantized_weight_bytes(&self) -> usize {
+        self.quantized.as_ref().map_or(0, |q| q.weight_bytes())
     }
 
     /// Loads a `MFNSTAT1` train-state checkpoint (as written by the trainer's
@@ -110,6 +132,20 @@ impl FrozenModel {
         queries: impl IntoIterator<Item = (usize, [f32; 3])>,
     ) -> Tensor {
         let plan = plan_queries(self.grid_dims(), queries);
+        match &self.quantized {
+            Some(q) => q.decode(latent, &plan),
+            None => self.decoder.decode_nograd(&self.store, latent, &plan),
+        }
+    }
+
+    /// Always-full-precision twin of [`FrozenModel::decode_values`],
+    /// bypassing any quantized decoder (accuracy eval, A/B benches).
+    pub fn decode_values_exact(
+        &self,
+        latent: &Tensor,
+        queries: impl IntoIterator<Item = (usize, [f32; 3])>,
+    ) -> Tensor {
+        let plan = plan_queries(self.grid_dims(), queries);
         self.decoder.decode_nograd(&self.store, latent, &plan)
     }
 }
@@ -138,6 +174,27 @@ mod tests {
         let out = frozen.decode_values(&latent, [(0usize, [0.5, 0.5, 0.5])]);
         assert_eq!(out.dims(), &[1, 4]);
         assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn quantized_decode_dispatch_and_accuracy() {
+        let mut frozen = FrozenModel::from_model(MeshfreeFlowNet::new(tiny_cfg()));
+        let x = Tensor::ones(&[1, 4, 4, 4, 4]);
+        let latent = frozen.encode(&x);
+        let queries: Vec<(usize, [f32; 3])> =
+            (0..20).map(|q| (0usize, [q as f32 / 19.0, 0.3, 0.7])).collect();
+        assert!(!frozen.decoder_is_quantized());
+        let exact = frozen.decode_values(&latent, queries.iter().copied());
+        frozen.quantize_decoder();
+        assert!(frozen.decoder_is_quantized());
+        assert!(frozen.quantized_weight_bytes() > 0);
+        let quant = frozen.decode_values(&latent, queries.iter().copied());
+        // The exact path is still reachable and unchanged.
+        let exact2 = frozen.decode_values_exact(&latent, queries.iter().copied());
+        assert_eq!(exact.data(), exact2.data());
+        for (a, b) in exact.data().iter().zip(quant.data()) {
+            assert!((a - b).abs() < 3e-2 * (1.0 + a.abs()), "bf16 decode drifted: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use checkpoint::{
     load_train_state_with_fallback, prev_path, save_train_state, CheckpointError, TrainStateMeta,
 };
 pub use config::{MfnConfig, TrainConfig};
-pub use decoder::{plan_queries, ContinuousDecoder, QueryPlan, VERTICES};
+pub use decoder::{plan_queries, ContinuousDecoder, QuantizedDecoder, QueryPlan, VERTICES};
 pub use eval::{evaluate_pair, metric_series, table_header, EvalRow};
 pub use infer::FrozenModel;
 pub use losses::{equation_loss, prediction_loss, ChannelStats, ConstraintSet, RbcParamsF32};

@@ -118,8 +118,9 @@ pub fn adversarial_bounded(n: usize, seed: u64, cap: f32) -> Vec<f32> {
 }
 
 /// GEMM shapes `(m, k, n)` straddling every blocking boundary of the
-/// optimized kernel (MR=6, NR=16, MC=64, KC=256): single element, sub-tile,
-/// exact tile, tile+1, and a k just past the KC panel depth.
+/// optimized kernel ladder (micro-tiles 6×16 portable/AVX2+FMA, 8×48 and
+/// 12×32 AVX-512; MC=64, KC=256): single element, sub-tile, exact tile,
+/// tile+1 on each tier's edges, and a k just past the KC panel depth.
 pub const GEMM_SHAPES: &[(usize, usize, usize)] = &[
     (1, 1, 1),
     (2, 3, 4),
@@ -128,7 +129,8 @@ pub const GEMM_SHAPES: &[(usize, usize, usize)] = &[
     (7, 17, 33),
     (13, 64, 17),
     (65, 19, 31),
-    (4, 0, 5), // k = 0: contract says C is zero-filled
+    (9, 21, 49), // one past the 8×48 AVX-512 tile on both axes
+    (4, 0, 5),   // k = 0: contract says C is zero-filled
     (3, 257, 5),
 ];
 

@@ -14,6 +14,7 @@ use mfn_autodiff::Graph;
 use mfn_data::{Dataset, DatasetMeta, CHANNELS};
 use mfn_fft::{energy_spectrum_x, Complex, FftPlan, RealFftPlan};
 use mfn_solver::{d2dx2, d2dz2, ddx, ddz, dealias_x, laplacian, Domain};
+use mfn_tensor::bf16::{quantize_bf16, quantize_slice, widen_bf16, widen_slice, PackedBf16Gemm};
 use mfn_tensor::{rowops, MatLayout, Tensor};
 
 /// Bound for accumulating kernels: products stay ≤ 1e30 and sums of a few
@@ -51,7 +52,86 @@ pub fn check_gemm() -> Report {
     c.finish()
 }
 
-/// Direct and im2col conv3d forward vs the seven-deep definition loop.
+/// bf16 quantization vs the explicit-comparison RNE reference, bit-exact on
+/// the u16 pattern, over the unbounded adversarial set plus ±inf / NaN /
+/// overflow probes — then exhaustively over every bf16 bit pattern: widening
+/// then re-quantizing must be the identity (quiet-bit-forced for NaNs).
+pub fn check_bf16_quantize() -> Report {
+    let mut c = Checker::new("bf16_quantize", Tolerance::exact());
+    let mut xs = adversarial(2048, 1700);
+    xs.extend_from_slice(&[
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::NAN,
+        -f32::NAN,
+        f32::MAX, // rounds past the largest finite bf16: must go to inf
+        f32::MIN,
+        f32::from_bits(0x7F7F_8000), // exactly halfway to inf: tie, kept odd
+        f32::from_bits(0x3F80_8000), // tie above an even kept mantissa
+        f32::from_bits(0x3F81_8000), // tie above an odd kept mantissa
+        f32::from_bits(0x3F80_8001), // one past the tie
+    ]);
+    c.case("quantize vs explicit-RNE twin, seed 1700 + probes");
+    // The u16 patterns are compared as exact small integers, so NaN payload
+    // and signed-zero bits are part of the check, not shortcut away.
+    for (i, &x) in xs.iter().enumerate() {
+        let got = quantize_bf16(x);
+        c.check_f32_in(
+            i,
+            Some(f64::from(x)),
+            f32::from(got),
+            f64::from(refk::bf16_rne_ref(x)),
+            0.0,
+        );
+    }
+    c.case("widen∘quantize is the identity on all 2^16 patterns");
+    for q in 0..=u16::MAX {
+        let want = if widen_bf16(q).is_nan() { q | 0x0040 } else { q };
+        c.check_f32(usize::from(q), f32::from(quantize_bf16(widen_bf16(q))), f64::from(want), 0.0);
+    }
+    c.finish()
+}
+
+/// The bf16 precision contract: `widen(quantize(x))` stays within half a
+/// bf16 ULP of `x` — 2⁻⁸ relative (2¹⁵ f32 ULPs) for normals, 2⁻¹³⁴
+/// absolute in the subnormal range.
+pub fn check_bf16_precision() -> Report {
+    let mut c = Checker::new("bf16_precision", Tolerance::new(1 << 15, 4.0e-3, 1.0e-38));
+    // Cap below the largest finite bf16 (≈3.39e38) so no probe rounds to
+    // inf: overflow bit semantics belong to `check_bf16_quantize`.
+    let xs = adversarial_bounded(4096, 1750, 3.0e38);
+    c.case("widen∘quantize vs identity, seed 1750");
+    for (i, &x) in xs.iter().enumerate() {
+        let got = widen_bf16(quantize_bf16(x));
+        c.check_f32_in(i, Some(f64::from(x)), got, f64::from(x), f64::from(x).abs());
+    }
+    c.finish()
+}
+
+/// The prepacked bf16 GEMM vs the f64 reference over the *widened* weights:
+/// quantization is a one-time property of the weights, not the accumulation,
+/// so the budget is the ordinary f32 GEMM budget.
+pub fn check_gemm_bf16() -> Report {
+    let mut c = Checker::new("gemm_bf16", Tolerance::new(4, 1.0e-4, 0.0));
+    for (si, &(m, k, n)) in GEMM_SHAPES.iter().enumerate() {
+        let seed = 1800 + si as u64;
+        c.case(format!("m{m} k{k} n{n} seed {seed}"));
+        let a = adversarial_bounded(m * k, seed, ACC_CAP);
+        let w = adversarial_bounded(n * k, seed ^ 0xB16, ACC_CAP); // [n, k] weight
+        let packed = PackedBf16Gemm::from_nt_weight(&w, n, k);
+        let wq = widen_slice(&quantize_slice(&w));
+        let mut out = vec![f32::NAN; m * n]; // NaN canary: must be overwritten
+        packed.matmul(m, &a, &mut out);
+        let want = refk::gemm_ref(m, k, n, &a, MatLayout::Normal, &wq, MatLayout::Transposed);
+        for (i, &got) in out.iter().enumerate() {
+            c.check_f32(i, got, want.value[i], want.scale[i]);
+        }
+    }
+    c.finish()
+}
+
+/// Direct, im2col and fused implicit-GEMM conv3d forward vs the seven-deep
+/// definition loop.
 pub fn check_conv3d() -> Report {
     let mut c = Checker::new("conv3d", Tolerance::new(4, 1.0e-4, 0.0));
     for (si, &(n, cin, cout, spatial, kernel)) in CONV_SHAPES.iter().enumerate() {
@@ -69,6 +149,10 @@ pub fn check_conv3d() -> Report {
         }
         c.case(format!("im2col {spatial:?}*{kernel:?} seed {seed}"));
         for (i, &got) in mfn_tensor::conv3d_im2col(&xt, &wt).data().iter().enumerate() {
+            c.check_f32(i, got, want.value[i], want.scale[i]);
+        }
+        c.case(format!("implicit_gemm {spatial:?}*{kernel:?} seed {seed}"));
+        for (i, &got) in mfn_tensor::conv3d_implicit_gemm(&xt, &wt).data().iter().enumerate() {
             c.check_f32(i, got, want.value[i], want.scale[i]);
         }
     }
@@ -90,8 +174,15 @@ pub fn check_conv3d_grad_input() -> Report {
         let gt = Tensor::from_vec(gout.clone(), &[n, cout, sd, sh, sw]);
         let dims = mfn_tensor::Conv3dDims::infer(&xt, &wt);
         let want = refk::conv3d_grad_input_ref(n, cin, cout, spatial, kernel, &gout, &w);
-        c.case(format!("{spatial:?}*{kernel:?} seed {seed}"));
-        let got = mfn_tensor::conv3d_grad_input(&gt, &wt, dims);
+        c.case(format!("direct {spatial:?}*{kernel:?} seed {seed}"));
+        let got = mfn_tensor::conv3d_grad_input_direct(&gt, &wt, dims);
+        for (i, &g) in got.data().iter().enumerate() {
+            c.check_f32(i, g, want.value[i], want.scale[i]);
+        }
+        // Every CONV_SHAPES kernel is odd, so the flipped-weight implicit
+        // path is always valid here.
+        c.case(format!("implicit {spatial:?}*{kernel:?} seed {seed}"));
+        let got = mfn_tensor::conv3d_implicit_grad_input(&gt, &wt, dims);
         for (i, &g) in got.data().iter().enumerate() {
             c.check_f32(i, g, want.value[i], want.scale[i]);
         }
@@ -114,8 +205,13 @@ pub fn check_conv3d_grad_weight() -> Report {
         let gt = Tensor::from_vec(gout.clone(), &[n, cout, sd, sh, sw]);
         let dims = mfn_tensor::Conv3dDims::infer(&xt, &wt);
         let want = refk::conv3d_grad_weight_ref(n, cin, cout, spatial, kernel, &x, &gout);
-        c.case(format!("{spatial:?}*{kernel:?} seed {seed}"));
-        let got = mfn_tensor::conv3d_grad_weight(&xt, &gt, dims);
+        c.case(format!("direct {spatial:?}*{kernel:?} seed {seed}"));
+        let got = mfn_tensor::conv3d_grad_weight_direct(&xt, &gt, dims);
+        for (i, &g) in got.data().iter().enumerate() {
+            c.check_f32(i, g, want.value[i], want.scale[i]);
+        }
+        c.case(format!("implicit {spatial:?}*{kernel:?} seed {seed}"));
+        let got = mfn_tensor::conv3d_implicit_grad_weight(&xt, &gt, dims);
         for (i, &g) in got.data().iter().enumerate() {
             c.check_f32(i, g, want.value[i], want.scale[i]);
         }
@@ -581,6 +677,9 @@ pub fn check_downsample() -> Report {
 pub fn run_all() -> Vec<Report> {
     let mut reports = vec![
         check_gemm(),
+        check_bf16_quantize(),
+        check_bf16_precision(),
+        check_gemm_bf16(),
         check_conv3d(),
         check_conv3d_grad_input(),
         check_conv3d_grad_weight(),

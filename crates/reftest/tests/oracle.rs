@@ -18,6 +18,21 @@ fn gemm_matches_reference() {
 }
 
 #[test]
+fn bf16_quantize_matches_reference() {
+    assert_ok(checks::check_bf16_quantize());
+}
+
+#[test]
+fn bf16_precision_contract_holds() {
+    assert_ok(checks::check_bf16_precision());
+}
+
+#[test]
+fn gemm_bf16_matches_reference() {
+    assert_ok(checks::check_gemm_bf16());
+}
+
+#[test]
 fn conv3d_matches_reference() {
     assert_ok(checks::check_conv3d());
 }

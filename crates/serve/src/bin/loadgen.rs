@@ -5,7 +5,7 @@
 //! usage: loadgen --addr HOST:PORT [--threads N] [--duration-s N]
 //!                [--patches N] [--queries-per-req N] [--out PATH] [--strict]
 //!                [--fleet] [--rates R1,R2,...] [--conns N] [--zipf-s F]
-//!                [--seed N] [--closed-addr HOST:PORT]
+//!                [--seed N] [--closed-addr HOST:PORT] [--slo-ms F]
 //! ```
 //!
 //! **Closed-loop mode** (default) has three phases:
@@ -30,6 +30,13 @@
 //! `Stats` frame — one entry per healthy shard when `--addr` is a router)
 //! land in `BENCH_fleet.json`. The whole workload is a pure function of
 //! `--seed`.
+//!
+//! The sweep's **knee** is the highest-throughput rate point whose p99
+//! stays under the latency SLO (`--slo-ms`, default 50 ms) — raw max
+//! achieved QPS is meaningless open-loop, because an overloaded server
+//! still "achieves" high QPS while its queue (and tail) grow without
+//! bound. When every rate busts the SLO the knee falls back to the
+//! lowest-p99 point and is flagged `met_slo: false`.
 //!
 //! After the sweep, fleet mode also runs one *closed-loop* phase
 //! (`--threads` self-paced connections, per-request RTT — the exact
@@ -58,6 +65,7 @@ struct Args {
     zipf_s: f64,
     seed: u64,
     closed_addr: Option<String>,
+    slo_ms: f64,
 }
 
 fn parse() -> Args {
@@ -65,7 +73,7 @@ fn parse() -> Args {
     let usage = "usage: loadgen --addr HOST:PORT [--threads N] [--duration-s N] \
                  [--patches N] [--queries-per-req N] [--out PATH] [--strict] \
                  [--fleet] [--rates R1,R2,...] [--conns N] [--zipf-s F] [--seed N] \
-                 [--closed-addr HOST:PORT]";
+                 [--closed-addr HOST:PORT] [--slo-ms F]";
     let mut addr = None;
     let mut threads = 2usize;
     let mut duration_s = 5u64;
@@ -79,6 +87,7 @@ fn parse() -> Args {
     let mut zipf_s = 1.0f64;
     let mut seed = 0x4D46_4E53u64; // "MFNS"
     let mut closed_addr = None;
+    let mut slo_ms = 50.0f64;
     let mut i = 0;
     let next = |argv: &[String], i: &mut usize, what: &str| -> String {
         *i += 1;
@@ -113,6 +122,7 @@ fn parse() -> Args {
             "--zipf-s" => zipf_s = next(&argv, &mut i, "--zipf-s").parse().expect("float"),
             "--seed" => seed = next(&argv, &mut i, "--seed").parse().expect("integer"),
             "--closed-addr" => closed_addr = Some(next(&argv, &mut i, "--closed-addr")),
+            "--slo-ms" => slo_ms = next(&argv, &mut i, "--slo-ms").parse().expect("float"),
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);
@@ -143,6 +153,7 @@ fn parse() -> Args {
         zipf_s,
         seed,
         closed_addr,
+        slo_ms,
     }
 }
 
@@ -304,6 +315,32 @@ fn run_rate(
         p99_us: percentile_us(&lat_us, 0.99),
         max_us: lat_us.last().copied().unwrap_or(0),
     }
+}
+
+/// Picks the sweep's knee under a latency SLO: the index of the point with
+/// the highest achieved throughput among those whose p99 is at or under
+/// `slo_us`, and `true` for "met the SLO". Raw max-achieved-QPS is the
+/// wrong "best" for an open-loop sweep — a saturated server keeps
+/// completing requests at high rate while every one of them sits in queue
+/// past any usable latency. If no point meets the SLO the knee falls back
+/// to the lowest-p99 point (ties: higher throughput) with `false`.
+fn pick_knee(sweep: &[RatePoint], slo_us: u64) -> (usize, bool) {
+    let under = sweep
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.p99_us <= slo_us)
+        .max_by(|(_, a), (_, b)| a.achieved_qps.total_cmp(&b.achieved_qps));
+    if let Some((i, _)) = under {
+        return (i, true);
+    }
+    let (i, _) = sweep
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.p99_us.cmp(&b.p99_us).then(b.achieved_qps.total_cmp(&a.achieved_qps))
+        })
+        .expect("at least one rate point");
+    (i, false)
 }
 
 /// Aggregate result of the closed-loop comparison phase.
@@ -492,23 +529,31 @@ fn fleet_main(args: Args) {
         closed.errors
     );
 
-    let best = sweep
-        .iter()
-        .max_by(|a, b| a.achieved_qps.total_cmp(&b.achieved_qps))
-        .expect("at least one rate");
+    let slo_us = (args.slo_ms * 1000.0) as u64;
+    let (knee_idx, met_slo) = pick_knee(&sweep, slo_us);
+    let knee = &sweep[knee_idx];
+    eprintln!(
+        "knee @ p99<={:.0}ms SLO: offered {:.0} qps -> achieved {:.0} qps, p99 {} us{}",
+        args.slo_ms,
+        knee.offered_qps,
+        knee.achieved_qps,
+        knee.p99_us,
+        if met_slo { "" } else { " (NO rate met the SLO; lowest-p99 point shown)" },
+    );
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"mfn-bench/fleet/v1\",\n  \"config\": {\n");
+    json.push_str("{\n  \"schema\": \"mfn-bench/fleet/v2\",\n  \"config\": {\n");
     json.push_str(&format!(
         "    \"addr\": \"{}\",\n    \"conns\": {},\n    \"duration_s_per_rate\": {},\n    \
          \"patches\": {},\n    \"queries_per_req\": {},\n    \"zipf_s\": {},\n    \
-         \"seed\": {}\n  }},\n",
+         \"seed\": {},\n    \"slo_ms\": {}\n  }},\n",
         args.addr,
         args.conns,
         args.duration_s,
         args.patches,
         args.queries_per_req,
         args.zipf_s,
-        args.seed
+        args.seed,
+        args.slo_ms
     ));
     json.push_str("  \"sweep\": [\n");
     for (i, p) in sweep.iter().enumerate() {
@@ -528,9 +573,16 @@ fn fleet_main(args: Args) {
         ));
     }
     json.push_str("  ],\n");
+    // `knee` is the headline number; `best` keeps the old key pointing at
+    // the same (now SLO-aware) point so existing report readers still work.
+    json.push_str(&format!(
+        "  \"knee\": {{ \"offered_qps\": {:.1}, \"achieved_qps\": {:.2}, \"p99_us\": {}, \
+         \"slo_us\": {slo_us}, \"met_slo\": {met_slo} }},\n",
+        knee.offered_qps, knee.achieved_qps, knee.p99_us
+    ));
     json.push_str(&format!(
         "  \"best\": {{ \"offered_qps\": {:.1}, \"achieved_qps\": {:.2}, \"p99_us\": {} }},\n",
-        best.offered_qps, best.achieved_qps, best.p99_us
+        knee.offered_qps, knee.achieved_qps, knee.p99_us
     ));
     json.push_str(&format!(
         "  \"closed_loop\": {{ \"addr\": \"{}\", \"threads\": {}, \"duration_s\": {}, \
@@ -763,5 +815,65 @@ fn main() {
              (need requests > 0 and zero errors)"
         );
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(offered: f64, achieved: f64, p99_us: u64) -> RatePoint {
+        RatePoint {
+            offered_qps: offered,
+            achieved_qps: achieved,
+            requests: achieved as u64,
+            errors: 0,
+            p50_us: p99_us / 4,
+            p90_us: p99_us / 2,
+            p99_us,
+            max_us: p99_us * 2,
+        }
+    }
+
+    #[test]
+    fn knee_is_highest_throughput_under_slo() {
+        // Classic saturation curve: throughput keeps inching up past the
+        // knee while p99 explodes. Raw max-achieved would pick index 3.
+        let sweep = [
+            pt(500.0, 499.0, 2_000),
+            pt(1000.0, 998.0, 8_000),
+            pt(1750.0, 1700.0, 45_000),
+            pt(2500.0, 1800.0, 900_000),
+        ];
+        assert_eq!(pick_knee(&sweep, 50_000), (2, true));
+    }
+
+    #[test]
+    fn knee_ignores_offered_order() {
+        // The under-SLO pick keys on achieved QPS, not position or offered
+        // rate — a mid-sweep point can win if later ones collapse.
+        let sweep =
+            [pt(1000.0, 990.0, 10_000), pt(2000.0, 1500.0, 30_000), pt(3000.0, 1200.0, 40_000)];
+        assert_eq!(pick_knee(&sweep, 50_000), (1, true));
+    }
+
+    #[test]
+    fn knee_boundary_is_inclusive() {
+        let sweep = [pt(100.0, 99.0, 50_000)];
+        assert_eq!(pick_knee(&sweep, 50_000), (0, true));
+        assert!(!pick_knee(&sweep, 49_999).1);
+    }
+
+    #[test]
+    fn all_points_over_slo_falls_back_to_lowest_p99() {
+        let sweep =
+            [pt(1000.0, 900.0, 300_000), pt(2000.0, 1100.0, 200_000), pt(3000.0, 1300.0, 400_000)];
+        assert_eq!(pick_knee(&sweep, 50_000), (1, false));
+    }
+
+    #[test]
+    fn fallback_tie_prefers_higher_throughput() {
+        let sweep = [pt(1000.0, 900.0, 200_000), pt(2000.0, 1500.0, 200_000)];
+        assert_eq!(pick_knee(&sweep, 50_000), (1, false));
     }
 }

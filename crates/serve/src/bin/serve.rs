@@ -5,7 +5,7 @@
 //! usage: serve --ckpt PATH.state [--config PATH.cfg.json] [--addr HOST:PORT]
 //!              [--cache-cap N] [--batch-max N] [--batch-wait-us N]
 //!              [--workers N] [--timeout-ms N] [--telemetry PATH]
-//!              [--duration-s N]
+//!              [--duration-s N] [--bf16-decode]
 //! ```
 //!
 //! `--ckpt` names an `MFNSTAT1` train-state file (as written by `train
@@ -35,6 +35,7 @@ struct Args {
     timeout_ms: u64,
     telemetry: Option<PathBuf>,
     duration_s: u64,
+    bf16_decode: bool,
 }
 
 fn parse() -> Args {
@@ -42,7 +43,7 @@ fn parse() -> Args {
     let usage = "usage: serve --ckpt PATH.state [--config PATH.cfg.json] \
                  [--addr HOST:PORT] [--cache-cap N] [--batch-max N] \
                  [--batch-wait-us N] [--workers N] [--timeout-ms N] \
-                 [--telemetry PATH] [--duration-s N]";
+                 [--telemetry PATH] [--duration-s N] [--bf16-decode]";
     let mut ckpt = None;
     let mut config = None;
     let mut addr = "127.0.0.1:7077".to_string();
@@ -53,6 +54,7 @@ fn parse() -> Args {
     let mut timeout_ms = 2000u64;
     let mut telemetry = None;
     let mut duration_s = 0u64;
+    let mut bf16_decode = false;
     let mut i = 0;
     let next = |argv: &[String], i: &mut usize, what: &str| -> String {
         *i += 1;
@@ -85,6 +87,7 @@ fn parse() -> Args {
             "--duration-s" => {
                 duration_s = next(&argv, &mut i, "--duration-s").parse().expect("integer")
             }
+            "--bf16-decode" => bf16_decode = true,
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);
@@ -111,6 +114,7 @@ fn parse() -> Args {
         timeout_ms,
         telemetry,
         duration_s,
+        bf16_decode,
     }
 }
 
@@ -145,8 +149,15 @@ fn main() {
             cache_capacity: args.cache_cap,
             max_batch: args.batch_max,
             max_wait: Duration::from_micros(args.batch_wait_us),
+            bf16_decode: args.bf16_decode,
         },
     ));
+    if args.bf16_decode {
+        eprintln!(
+            "bf16 decode enabled ({} quantized weight bytes)",
+            engine.model().quantized_weight_bytes()
+        );
+    }
     let recorder = match &args.telemetry {
         Some(path) => {
             let r = Recorder::jsonl(path).expect("create telemetry file");

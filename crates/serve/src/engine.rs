@@ -24,11 +24,19 @@ pub struct EngineConfig {
     pub max_batch: usize,
     /// Longest a batch leader waits for followers.
     pub max_wait: Duration,
+    /// Serve decode queries through bf16-quantized decoder weights
+    /// (f32 accumulation; bounded precision cost, half the weight traffic).
+    pub bf16_decode: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { cache_capacity: 64, max_batch: 256, max_wait: Duration::from_micros(200) }
+        EngineConfig {
+            cache_capacity: 64,
+            max_batch: 256,
+            max_wait: Duration::from_micros(200),
+            bf16_decode: false,
+        }
     }
 }
 
@@ -41,8 +49,13 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Wraps a frozen model with a cache and batcher.
-    pub fn new(model: FrozenModel, cfg: EngineConfig) -> Self {
+    /// Wraps a frozen model with a cache and batcher. With
+    /// `cfg.bf16_decode` the decoder weights are quantized here, once, and
+    /// every decode the engine issues runs reduced-precision.
+    pub fn new(mut model: FrozenModel, cfg: EngineConfig) -> Self {
+        if cfg.bf16_decode {
+            model.quantize_decoder();
+        }
         Engine {
             model,
             cache: LatentCache::new(cfg.cache_capacity),
@@ -228,6 +241,38 @@ mod tests {
                 ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
             })
             .collect()
+    }
+
+    /// An engine built with `bf16_decode` quantizes once at construction and
+    /// serves answers within bf16 noise of the full-precision engine.
+    #[test]
+    fn bf16_decode_engine_tracks_exact_engine() {
+        let mut cfg = MfnConfig::small();
+        cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 4, queries: 16 };
+        cfg.base_channels = 4;
+        cfg.latent_channels = 8;
+        cfg.mlp_hidden = vec![16, 16];
+        cfg.levels = 2;
+        let exact = Engine::new(
+            FrozenModel::from_model(MeshfreeFlowNet::new(cfg.clone())),
+            EngineConfig::default(),
+        );
+        let quant = Engine::new(
+            FrozenModel::from_model(MeshfreeFlowNet::new(cfg)),
+            EngineConfig { bf16_decode: true, ..EngineConfig::default() },
+        );
+        assert!(!exact.model().decoder_is_quantized());
+        assert!(quant.model().decoder_is_quantized());
+        let p = patch(&exact, 9);
+        let (de, _) = exact.encode_patch(1, p.clone()).unwrap();
+        let (dq, _) = quant.encode_patch(1, p).unwrap();
+        assert_eq!(de, dq, "encode is full-precision on both engines");
+        let queries = vec![(0usize, [0.3, 0.6, 0.2]), (0, [0.9, 0.1, 0.8])];
+        let (ve, _) = exact.query(de, queries.clone()).unwrap();
+        let (vq, _) = quant.query(dq, queries).unwrap();
+        for (a, b) in ve.iter().zip(&vq) {
+            assert!((a - b).abs() < 3e-2 * (1.0 + a.abs()), "bf16 serve drifted: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -123,10 +123,33 @@ pub fn conv3d(input: &Tensor, weight: &Tensor) -> Tensor {
     Tensor::from_vec(out, &[dims.n, dims.cout, sd, sh, sw])
 }
 
-/// Gradient of [`conv3d`] with respect to its input.
+/// Gradient of [`conv3d`] with respect to its input — auto-dispatching
+/// entry point (this is what the autodiff graph calls). Routes through the
+/// fused implicit GEMM for real (non-pointwise, odd) kernels and falls back
+/// to the direct sliding-window kernel otherwise.
+pub fn conv3d_grad_input(grad_out: &Tensor, weight: &Tensor, dims: Conv3dDims) -> Tensor {
+    // The flipped-weight trick behind the implicit path needs odd kernels
+    // (true for every conv this repo builds, but `dims` arrives unchecked).
+    let odd = dims.kernel.iter().all(|k| k % 2 == 1);
+    match conv3d_path(&dims) {
+        Conv3dPath::ImplicitGemm if odd => conv3d_implicit_grad_input(grad_out, weight, dims),
+        _ => conv3d_grad_input_direct(grad_out, weight, dims),
+    }
+}
+
+/// Gradient of [`conv3d`] with respect to its weights — auto-dispatching
+/// entry point mirroring [`conv3d_grad_input`].
+pub fn conv3d_grad_weight(input: &Tensor, grad_out: &Tensor, dims: Conv3dDims) -> Tensor {
+    match conv3d_path(&dims) {
+        Conv3dPath::ImplicitGemm => conv3d_implicit_grad_weight(input, grad_out, dims),
+        _ => conv3d_grad_weight_direct(input, grad_out, dims),
+    }
+}
+
+/// Gradient of [`conv3d`] with respect to its input, direct kernel.
 ///
 /// `grad_out: [N, Cout, D, H, W]` → `[N, Cin, D, H, W]`.
-pub fn conv3d_grad_input(grad_out: &Tensor, weight: &Tensor, dims: Conv3dDims) -> Tensor {
+pub fn conv3d_grad_input_direct(grad_out: &Tensor, weight: &Tensor, dims: Conv3dDims) -> Tensor {
     let [sd, sh, sw] = dims.spatial;
     let [kd, kh, kw] = dims.kernel;
     let [pd, ph, pw] = dims.pad();
@@ -184,10 +207,10 @@ pub fn conv3d_grad_input(grad_out: &Tensor, weight: &Tensor, dims: Conv3dDims) -
     Tensor::from_vec(out, &[dims.n, dims.cin, sd, sh, sw])
 }
 
-/// Gradient of [`conv3d`] with respect to its weights.
+/// Gradient of [`conv3d`] with respect to its weights, direct kernel.
 ///
 /// Returns `[Cout, Cin, kd, kh, kw]`.
-pub fn conv3d_grad_weight(input: &Tensor, grad_out: &Tensor, dims: Conv3dDims) -> Tensor {
+pub fn conv3d_grad_weight_direct(input: &Tensor, grad_out: &Tensor, dims: Conv3dDims) -> Tensor {
     let [sd, sh, sw] = dims.spatial;
     let [kd, kh, kw] = dims.kernel;
     let [pd, ph, pw] = dims.pad();
@@ -235,17 +258,19 @@ pub fn conv3d_grad_weight(input: &Tensor, grad_out: &Tensor, dims: Conv3dDims) -
     Tensor::from_vec(out, &[dims.cout, dims.cin, kd, kh, kw])
 }
 
-/// Storage cap for the im2col patch matrix: shapes whose lowered matrix
-/// would exceed this fall back to the direct kernel in [`conv3d_auto`].
-const IM2COL_BYTE_CAP: usize = 512 << 20;
-
-/// Which forward lowering [`conv3d_auto`] picked for a given shape.
+/// Which lowering [`conv3d_auto`] (and the gradient dispatchers) picked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Conv3dPath {
     /// Direct sliding-window kernel ([`conv3d`]).
     Direct,
-    /// im2col patch matrix + blocked GEMM ([`conv3d_im2col`]).
+    /// im2col patch matrix + blocked GEMM ([`conv3d_im2col`]). Kept as a
+    /// reference lowering (bench/reftest baseline); the auto path no longer
+    /// selects it.
     Im2col,
+    /// Fused implicit-GEMM ([`conv3d_implicit_gemm`]): patch columns are
+    /// packed on the fly inside the GEMM's KC loop — the patch matrix is
+    /// never materialized.
+    ImplicitGemm,
 }
 
 impl Conv3dPath {
@@ -254,6 +279,7 @@ impl Conv3dPath {
         match self {
             Conv3dPath::Direct => "direct",
             Conv3dPath::Im2col => "im2col",
+            Conv3dPath::ImplicitGemm => "implicit_gemm",
         }
     }
 }
@@ -262,18 +288,17 @@ impl Conv3dPath {
 ///
 /// 1×1×1 kernels stay direct: their inner loop is already a dense
 /// channel-mixing GEMM over contiguous voxels, and lowering would only copy
-/// the input. Larger kernels go through im2col + blocked GEMM — the
+/// the input. Everything else goes through the fused implicit GEMM — the
 /// register-tiled micro-kernel wins as soon as the reduction depth
-/// `Cin·kd·kh·kw` is non-trivial — unless the patch matrix would exceed
-/// [`IM2COL_BYTE_CAP`], where the memory traffic (and the allocator) would
-/// eat the GEMM win.
+/// `Cin·kd·kh·kw` is non-trivial, and since patch columns are packed
+/// on the fly there is no materialized patch matrix to cap (the old
+/// im2col byte-cap fallback is gone with the im2col auto path).
 pub fn conv3d_path(dims: &Conv3dDims) -> Conv3dPath {
     let kvol: usize = dims.kernel.iter().product();
-    let lowered_bytes = dims.n * dims.vol() * dims.cin * kvol * std::mem::size_of::<f32>();
-    if kvol == 1 || lowered_bytes > IM2COL_BYTE_CAP {
+    if kvol == 1 {
         Conv3dPath::Direct
     } else {
-        Conv3dPath::Im2col
+        Conv3dPath::ImplicitGemm
     }
 }
 
@@ -284,7 +309,275 @@ pub fn conv3d_auto(input: &Tensor, weight: &Tensor) -> Tensor {
     match conv3d_path(&dims) {
         Conv3dPath::Direct => conv3d(input, weight),
         Conv3dPath::Im2col => conv3d_im2col(input, weight),
+        Conv3dPath::ImplicitGemm => conv3d_implicit_gemm(input, weight),
     }
+}
+
+/// Fills one span of the *implicit* patch matrix.
+///
+/// Patch element `(kidx, p)` is `x[n, ci, (d+zd-pd, h+zh-ph, w+zw-pw)]`
+/// (zero outside the input) for `kidx = (ci, zd, zh, zw)` and output voxel
+/// `p = (d, h, w)`. This writes elements `j0 .. j0+cols` of row `kidx` into
+/// `dst` at `stride` (stride 1 packs a forward B-panel row; stride `nr`
+/// packs a grad-weight B-panel column). The walk is segment-wise: each
+/// output row `(d, h)` contributes one contiguous `w`-run of `xin` plus
+/// zero-padding at the borders, so the common case is a memcpy.
+#[allow(clippy::too_many_arguments)]
+fn fill_patch_span(
+    dst: &mut [f32],
+    stride: usize,
+    xin: &[f32],
+    spatial: [usize; 3],
+    z: [usize; 3],
+    pad: [usize; 3],
+    j0: usize,
+    cols: usize,
+) {
+    let [sd, sh, sw] = spatial;
+    let [zd, zh, zw] = z;
+    let [pd, ph, pw] = pad;
+    let mut j = 0usize;
+    while j < cols {
+        let p = j0 + j;
+        let d = p / (sh * sw);
+        let rem = p % (sh * sw);
+        let h = rem / sw;
+        let w0 = rem % sw;
+        // Run to the end of this output row (or of the requested span).
+        let seg = (sw - w0).min(cols - j);
+        let id_ok = d + zd >= pd && d + zd < sd + pd;
+        let ih_ok = h + zh >= ph && h + zh < sh + ph;
+        let zero = |dst: &mut [f32], at: usize, len: usize| {
+            if stride == 1 {
+                dst[at..at + len].fill(0.0);
+            } else {
+                for jj in 0..len {
+                    dst[(at + jj) * stride] = 0.0;
+                }
+            }
+        };
+        if !(id_ok && ih_ok) {
+            zero(dst, j, seg);
+        } else {
+            let irow = ((d + zd - pd) * sh + (h + zh - ph)) * sw;
+            // In-bounds input width: iw = w + zw - pw must lie in [0, sw).
+            let lo = pw.saturating_sub(zw).clamp(w0, w0 + seg);
+            let hi = (sw + pw).saturating_sub(zw).min(sw).clamp(lo, w0 + seg);
+            zero(dst, j, lo - w0);
+            if stride == 1 {
+                dst[j + (lo - w0)..j + (hi - w0)]
+                    .copy_from_slice(&xin[irow + lo + zw - pw..irow + hi + zw - pw]);
+            } else {
+                for (jj, w) in (lo..hi).enumerate() {
+                    dst[(j + (lo - w0) + jj) * stride] = xin[irow + w + zw - pw];
+                }
+            }
+            zero(dst, j + (hi - w0), w0 + seg - hi);
+        }
+        j += seg;
+    }
+}
+
+/// Forward 3D convolution as a *fused implicit GEMM*: per batch item,
+/// `out[co, p] = W[co, :] · patch[:, p]` with `W: [Cout, Cin·kd·kh·kw]` in
+/// its native layout and the patch operand packed on the fly, one `KC×NC`
+/// block at a time, by [`fill_patch_span`] — the `[Cin·kvol, D·H·W]` patch
+/// matrix never exists in memory. The output lands directly in NCDHW (no
+/// transpose-back), and all scratch is pooled: steady-state calls do not
+/// allocate.
+///
+/// Numerics: each output element is the same `k`-ordered FMA chain (with
+/// the same `KC` depth splits) as [`conv3d_im2col`], so the two lowerings
+/// are bit-identical — pinned by tests here and in the reftest oracle.
+pub fn conv3d_implicit_gemm(input: &Tensor, weight: &Tensor) -> Tensor {
+    let dims = Conv3dDims::infer(input, weight);
+    let [sd, sh, sw] = dims.spatial;
+    let out = implicit_forward_into(input.data(), weight.data(), dims);
+    Tensor::from_vec(out, &[dims.n, dims.cout, sd, sh, sw])
+}
+
+/// Shared implicit-GEMM forward driver: `x: [n, cin, vol]` NCDHW, `w:
+/// [cout, cin·kvol]`, returns `[n, cout, vol]`. Also serves the
+/// grad-input pass (which is a forward conv against flipped weights).
+fn implicit_forward_into(x: &[f32], w: &[f32], dims: Conv3dDims) -> Vec<f32> {
+    use crate::gemm::{macro_block, pack_a, take_scratch_aligned, KC, NC};
+    let [kd, kh, kw] = dims.kernel;
+    let kvol = kd * kh * kw;
+    let vol = dims.vol();
+    let ksize = dims.cin * kvol;
+    let pad = dims.pad();
+    let kernel = crate::simd::active_kernel_for(dims.cout, vol);
+    let (mr, nr) = (kernel.mr, kernel.nr);
+    let mut out = workspace::take_vec_scratch(dims.n * dims.cout * vol);
+
+    // The packed weight block for each KC slice is identical across batch
+    // items and column slabs: pack all of A once, up front.
+    let a_panel_rows = dims.cout.div_ceil(mr) * mr;
+    let (mut a_buf, a_off) = take_scratch_aligned(a_panel_rows * ksize);
+    let mut a_blocks = Vec::new(); // (pc, range in a_buf)
+    {
+        let mut off = a_off;
+        for pc in (0..ksize).step_by(KC) {
+            let kb = KC.min(ksize - pc);
+            let len = a_panel_rows * kb;
+            pack_a(mr, &mut a_buf[off..off + len], w, ksize, 1, 0, dims.cout, pc, kb);
+            a_blocks.push((pc, off..off + len));
+            off += len;
+        }
+    }
+    let a_buf = &a_buf;
+    let a_blocks = &a_blocks;
+
+    let run_item = |n: usize, oslab: &mut [f32]| {
+        for jc in (0..vol).step_by(NC) {
+            let nb = NC.min(vol - jc);
+            let n_panels = nb.div_ceil(nr);
+            for (pc, a_range) in a_blocks.iter() {
+                let pc = *pc;
+                let kb = KC.min(ksize - pc);
+                let first = pc == 0;
+                let b_len = n_panels * nr * kb;
+                let (mut b_buf, b_off) = take_scratch_aligned(b_len);
+                let b_pack = &mut b_buf[b_off..b_off + b_len];
+                for (pj, panel) in b_pack.chunks_exact_mut(nr * kb).enumerate() {
+                    let j0 = jc + pj * nr;
+                    let cols = nr.min(nb - pj * nr);
+                    for (p, row) in panel.chunks_exact_mut(nr).enumerate() {
+                        let kidx = pc + p;
+                        let (ci, z) = (kidx / kvol, kidx % kvol);
+                        let zoff = [z / (kh * kw), (z / kw) % kh, z % kw];
+                        let xin = &x[(n * dims.cin + ci) * vol..][..vol];
+                        fill_patch_span(row, 1, xin, dims.spatial, zoff, pad, j0, cols);
+                        row[cols..].fill(0.0);
+                    }
+                }
+                macro_block(
+                    kernel,
+                    &a_buf[a_range.clone()],
+                    &b_buf[b_off..b_off + b_len],
+                    oslab,
+                    dims.cout,
+                    kb,
+                    nb,
+                    vol,
+                    jc,
+                    first,
+                );
+            }
+        }
+    };
+    let parallel = dims.n > 1
+        && dims.n * dims.cout * vol * ksize >= crate::gemm::PAR_FLOP_THRESHOLD
+        && crate::gemm::effective_threads() > 1;
+    if parallel {
+        out.par_chunks_mut(dims.cout * vol).enumerate().for_each(|(n, o)| run_item(n, o));
+    } else {
+        for (n, o) in out.chunks_mut(dims.cout * vol).enumerate() {
+            run_item(n, o);
+        }
+    }
+    out
+}
+
+/// Gradient of conv3d w.r.t. its input, as an implicit GEMM.
+///
+/// For stride-1 same-padding convolution with odd kernels, `∂L/∂x` is
+/// itself a same-padding convolution of `grad_out` against the weight with
+/// input/output channels swapped and every kernel axis flipped:
+/// `W'[ci, co, z] = W[co, ci, flip(z)]`. The flipped weight (a few KiB) is
+/// materialized once per call; the patch operand streams through
+/// [`fill_patch_span`] exactly like the forward pass.
+pub fn conv3d_implicit_grad_input(grad_out: &Tensor, weight: &Tensor, dims: Conv3dDims) -> Tensor {
+    let [sd, sh, sw] = dims.spatial;
+    let [kd, kh, kw] = dims.kernel;
+    let kvol = kd * kh * kw;
+    assert_eq!(grad_out.dims(), &[dims.n, dims.cout, sd, sh, sw]);
+    let w = weight.data();
+    let mut wf = workspace::take_vec_scratch(dims.cin * dims.cout * kvol);
+    for co in 0..dims.cout {
+        for ci in 0..dims.cin {
+            let src = &w[(co * dims.cin + ci) * kvol..][..kvol];
+            let dst = &mut wf[(ci * dims.cout + co) * kvol..][..kvol];
+            for (z, d) in dst.iter_mut().enumerate() {
+                *d = src[kvol - 1 - z];
+            }
+        }
+    }
+    let flipped = Conv3dDims { cin: dims.cout, cout: dims.cin, ..dims };
+    let out = implicit_forward_into(grad_out.data(), &wf, flipped);
+    drop(wf);
+    Tensor::from_vec(out, &[dims.n, dims.cin, sd, sh, sw])
+}
+
+/// Gradient of conv3d w.r.t. its weights, as an implicit GEMM.
+///
+/// Per batch item `n`, `∂L/∂W[co, kidx] += grad_out_n[co, :] ·
+/// patchᵀ_n[:, kidx]` — a `[Cout, vol] × [vol, Cin·kvol]` GEMM whose
+/// right-hand side is the *transposed* implicit patch matrix, packed
+/// column-wise by [`fill_patch_span`] with a write stride of `nr`. The
+/// depth dimension is the voxel count, so accumulation runs over both the
+/// `KC` voxel blocks and the batch (`first` only on the very first block).
+pub fn conv3d_implicit_grad_weight(input: &Tensor, grad_out: &Tensor, dims: Conv3dDims) -> Tensor {
+    use crate::gemm::{macro_block, pack_a, take_scratch_aligned, KC, NC};
+    let [sd, sh, sw] = dims.spatial;
+    let [kd, kh, kw] = dims.kernel;
+    let kvol = kd * kh * kw;
+    let vol = dims.vol();
+    let ksize = dims.cin * kvol;
+    let pad = dims.pad();
+    assert_eq!(grad_out.dims(), &[dims.n, dims.cout, sd, sh, sw]);
+    let x = input.data();
+    let g = grad_out.data();
+    let kernel = crate::simd::active_kernel_for(dims.cout, ksize);
+    let (mr, nr) = (kernel.mr, kernel.nr);
+    let mut out = workspace::take_vec_scratch(dims.cout * ksize);
+
+    for n in 0..dims.n {
+        let gn = &g[n * dims.cout * vol..][..dims.cout * vol];
+        for jc in (0..ksize).step_by(NC) {
+            let nb = NC.min(ksize - jc);
+            let n_panels = nb.div_ceil(nr);
+            for pc in (0..vol).step_by(KC) {
+                let kb = KC.min(vol - pc);
+                let first = n == 0 && pc == 0;
+                let b_len = n_panels * nr * kb;
+                let (mut b_buf, b_off) = take_scratch_aligned(b_len);
+                let b_pack = &mut b_buf[b_off..b_off + b_len];
+                for (pj, panel) in b_pack.chunks_exact_mut(nr * kb).enumerate() {
+                    let j0 = jc + pj * nr;
+                    let cols = nr.min(nb - pj * nr);
+                    if cols < nr {
+                        panel.fill(0.0); // edge panel: pad columns
+                    }
+                    for jj in 0..cols {
+                        let kidx = j0 + jj;
+                        let (ci, z) = (kidx / kvol, kidx % kvol);
+                        let zoff = [z / (kh * kw), (z / kw) % kh, z % kw];
+                        let xin = &x[(n * dims.cin + ci) * vol..][..vol];
+                        // Column jj of the panel, over kb depth (voxel) rows.
+                        fill_patch_span(&mut panel[jj..], nr, xin, dims.spatial, zoff, pad, pc, kb);
+                    }
+                }
+                let a_len = dims.cout.div_ceil(mr) * mr * kb;
+                let (mut a_buf, a_off) = take_scratch_aligned(a_len);
+                let a_pack = &mut a_buf[a_off..a_off + a_len];
+                pack_a(mr, a_pack, gn, vol, 1, 0, dims.cout, pc, kb);
+                macro_block(
+                    kernel,
+                    a_pack,
+                    &b_buf[b_off..b_off + b_len],
+                    &mut out,
+                    dims.cout,
+                    kb,
+                    nb,
+                    ksize,
+                    jc,
+                    first,
+                );
+            }
+        }
+    }
+    Tensor::from_vec(out, &[dims.cout, dims.cin, kd, kh, kw])
 }
 
 /// Forward 3D convolution via im2col + GEMM: lowers the input into a
@@ -649,20 +942,100 @@ mod tests {
         }
     }
 
-    /// The shape heuristic: pointwise kernels stay direct (im2col would
-    /// only copy), ordinary 3^3 kernels lower to im2col, and lowerings that
-    /// would exceed the scratch byte cap fall back to direct.
+    /// The shape heuristic: pointwise kernels stay direct (lowering would
+    /// only copy), everything else goes through the fused implicit GEMM —
+    /// including huge shapes, since nothing is materialized there is no
+    /// byte-cap fallback anymore.
     #[test]
     fn conv3d_path_heuristic() {
         let pointwise = Conv3dDims { n: 2, cin: 4, cout: 8, spatial: [4, 8, 8], kernel: [1, 1, 1] };
         assert!(matches!(conv3d_path(&pointwise), Conv3dPath::Direct));
         assert_eq!(conv3d_path(&pointwise).name(), "direct");
         let typical = Conv3dDims { n: 2, cin: 4, cout: 8, spatial: [4, 8, 8], kernel: [3, 3, 3] };
-        assert!(matches!(conv3d_path(&typical), Conv3dPath::Im2col));
-        assert_eq!(conv3d_path(&typical).name(), "im2col");
+        assert!(matches!(conv3d_path(&typical), Conv3dPath::ImplicitGemm));
+        assert_eq!(conv3d_path(&typical).name(), "implicit_gemm");
         let huge =
             Conv3dDims { n: 64, cin: 256, cout: 256, spatial: [64, 256, 256], kernel: [3, 3, 3] };
-        assert!(matches!(conv3d_path(&huge), Conv3dPath::Direct));
+        assert!(matches!(conv3d_path(&huge), Conv3dPath::ImplicitGemm));
+        assert_eq!(Conv3dPath::Im2col.name(), "im2col");
+    }
+
+    /// The fused implicit GEMM must be *bit-identical* to the materialized
+    /// im2col lowering: both walk the same k-ordered FMA chain with the same
+    /// KC depth splits, only the packing differs.
+    #[test]
+    fn implicit_gemm_is_bit_identical_to_im2col() {
+        let mut rng = ChaCha8Rng::seed_from_u64(79);
+        for &(k, cin, cout, sp) in &[
+            ([3usize, 3, 3], 2usize, 4usize, [3usize, 4, 5]),
+            ([1, 3, 3], 4, 2, [3, 4, 5]),
+            ([3, 1, 1], 1, 1, [2, 2, 2]),
+            // cin*kvol = 10*27 = 270 > KC: exercises the depth split.
+            ([3, 3, 3], 10, 3, [2, 5, 7]),
+            // vol > NC: exercises the column-slab loop.
+            ([3, 3, 3], 2, 3, [4, 12, 13]),
+        ] {
+            let input = Tensor::randn(&[2, cin, sp[0], sp[1], sp[2]], 1.0, &mut rng);
+            let weight = Tensor::randn(&[cout, cin, k[0], k[1], k[2]], 1.0, &mut rng);
+            let lowered = conv3d_im2col(&input, &weight);
+            let fused = conv3d_implicit_gemm(&input, &weight);
+            assert_eq!(lowered.dims(), fused.dims());
+            for (i, (a, b)) in lowered.data().iter().zip(fused.data()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "elem {i}: {a} vs {b} (k={k:?})");
+            }
+        }
+    }
+
+    /// Implicit-GEMM gradients agree with the direct gradient kernels
+    /// (different summation order, so tolerance rather than bits).
+    #[test]
+    fn implicit_gradients_match_direct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(80);
+        for &(k, cin, cout, sp) in &[
+            ([3usize, 3, 3], 2usize, 4usize, [3usize, 4, 5]),
+            ([1, 3, 3], 4, 2, [3, 4, 5]),
+            ([3, 3, 3], 10, 3, [2, 5, 7]),
+            ([3, 3, 3], 2, 3, [4, 12, 13]),
+        ] {
+            let input = Tensor::randn(&[2, cin, sp[0], sp[1], sp[2]], 1.0, &mut rng);
+            let weight = Tensor::randn(&[cout, cin, k[0], k[1], k[2]], 1.0, &mut rng);
+            let dims = Conv3dDims::infer(&input, &weight);
+            let gout = Tensor::randn(&[2, cout, sp[0], sp[1], sp[2]], 1.0, &mut rng);
+            assert_close(
+                &conv3d_implicit_grad_input(&gout, &weight, dims),
+                &conv3d_grad_input_direct(&gout, &weight, dims),
+                1e-4,
+            );
+            assert_close(
+                &conv3d_implicit_grad_weight(&input, &gout, dims),
+                &conv3d_grad_weight_direct(&input, &gout, dims),
+                1e-4,
+            );
+        }
+    }
+
+    /// NaN and inf flow through the implicit path untouched: the on-the-fly
+    /// packer must not skip or zero non-finite input values.
+    #[test]
+    fn implicit_gemm_propagates_nan_and_inf() {
+        let mut rng = ChaCha8Rng::seed_from_u64(81);
+        let mut input = Tensor::randn(&[1, 2, 3, 4, 5], 1.0, &mut rng);
+        input.data_mut()[7] = f32::NAN;
+        input.data_mut()[31] = f32::INFINITY;
+        let weight = Tensor::randn(&[3, 2, 3, 3, 3], 1.0, &mut rng);
+        let fused = conv3d_implicit_gemm(&input, &weight);
+        let lowered = conv3d_im2col(&input, &weight);
+        for (i, (a, b)) in fused.data().iter().zip(lowered.data()).enumerate() {
+            assert_eq!(
+                a.is_nan(),
+                b.is_nan(),
+                "elem {i}: NaN split between lowerings ({a} vs {b})"
+            );
+            if !a.is_nan() {
+                assert_eq!(a.to_bits(), b.to_bits(), "elem {i}: {a} vs {b}");
+            }
+        }
+        assert!(fused.data().iter().any(|v| v.is_nan()), "planted NaN vanished");
     }
 
     /// IEEE semantics through the conv kernels: a zero weight against an

@@ -1,4 +1,4 @@
-//! Cache-blocked, register-tiled GEMM micro-kernel.
+//! Cache-blocked, register-tiled GEMM driver.
 //!
 //! All three transpose variants exposed by [`crate::linalg`] (`NN`, `TN`,
 //! `NT`) lower onto the single [`gemm`] entry point here, which implements
@@ -7,46 +7,48 @@
 //! ```text
 //! for jc in 0..n step NC            // L3: column slab of B/C
 //!   for pc in 0..k step KC          // L2: pack B[pc..,jc..] into b_pack
-//!     pack_b  (KC × NC, NR-panel major, zero-padded edges)
+//!     pack_b  (KC × NC, nr-panel major, zero-padded edges)
 //!     for ic in 0..m step MC        // rayon-parallel over C row blocks
-//!       pack_a (MC × KC, MR-panel major, zero-padded edges)
-//!       for jr in 0..NC step NR     // micro-tiles
-//!         for ir in 0..MC step MR
-//!           micro_kernel: acc[MR×NR] += a_panel ⊗ b_panel   (registers)
+//!       pack_a (MC × KC, mr-panel major, zero-padded edges)
+//!       for jr in 0..NC step nr     // micro-tiles
+//!         for ir in 0..MC step mr
+//!           micro-kernel: acc[mr×nr] += a_panel ⊗ b_panel   (registers)
 //! ```
 //!
-//! Packing copies each `KC`-deep panel into contiguous, aligned storage so
-//! the micro-kernel's inner loop reads both operands sequentially: `a_pack`
-//! stores MR-row panels column-major (`a_pack[p*MR + i]`), `b_pack` stores
-//! NR-column panels row-major (`b_pack[p*NR + j]`). Transposition is folded
-//! into the packing strides, so the micro-kernel itself is layout-agnostic.
-//! Edge panels are zero-padded: the micro-kernel always computes a full
-//! MR×NR tile (branch-free inner loop — no zero-skip shortcuts, so
-//! `0·∞ = NaN` propagates correctly) and the write-back masks the padding.
+//! The micro-kernel itself — tile shape `(mr, nr)` and the code that holds
+//! the accumulator tile in vector registers — lives in [`crate::simd`] and
+//! is selected at runtime (`AVX-512 8×48` → `AVX2+FMA 6×16` → portable
+//! `6×16`). This driver is tile-shape agnostic: packing, edge masking and
+//! write-back are all phrased in the active kernel's `mr`/`nr`.
 //!
-//! The accumulator tile lives in registers: with the default `MR=8, NR=16`
-//! an AVX2 build keeps the 8×16 f32 tile in 16 ymm registers and performs
-//! `MR·NR` multiply-adds per `MR+NR` loads, where the old `ikj` row loop did
-//! one multiply-add per two loads and a store. Packing buffers come from the
-//! [`crate::workspace`] pool, so steady-state GEMM calls do not allocate.
+//! Packing copies each `KC`-deep panel into contiguous storage so the
+//! micro-kernel's inner loop reads both operands sequentially: `a_pack`
+//! stores mr-row panels column-major (`a_pack[p*mr + i]`), `b_pack` stores
+//! nr-column panels row-major (`b_pack[p*nr + j]`). Transposition is folded
+//! into the packing strides, so the micro-kernel never sees it. Edge panels
+//! are zero-padded: the micro-kernel always computes a full mr×nr tile
+//! (branch-free inner loop — no zero-skip shortcuts, so `0·∞ = NaN`
+//! propagates correctly) and the write-back masks the padding. Packing
+//! buffers come from the [`crate::workspace`] pool, so steady-state GEMM
+//! calls do not allocate.
 //!
 //! `C` is *overwritten* on the first `pc` iteration and accumulated into on
-//! subsequent ones, so callers never need to pre-zero the output.
+//! subsequent ones, so callers never need to pre-zero the output. The `KC`
+//! depth split is part of the numerical contract: every backend shares it,
+//! which (together with every tier being a pure FMA chain in `k` order) is
+//! why switching backends never changes a single output bit.
 
+use crate::simd::{self, Kernel};
 use crate::workspace;
 use rayon::prelude::*;
 
-/// Micro-tile rows: each micro-kernel invocation produces MR×NR outputs.
-///
-/// 6×16 keeps the accumulator tile plus one packed-B row plus one broadcast
-/// inside the 16-register AVX2 file (6·2 + 2 + 1 = 15 ymm): measured on the
-/// reference host, MR=6 doubles throughput over an 8×16 tile, which spills.
-pub const MR: usize = 6;
-/// Micro-tile columns (two 8-lane vectors per row).
-pub const NR: usize = 16;
+pub use crate::simd::{kernel_backend, set_backend_override, KernelBackend};
+
 /// Row-block size: an MC×KC packed A block should sit in L2.
 pub const MC: usize = 64;
-/// Depth-block size: a KC×NR B panel should sit in L1 (KC·NR·4 B = 16 KiB).
+/// Depth-block size: a KC-deep B panel should stream from L1/L2
+/// (KC·nr·4 B = 16 KiB at nr=16, 48 KiB at nr=48). Shared by every backend:
+/// it fixes where accumulator chains are split, i.e. the rounding.
 pub const KC: usize = 256;
 /// Column-slab size: a KC×NC packed B slab should sit in L2/L3.
 pub const NC: usize = 512;
@@ -54,6 +56,17 @@ pub const NC: usize = 512;
 /// Threshold (in multiply-adds) below which we stay single-threaded: tiny
 /// GEMMs are faster without the fork-join overhead.
 pub const PAR_FLOP_THRESHOLD: usize = 64 * 1024;
+
+/// Takes a pooled scratch buffer whose payload starts on a 64-byte (cache
+/// line) boundary, returning the guard plus the element offset of the
+/// payload. Panel alignment matters: a zmm load that straddles a cache line
+/// costs two L1 accesses, and the pool hands back arbitrarily aligned `Vec`
+/// storage.
+pub(crate) fn take_scratch_aligned(len: usize) -> (workspace::WorkspaceGuard, usize) {
+    let buf = workspace::take_scratch(len + 15);
+    let off = buf.as_ptr().align_offset(64).min(15);
+    (buf, off)
+}
 
 /// Storage layout of a GEMM operand, folded into the packing strides.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +112,7 @@ pub fn gemm(
         c.fill(0.0);
         return;
     }
+    let kernel = simd::active_kernel_for(m, n);
     // Element (i, p) of op(A) is a[i*a_rs + p*a_cs]; (p, j) of op(B) is
     // b[p*b_rs + j*b_cs]. Transposition is entirely these four strides.
     let (a_rs, a_cs) = match a_layout {
@@ -113,18 +127,22 @@ pub fn gemm(
 
     for jc in (0..n).step_by(NC) {
         let nb = NC.min(n - jc);
-        let n_panels = nb.div_ceil(NR);
+        let n_panels = nb.div_ceil(kernel.nr);
         for pc in (0..k).step_by(KC) {
             let kb = KC.min(k - pc);
             let first = pc == 0;
-            let mut b_pack = workspace::take_scratch(n_panels * NR * kb);
-            pack_b(&mut b_pack, b, b_rs, b_cs, pc, kb, jc, nb);
+            let b_len = n_panels * kernel.nr * kb;
+            let (mut b_buf, b_off) = take_scratch_aligned(b_len);
+            let b_pack = &mut b_buf[b_off..b_off + b_len];
+            pack_b(kernel.nr, b_pack, b, b_rs, b_cs, pc, kb, jc, nb);
+            let b_pack = &b_buf[b_off..b_off + b_len];
             let run_block = |i0: usize, c_block: &mut [f32]| {
                 let mb = MC.min(m - i0);
-                let m_panels = mb.div_ceil(MR);
-                let mut a_pack = workspace::take_scratch(m_panels * MR * kb);
-                pack_a(&mut a_pack, a, a_rs, a_cs, i0, mb, pc, kb);
-                macro_block(&a_pack, &b_pack, c_block, mb, kb, nb, n, jc, first);
+                let a_len = mb.div_ceil(kernel.mr) * kernel.mr * kb;
+                let (mut a_buf, a_off) = take_scratch_aligned(a_len);
+                let a_pack = &mut a_buf[a_off..a_off + a_len];
+                pack_a(kernel.mr, a_pack, a, a_rs, a_cs, i0, mb, pc, kb);
+                macro_block(kernel, a_pack, b_pack, c_block, mb, kb, nb, n, jc, first);
             };
             if parallel {
                 c.par_chunks_mut(MC * n)
@@ -140,10 +158,11 @@ pub fn gemm(
 }
 
 /// Packs an `mb × kb` block of op(A) (rows `i0..`, depth `p0..`) into
-/// MR-row panels stored column-major within the panel: panel `pi` holds rows
-/// `i0 + pi*MR ..` at `dst[pi*MR*kb + p*MR + i]`. Rows past `mb` are zero.
+/// mr-row panels stored column-major within the panel: panel `pi` holds rows
+/// `i0 + pi*mr ..` at `dst[pi*mr*kb + p*mr + i]`. Rows past `mb` are zero.
 #[allow(clippy::too_many_arguments)]
-fn pack_a(
+pub(crate) fn pack_a(
+    mr: usize,
     dst: &mut [f32],
     src: &[f32],
     rs: usize,
@@ -153,24 +172,49 @@ fn pack_a(
     p0: usize,
     kb: usize,
 ) {
-    for (pi, panel) in dst.chunks_exact_mut(MR * kb).enumerate() {
-        let i = pi * MR;
-        let rows = MR.min(mb - i);
-        for (p, col) in panel.chunks_exact_mut(MR).enumerate() {
-            let base = (p0 + p) * cs + (i0 + i) * rs;
-            for (ii, d) in col.iter_mut().enumerate() {
-                *d = if ii < rows { src[base + ii * rs] } else { 0.0 };
+    for (pi, panel) in dst.chunks_exact_mut(mr * kb).enumerate() {
+        let i = pi * mr;
+        let rows = mr.min(mb - i);
+        if rs == 1 {
+            // op(A) columns are contiguous in src (A stored transposed):
+            // each packed column is a straight memcpy.
+            for (p, col) in panel.chunks_exact_mut(mr).enumerate() {
+                let base = (p0 + p) * cs + i0 + i;
+                col[..rows].copy_from_slice(&src[base..base + rows]);
+                col[rows..].fill(0.0);
+            }
+        } else if cs == 1 {
+            // op(A) rows are contiguous in src: read each row once and
+            // scatter it across the column-major panel (contiguous reads
+            // beat contiguous writes — the rows come straight from RAM,
+            // the panel is cache-resident).
+            if rows < mr {
+                panel.fill(0.0);
+            }
+            for ii in 0..rows {
+                let srow = &src[(i0 + i + ii) * rs + p0..][..kb];
+                for (p, &v) in srow.iter().enumerate() {
+                    panel[p * mr + ii] = v;
+                }
+            }
+        } else {
+            for (p, col) in panel.chunks_exact_mut(mr).enumerate() {
+                let base = (p0 + p) * cs + (i0 + i) * rs;
+                for (ii, d) in col.iter_mut().enumerate() {
+                    *d = if ii < rows { src[base + ii * rs] } else { 0.0 };
+                }
             }
         }
     }
 }
 
 /// Packs a `kb × nb` block of op(B) (depth `p0..`, cols `j0..`) into
-/// NR-column panels stored row-major within the panel: panel `pj` holds
-/// columns `j0 + pj*NR ..` at `dst[pj*NR*kb + p*NR + j]`. Columns past `nb`
+/// nr-column panels stored row-major within the panel: panel `pj` holds
+/// columns `j0 + pj*nr ..` at `dst[pj*nr*kb + p*nr + j]`. Columns past `nb`
 /// are zero.
 #[allow(clippy::too_many_arguments)]
-fn pack_b(
+pub(crate) fn pack_b(
+    nr: usize,
     dst: &mut [f32],
     src: &[f32],
     rs: usize,
@@ -180,13 +224,24 @@ fn pack_b(
     j0: usize,
     nb: usize,
 ) {
-    for (pj, panel) in dst.chunks_exact_mut(NR * kb).enumerate() {
-        let j = pj * NR;
-        let cols = NR.min(nb - j);
-        for (p, row) in panel.chunks_exact_mut(NR).enumerate() {
-            let base = (p0 + p) * rs + (j0 + j) * cs;
-            for (jj, d) in row.iter_mut().enumerate() {
-                *d = if jj < cols { src[base + jj * cs] } else { 0.0 };
+    for (pj, panel) in dst.chunks_exact_mut(nr * kb).enumerate() {
+        let j = pj * nr;
+        let cols = nr.min(nb - j);
+        if cs == 1 {
+            // op(B) rows are contiguous in src: each packed row is a
+            // straight memcpy — this is the hot pack (nb ≥ mb in every
+            // GEMM this crate issues) and it must not run scalar.
+            for (p, row) in panel.chunks_exact_mut(nr).enumerate() {
+                let base = (p0 + p) * rs + j0 + j;
+                row[..cols].copy_from_slice(&src[base..base + cols]);
+                row[cols..].fill(0.0);
+            }
+        } else {
+            for (p, row) in panel.chunks_exact_mut(nr).enumerate() {
+                let base = (p0 + p) * rs + (j0 + j) * cs;
+                for (jj, d) in row.iter_mut().enumerate() {
+                    *d = if jj < cols { src[base + jj * cs] } else { 0.0 };
+                }
             }
         }
     }
@@ -196,7 +251,8 @@ fn pack_b(
 /// `kb × nb` B slab, writing the `mb × nb` result into `c_block` (whose rows
 /// are full C rows of width `row_stride`, starting at column `jc`).
 #[allow(clippy::too_many_arguments)]
-fn macro_block(
+pub(crate) fn macro_block(
+    kernel: &Kernel,
     a_pack: &[f32],
     b_pack: &[f32],
     c_block: &mut [f32],
@@ -207,16 +263,26 @@ fn macro_block(
     jc: usize,
     first: bool,
 ) {
-    for (pi, a_panel) in a_pack.chunks_exact(MR * kb).enumerate() {
-        let i = pi * MR;
-        let rows = MR.min(mb - i);
-        for (pj, b_panel) in b_pack.chunks_exact(NR * kb).enumerate() {
-            let j = pj * NR;
-            let cols = NR.min(nb - j);
-            let acc = micro_kernel(kb, a_panel, b_panel);
+    let (mr, nr) = (kernel.mr, kernel.nr);
+    // Cache-line aligned accumulator tile so the micro-kernel's stores never
+    // straddle lines.
+    #[repr(align(64))]
+    struct AccTile([f32; simd::MAX_MR * simd::MAX_NR]);
+    let mut acc = AccTile([0.0; simd::MAX_MR * simd::MAX_NR]);
+    let acc = &mut acc.0[..mr * nr];
+    // b-panel outer (BLIS order): one nr-wide B panel (up to 48 KiB at
+    // KC=256) stays hot in L1/L2 while the much smaller mr-row A panels
+    // stream past it.
+    for (pj, b_panel) in b_pack.chunks_exact(nr * kb).enumerate() {
+        let j = pj * nr;
+        let cols = nr.min(nb - j);
+        for (pi, a_panel) in a_pack.chunks_exact(mr * kb).enumerate() {
+            let i = pi * mr;
+            let rows = mr.min(mb - i);
+            (kernel.micro)(kb, a_panel, b_panel, acc);
             // Write-back masks the zero-padded lanes of edge tiles.
             for ii in 0..rows {
-                let row = &acc[ii][..cols];
+                let row = &acc[ii * nr..][..cols];
                 let dst = &mut c_block[(i + ii) * row_stride + jc + j..][..cols];
                 if first {
                     dst.copy_from_slice(row);
@@ -228,78 +294,6 @@ fn macro_block(
             }
         }
     }
-}
-
-/// SIMD lane count the micro-kernel is phrased in: operations on `[f32; 8]`
-/// in straight-line code reliably fuse into single 256-bit AVX2 ops (and
-/// degrade gracefully to two SSE ops on baseline x86-64).
-const LANES: usize = 8;
-/// Vectors per micro-tile row.
-const NV: usize = NR / LANES;
-
-/// Eight f32 lanes updated in lock-step. This is not `std::simd` (stable
-/// toolchain) — it is a plain array whose fully-unrolled element ops LLVM's
-/// SLP vectorizer folds into one vector instruction each.
-#[derive(Clone, Copy)]
-struct V8([f32; LANES]);
-
-impl V8 {
-    const ZERO: V8 = V8([0.0; LANES]);
-
-    #[inline(always)]
-    fn splat(x: f32) -> V8 {
-        V8([x; LANES])
-    }
-
-    #[inline(always)]
-    fn load(s: &[f32]) -> V8 {
-        V8(s[..LANES].try_into().unwrap())
-    }
-
-    /// `self + a·b`, lowered to a single FMA where the target has one.
-    /// Written as an indexed loop on purpose: this exact shape is what the
-    /// SLP vectorizer recognizes (iterator chains here have regressed to
-    /// scalar code), hence the lint allowance.
-    #[allow(clippy::needless_range_loop)]
-    #[inline(always)]
-    fn fma(self, a: V8, b: V8) -> V8 {
-        let mut o = self.0;
-        for l in 0..LANES {
-            o[l] = a.0[l].mul_add(b.0[l], o[l]);
-        }
-        V8(o)
-    }
-}
-
-/// The register-tiled heart: one MR×NR f32 tile accumulated over `kb`
-/// rank-one updates. Both panels are contiguous and zero-padded, so the
-/// loop body is branch-free; the accumulator tile (MR·NV [`V8`]s) stays in
-/// vector registers across the whole depth loop, giving `MR·NR`
-/// multiply-adds per `MR + NR` loads.
-#[inline(always)]
-fn micro_kernel(kb: usize, a_panel: &[f32], b_panel: &[f32]) -> [[f32; NR]; MR] {
-    debug_assert_eq!(a_panel.len(), MR * kb);
-    debug_assert_eq!(b_panel.len(), NR * kb);
-    let mut acc = [[V8::ZERO; NV]; MR];
-    for (av, bv) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
-        let mut b = [V8::ZERO; NV];
-        for v in 0..NV {
-            b[v] = V8::load(&bv[v * LANES..]);
-        }
-        for i in 0..MR {
-            let a = V8::splat(av[i]);
-            for v in 0..NV {
-                acc[i][v] = acc[i][v].fma(a, b[v]);
-            }
-        }
-    }
-    let mut out = [[0.0f32; NR]; MR];
-    for i in 0..MR {
-        for v in 0..NV {
-            out[i][v * LANES..(v + 1) * LANES].copy_from_slice(&acc[i][v].0);
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -345,10 +339,17 @@ mod tests {
 
     #[test]
     fn all_layouts_match_reference_on_awkward_shapes() {
-        // Shapes straddle every MR/NR/MC/KC edge case.
-        for &(m, k, n) in
-            &[(1, 1, 1), (7, 3, 5), (8, 16, 16), (9, 17, 33), (65, 70, 13), (70, 257, 70)]
-        {
+        // Shapes straddle every mr/nr/MC/KC edge case of every backend
+        // (6/8-row panels, 16/48-column panels).
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (7, 3, 5),
+            (8, 16, 16),
+            (9, 17, 33),
+            (9, 70, 49),
+            (65, 70, 13),
+            (70, 257, 70),
+        ] {
             let a = fill(m * k, (m * 31 + k) as u32);
             let b = fill(k * n, (k * 57 + n) as u32);
             let want = reference(m, k, n, &a, &b);
@@ -386,5 +387,150 @@ mod tests {
         let mut c = vec![5.0f32; 6];
         gemm(2, 0, 3, &[], MatLayout::Normal, &[], MatLayout::Normal, &mut c);
         assert!(c.iter().all(|&v| v == 0.0));
+    }
+
+    /// Adversarial-ish fill for the dispatch-seam bit-identity tests:
+    /// subnormals, signed zeros, huge/tiny magnitudes and near-cancelling
+    /// neighbors — but no NaN/inf, whose *payload* propagation through a
+    /// libm `fma` on generic codegen is not bit-pinned (the reftest oracle
+    /// covers NaN/inf with payload-insensitive comparison).
+    fn adversarial_finite(len: usize, seed: u32) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(747796405).wrapping_add(1);
+        let mut out: Vec<f32> = Vec::with_capacity(len);
+        for _ in 0..len {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            let roll = s >> 28;
+            let x = match roll {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f32::from_bits(1 + (s >> 8) % 100), // subnormal
+                3 => 1.0e30 * (((s >> 8) % 7) as f32 - 3.0),
+                4 => 1.0e-30 * (((s >> 8) % 7) as f32 - 3.0),
+                5 => match out.last() {
+                    Some(&p) if p.is_finite() && p != 0.0 => {
+                        -f32::from_bits(p.to_bits().wrapping_add(s >> 30))
+                    }
+                    _ => -1.0,
+                },
+                _ => {
+                    let e = ((s >> 8) % 41) as i32 - 20;
+                    let m = ((s >> 13) as i32 % 255 - 127) as f32 / 64.0;
+                    m * (2.0f32).powi(e)
+                }
+            };
+            out.push(x);
+        }
+        out
+    }
+
+    /// Perf probe (not a correctness test): times each available backend at
+    /// 256³ and the raw micro-kernel in isolation. Run with
+    /// `cargo test -p mfn-tensor --release -- --ignored perf --nocapture`.
+    #[test]
+    #[ignore]
+    fn perf_probe_backends() {
+        use std::time::Instant;
+        let detected = {
+            set_backend_override(None);
+            kernel_backend()
+        };
+        let (m, k, n) = (256, 256, 256);
+        let a = fill(m * k, 1);
+        let b = fill(k * n, 2);
+        let mut c = vec![0.0f32; m * n];
+        for tier in [KernelBackend::Portable, KernelBackend::Avx2Fma, KernelBackend::Avx512] {
+            if tier < detected {
+                continue;
+            }
+            set_backend_override(Some(tier));
+            let kern = crate::simd::active_kernel();
+            // raw micro-kernel: one panel pair resident in cache, panels
+            // cache-line aligned exactly as the gemm driver guarantees
+            let kb = KC;
+            let aligned = |len: usize, seed: u32| {
+                let mut v = vec![0.0f32; len + 15];
+                let off = v.as_ptr().align_offset(64).min(15);
+                v[off..off + len].copy_from_slice(&fill(len, seed));
+                (v, off)
+            };
+            let (ap, ao) = aligned(kern.mr * kb, 3);
+            let (bp, bo) = aligned(kern.nr * kb, 4);
+            let mut acc = vec![0.0f32; kern.mr * kern.nr];
+            let reps = 40_000;
+            let mut best = f64::MAX;
+            for _ in 0..3 {
+                let t = Instant::now();
+                for _ in 0..reps {
+                    (kern.micro)(
+                        kb,
+                        &ap[ao..ao + kern.mr * kb],
+                        &bp[bo..bo + kern.nr * kb],
+                        &mut acc,
+                    );
+                }
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            let micro_gflops = (2 * kern.mr * kern.nr * kb * reps) as f64 / best / 1e9;
+            // full 256^3 gemm
+            let mut best = f64::MAX;
+            for _ in 0..5 {
+                let t = Instant::now();
+                gemm(m, k, n, &a, MatLayout::Normal, &b, MatLayout::Normal, &mut c);
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            let gemm_gflops = (2 * m * k * n) as f64 / best / 1e9;
+            println!(
+                "{:<9} micro {micro_gflops:7.1} GFLOP/s   gemm256 {gemm_gflops:7.1} GFLOP/s",
+                tier.name()
+            );
+        }
+        set_backend_override(None);
+    }
+
+    /// The dispatch seam is invisible: the intrinsics backends and the
+    /// portable kernel produce bit-identical C on tile-unaligned shapes
+    /// with adversarial inputs, across every layout.
+    #[test]
+    fn backends_are_bit_identical_on_unaligned_shapes() {
+        let detected = {
+            set_backend_override(None);
+            kernel_backend()
+        };
+        // Shapes chosen to straddle both tile geometries (6/16 and 8/48)
+        // plus the KC=256 depth split.
+        let shapes = [(1, 1, 1), (5, 3, 17), (6, 16, 16), (8, 48, 48), (9, 300, 49), (61, 70, 95)];
+        for (si, &(m, k, n)) in shapes.iter().enumerate() {
+            let a = adversarial_finite(m * k, 11 + si as u32);
+            let b = adversarial_finite(k * n, 91 + si as u32);
+            for (a_layout, b_layout) in [
+                (MatLayout::Normal, MatLayout::Normal),
+                (MatLayout::Transposed, MatLayout::Normal),
+                (MatLayout::Normal, MatLayout::Transposed),
+            ] {
+                let run = |backend: Option<KernelBackend>| {
+                    set_backend_override(backend);
+                    let mut c = vec![f32::NAN; m * n];
+                    gemm(m, k, n, &a, a_layout, &b, b_layout, &mut c);
+                    set_backend_override(None);
+                    c
+                };
+                let portable = run(Some(KernelBackend::Portable));
+                for tier in [KernelBackend::Avx2Fma, KernelBackend::Avx512] {
+                    if tier < detected {
+                        continue; // host can't execute this tier
+                    }
+                    let fast = run(Some(tier));
+                    for (i, (&got, &want)) in fast.iter().zip(&portable).enumerate() {
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "{} vs portable diverged: {m}x{k}x{n} {a_layout:?}/{b_layout:?} \
+                             elem {i}: {got:e} vs {want:e}",
+                            tier.name()
+                        );
+                    }
+                }
+            }
+        }
     }
 }

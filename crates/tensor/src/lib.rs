@@ -19,18 +19,21 @@
 //! The `mfn-autodiff` crate wraps these kernels with a reverse-mode tape;
 //! this crate itself is AD-agnostic.
 
+pub mod bf16;
 pub mod conv;
 pub mod gemm;
 pub mod linalg;
 pub mod rowops;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 pub mod workspace;
 
 pub use conv::{
-    conv3d, conv3d_auto, conv3d_grad_input, conv3d_grad_weight, conv3d_im2col, conv3d_path,
-    maxpool3d, maxpool3d_backward, upsample_nearest3d, upsample_nearest3d_backward, Conv3dDims,
-    Conv3dPath,
+    conv3d, conv3d_auto, conv3d_grad_input, conv3d_grad_input_direct, conv3d_grad_weight,
+    conv3d_grad_weight_direct, conv3d_im2col, conv3d_implicit_gemm, conv3d_implicit_grad_input,
+    conv3d_implicit_grad_weight, conv3d_path, maxpool3d, maxpool3d_backward, upsample_nearest3d,
+    upsample_nearest3d_backward, Conv3dDims, Conv3dPath,
 };
 pub use gemm::{effective_threads, gemm, MatLayout, PAR_FLOP_THRESHOLD};
 pub use linalg::{matmul, matmul_nt, matmul_tn, matvec};
@@ -38,4 +41,5 @@ pub use rowops::{
     add_bias_channels, add_bias_rows, blend_rows, channel_affine, gather_concat_rows, gather_rows,
 };
 pub use shape::Shape;
+pub use simd::{kernel_backend, set_backend_override, KernelBackend};
 pub use tensor::Tensor;
