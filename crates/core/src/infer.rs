@@ -148,6 +148,30 @@ impl FrozenModel {
         let plan = plan_queries(self.grid_dims(), queries);
         self.decoder.decode_nograd(&self.store, latent, &plan)
     }
+
+    /// Test-time physics refinement (see [`crate::refine`]): budgeted gradient
+    /// descent on a *copy* of `latent` minimizing the PDE equation residual at
+    /// `points`, weights frozen. The gradient tape always runs the exact f32
+    /// decoder — a quantized serving decoder never participates. Returns the
+    /// refined latent and a step/residual report; the input tensor is never
+    /// mutated.
+    pub fn refine_latent(
+        &self,
+        latent: &Tensor,
+        points: &[(usize, [f32; 3])],
+        settings: &crate::refine::RefineSettings,
+        budget: &crate::refine::RefineBudget,
+    ) -> (Tensor, crate::refine::RefineReport) {
+        crate::refine::refine_latent(
+            &self.store,
+            &self.decoder,
+            latent,
+            self.grid_dims(),
+            points,
+            settings,
+            budget,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ pub mod eval;
 pub mod infer;
 pub mod losses;
 pub mod model;
+pub mod refine;
 pub mod rng;
 pub mod trainer;
 pub mod unet;
@@ -39,8 +40,12 @@ pub use config::{MfnConfig, TrainConfig};
 pub use decoder::{plan_queries, ContinuousDecoder, QuantizedDecoder, QueryPlan, VERTICES};
 pub use eval::{evaluate_pair, metric_series, table_header, EvalRow};
 pub use infer::FrozenModel;
-pub use losses::{equation_loss, prediction_loss, ChannelStats, ConstraintSet, RbcParamsF32};
+pub use losses::{
+    equation_loss, equation_loss_at_points, prediction_loss, ChannelStats, ConstraintSet,
+    RbcParamsF32,
+};
 pub use model::{covering_origins, extract_patch, CoveringOrigins, MeshfreeFlowNet, StepLosses};
+pub use refine::{refine_latent, RefineBudget, RefineReport, RefineSettings};
 pub use rng::{RngState, SampleRng};
 pub use trainer::{
     log_kernel_config, log_pool_stats, BaselineTrainer, Corpus, EpochRecord, Trainer,

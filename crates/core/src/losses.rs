@@ -167,35 +167,76 @@ pub fn equation_loss(
     h_local: f32,
     constraints: ConstraintSet,
 ) -> Var {
-    assert!(h_local > 0.0 && h_local < 0.5, "stencil step out of range");
-    assert!(constraints.count() > 0, "equation loss needs at least one constraint");
     let extent = samples.first().expect("non-empty batch").extent_phys;
     for s in samples {
         let same = s.extent_phys.iter().zip(&extent).all(|(a, b)| (a - b).abs() < 1e-9);
         assert!(same, "equation loss requires a uniform patch extent per batch");
     }
+    let points: Vec<(usize, [f32; 3])> = samples
+        .iter()
+        .enumerate()
+        .flat_map(|(b, s)| s.query_local.iter().map(move |&q| (b, q)))
+        .collect();
+    equation_loss_at_points(
+        g,
+        store,
+        decoder,
+        latent,
+        &points,
+        grid_dims,
+        extent,
+        params,
+        stats,
+        h_local,
+        constraints,
+    )
+}
+
+/// Records the PDE equation residual loss at explicit `(batch, [t, z, x])`
+/// points — the sample-free core of [`equation_loss`], shared with the
+/// serving-side test-time refinement path ([`crate::refine`]), which owns
+/// its query points directly rather than through [`Sample`]s.
+///
+/// Points are clamped into `[h, 1-h]` per axis so the stencil stays inside
+/// the patch; `extent_phys` converts the local stencil step to physical
+/// units. Returns the mean absolute residual over points × active
+/// constraints.
+#[allow(clippy::too_many_arguments)]
+pub fn equation_loss_at_points(
+    g: &mut Graph,
+    store: &ParamStore,
+    decoder: &ContinuousDecoder,
+    latent: Var,
+    points: &[(usize, [f32; 3])],
+    grid_dims: [usize; 3],
+    extent_phys: [f64; 3],
+    params: RbcParamsF32,
+    stats: ChannelStats,
+    h_local: f32,
+    constraints: ConstraintSet,
+) -> Var {
+    assert!(h_local > 0.0 && h_local < 0.5, "stencil step out of range");
+    assert!(constraints.count() > 0, "equation loss needs at least one constraint");
+    assert!(!points.is_empty(), "equation loss needs at least one point");
     // Physical step sizes per axis.
     let h_phys: [f32; 3] = [
-        (h_local as f64 * extent[0]) as f32,
-        (h_local as f64 * extent[1]) as f32,
-        (h_local as f64 * extent[2]) as f32,
+        (h_local as f64 * extent_phys[0]) as f32,
+        (h_local as f64 * extent_phys[1]) as f32,
+        (h_local as f64 * extent_phys[2]) as f32,
     ];
 
     // Decode the 7 stencil components. Centers are clamped inward.
-    let centers: Vec<(usize, [f32; 3])> = samples
+    let centers: Vec<(usize, [f32; 3])> = points
         .iter()
-        .enumerate()
-        .flat_map(|(b, s)| {
-            s.query_local.iter().map(move |q| {
-                (
-                    b,
-                    [
-                        q[0].clamp(h_local, 1.0 - h_local),
-                        q[1].clamp(h_local, 1.0 - h_local),
-                        q[2].clamp(h_local, 1.0 - h_local),
-                    ],
-                )
-            })
+        .map(|&(b, q)| {
+            (
+                b,
+                [
+                    q[0].clamp(h_local, 1.0 - h_local),
+                    q[1].clamp(h_local, 1.0 - h_local),
+                    q[2].clamp(h_local, 1.0 - h_local),
+                ],
+            )
         })
         .collect();
     let mut comp: Vec<Var> = Vec::with_capacity(7);

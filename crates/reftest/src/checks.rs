@@ -10,7 +10,10 @@
 use crate::cases::{adversarial, adversarial_bounded, Lcg, CONV_SHAPES, GEMM_SHAPES};
 use crate::compare::{Checker, Report, Tolerance};
 use crate::reference as refk;
-use mfn_autodiff::Graph;
+use mfn_autodiff::{Activation, Graph, Mlp, ParamStore};
+use mfn_core::{
+    equation_loss_at_points, ChannelStats, ConstraintSet, ContinuousDecoder, RbcParamsF32,
+};
 use mfn_data::{Dataset, DatasetMeta, CHANNELS};
 use mfn_fft::{energy_spectrum_x, Complex, FftPlan, RealFftPlan};
 use mfn_solver::{d2dx2, d2dz2, ddx, ddz, dealias_x, laplacian, Domain};
@@ -673,6 +676,119 @@ pub fn check_downsample() -> Report {
     c.finish()
 }
 
+/// The serving-side test-time refinement objective vs its all-f64 twin: the
+/// FD-stencil equation residual (`equation_loss_at_points`) as a value, and
+/// its latent gradient (reverse-mode, latent as the only leaf) against f64
+/// central differences of the twin. This is the descent direction
+/// `refine_latent` takes at serve time — a biased gradient silently degrades
+/// refinement quality without failing any exactness test, so it gets an
+/// oracle row of its own.
+pub fn check_refine_grad() -> Report {
+    use rand::SeedableRng;
+    let mut chk = Checker::new("refine_grad", Tolerance::new(8, 1.0e-3, 0.0));
+    let mut store = ParamStore::new();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1700);
+    let c = 5usize;
+    let mlp = Mlp::new(&mut store, "dec", &[3 + c, 12, 8, 4], Activation::Softplus, &mut rng);
+    let dec = ContinuousDecoder::new(mlp, c);
+    let grid = [3usize, 4, 4];
+    let latent = Tensor::randn(&[1, c, grid[0], grid[1], grid[2]], 0.5, &mut rng);
+    let h_local = 0.05f32;
+    let extent = [1.0f64, 0.5, 2.0];
+    let params = RbcParamsF32::from_ra_pr(1.0e5, 1.0);
+    // Non-identity statistics so the denormalization path is exercised.
+    let stats = ChannelStats { mean: [0.1, -0.2, 0.05, 0.0], std: [1.5, 0.7, 1.2, 0.9] };
+    let mut g = Lcg::new(1701);
+    let points: Vec<(usize, [f32; 3])> = (0..6)
+        .map(|_| {
+            // Interior points, away from the stencil clamp band.
+            let mut coord = || 0.1 + 0.4 * (g.uniform() + 1.0);
+            (0usize, [coord(), coord(), coord()])
+        })
+        .collect();
+
+    // Optimized side: the f32 tape, latent as the only gradient leaf —
+    // exactly what `mfn_core::refine_latent` evaluates per step.
+    let mut graph = Graph::new();
+    let leaf = graph.leaf_with_grad(latent.clone());
+    let loss = equation_loss_at_points(
+        &mut graph,
+        &store,
+        &dec,
+        leaf,
+        &points,
+        grid,
+        extent,
+        params,
+        stats,
+        h_local,
+        ConstraintSet::ALL,
+    );
+    let got_value = graph.value(loss).item();
+    graph.backward(loss);
+    let got_grad = graph.grad(leaf).clone();
+
+    // Reference side: widen everything once, then pure scalar f64.
+    let layers: Vec<refk::MlpLayerRef> = dec
+        .mlp
+        .layers
+        .iter()
+        .map(|l| {
+            let w = store.get(l.weight);
+            refk::MlpLayerRef {
+                weight: w.data().iter().map(|&v| f64::from(v)).collect(),
+                bias: store.get(l.bias).data().iter().map(|&v| f64::from(v)).collect(),
+                in_features: w.dims()[1],
+                out_features: w.dims()[0],
+            }
+        })
+        .collect();
+    let lat64: Vec<f64> = latent.data().iter().map(|&v| f64::from(v)).collect();
+    let pts64: Vec<[f64; 3]> =
+        points.iter().map(|&(_, q)| [f64::from(q[0]), f64::from(q[1]), f64::from(q[2])]).collect();
+    // The same dimensionless coefficients the tape multiplies by (f32
+    // constants, widened), not a fresh f64 computation of them.
+    let (p_star, r_star) = (f64::from(params.p_star), f64::from(params.r_star));
+    let mean64 = stats.mean.map(f64::from);
+    let std64 = stats.std.map(f64::from);
+
+    let (want_value, value_scale) = refk::refine_objective_ref(
+        &layers,
+        &lat64,
+        c,
+        grid,
+        &pts64,
+        extent,
+        p_star,
+        r_star,
+        mean64,
+        std64,
+        f64::from(h_local),
+    );
+    chk.case("equation residual value (6 pts, grid 3x4x4, seed 1700)");
+    chk.check_f32(0, got_value, want_value, value_scale);
+
+    let want_grad = refk::refine_latent_grad_ref(
+        &layers,
+        &lat64,
+        c,
+        grid,
+        &pts64,
+        extent,
+        p_star,
+        r_star,
+        mean64,
+        std64,
+        f64::from(h_local),
+        1.0e-5,
+    );
+    chk.case("latent gradient vs f64 central differences");
+    for (i, &got) in got_grad.data().iter().enumerate() {
+        chk.check_f32(i, got, want_grad.value[i], want_grad.scale[i]);
+    }
+    chk.finish()
+}
+
 /// Runs every kernel check, in dependency order (primitives first).
 pub fn run_all() -> Vec<Report> {
     let mut reports = vec![
@@ -698,6 +814,7 @@ pub fn run_all() -> Vec<Report> {
     reports.extend(check_solver());
     reports.push(check_trilinear());
     reports.push(check_downsample());
+    reports.push(check_refine_grad());
     reports
 }
 

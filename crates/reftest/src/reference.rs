@@ -793,6 +793,224 @@ pub fn sample_trilinear_ref(
     (value, scale)
 }
 
+// ---- test-time refinement objective (serving-side physics refinement) ----
+
+/// One decoder MLP layer widened to f64: row-major `[out, in]` weight plus
+/// bias, as read back from the `ParamStore`.
+pub struct MlpLayerRef {
+    /// Row-major `[out, in]` weight matrix.
+    pub weight: Vec<f64>,
+    /// Per-output bias.
+    pub bias: Vec<f64>,
+    /// Input width.
+    pub in_features: usize,
+    /// Output width.
+    pub out_features: usize,
+}
+
+/// f64 twin of the continuous decoder at one local point of a single-patch
+/// latent grid `[1, c, nt, nz, nx]`: locate the cell, run the MLP (softplus
+/// hidden — the activation the PDE-constrained decoder uses) on the
+/// concatenation of per-vertex relative coordinates and latent vector, and
+/// blend the 8 vertex outputs with trilinear weights.
+fn decode_point_ref(
+    layers: &[MlpLayerRef],
+    latent: &[f64],
+    c: usize,
+    grid: [usize; 3],
+    local: [f64; 3],
+) -> Vec<f64> {
+    let [nt, nz, nx] = grid;
+    let vol = nt * nz * nx;
+    let locate = |q: f64, n: usize| -> (usize, f64) {
+        let s = q.clamp(0.0, 1.0) * (n - 1) as f64;
+        let i = (s.floor() as usize).min(n.saturating_sub(2));
+        (i, s - i as f64)
+    };
+    let (it, ft) = locate(local[0], nt);
+    let (iz, fz) = locate(local[1], nz);
+    let (ix, fx) = locate(local[2], nx);
+    let out_w = layers.last().expect("non-empty MLP").out_features;
+    let mut out = vec![0.0f64; out_w];
+    for v in 0..8usize {
+        let (dt, dz, dx) = ((v >> 2) & 1, (v >> 1) & 1, v & 1);
+        let sp = ((it + dt) * nz + (iz + dz)) * nx + (ix + dx);
+        let mut h: Vec<f64> = Vec::with_capacity(3 + c);
+        h.push(ft - dt as f64);
+        h.push(fz - dz as f64);
+        h.push(fx - dx as f64);
+        for ci in 0..c {
+            h.push(latent[ci * vol + sp]);
+        }
+        let last = layers.len() - 1;
+        for (li, layer) in layers.iter().enumerate() {
+            let mut y = vec![0.0f64; layer.out_features];
+            for (o, yo) in y.iter_mut().enumerate() {
+                let mut acc = layer.bias[o];
+                for (i2, &hi) in h.iter().enumerate() {
+                    acc += layer.weight[o * layer.in_features + i2] * hi;
+                }
+                *yo = if li == last { acc } else { softplus_ref(acc) };
+            }
+            h = y;
+        }
+        let wt = if dt == 1 { ft } else { 1.0 - ft };
+        let wz = if dz == 1 { fz } else { 1.0 - fz };
+        let wx = if dx == 1 { fx } else { 1.0 - fx };
+        let w = wt * wz * wx;
+        for (o, a) in out.iter_mut().enumerate() {
+            *a += w * h[o];
+        }
+    }
+    out
+}
+
+/// f64 twin of the test-time refinement objective
+/// (`mfn_core::equation_loss_at_points` with all four Rayleigh–Bénard
+/// constraints): the mean absolute FD-stencil equation residual over the
+/// query points of one patch. Returns `(value, scale)`; `scale` bounds the
+/// residual terms along the same path, with derivative magnitudes bounded
+/// by `(|f₊| + |f₋|)/2h` — the stencil is a near-cancelling difference, so
+/// the bound must count the operands, not the difference.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_objective_ref(
+    layers: &[MlpLayerRef],
+    latent: &[f64],
+    c: usize,
+    grid: [usize; 3],
+    points: &[[f64; 3]],
+    extent: [f64; 3],
+    p_star: f64,
+    r_star: f64,
+    mean: [f64; 4],
+    std: [f64; 4],
+    h_local: f64,
+) -> (f64, f64) {
+    // Stencil offsets in plan order: center, t±, z±, x±.
+    const STENCIL: [[f64; 3]; 7] = [
+        [0.0, 0.0, 0.0],
+        [1.0, 0.0, 0.0],
+        [-1.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0],
+        [0.0, -1.0, 0.0],
+        [0.0, 0.0, 1.0],
+        [0.0, 0.0, -1.0],
+    ];
+    let hp = [h_local * extent[0], h_local * extent[1], h_local * extent[2]];
+    let mut acc = 0.0f64;
+    let mut acc_scale = 0.0f64;
+    for q in points {
+        let ctr = [
+            q[0].clamp(h_local, 1.0 - h_local),
+            q[1].clamp(h_local, 1.0 - h_local),
+            q[2].clamp(h_local, 1.0 - h_local),
+        ];
+        let ev: Vec<Vec<f64>> = STENCIL
+            .iter()
+            .map(|off| {
+                let p = [
+                    ctr[0] + off[0] * h_local,
+                    ctr[1] + off[1] * h_local,
+                    ctr[2] + off[2] * h_local,
+                ];
+                decode_point_ref(layers, latent, c, grid, p)
+            })
+            .collect();
+        let (v0, tp, tm, zp, zm, xp, xm) = (&ev[0], &ev[1], &ev[2], &ev[3], &ev[4], &ev[5], &ev[6]);
+        // Denormalized first/second derivative, each with a magnitude bound.
+        let d1 = |p: &[f64], m: &[f64], ch: usize, h: f64| {
+            ((p[ch] - m[ch]) * 0.5 / h * std[ch], (p[ch].abs() + m[ch].abs()) * 0.5 / h * std[ch])
+        };
+        let d2 = |p: &[f64], m: &[f64], ch: usize, h: f64| {
+            (
+                (p[ch] + m[ch] - 2.0 * v0[ch]) / (h * h) * std[ch],
+                (p[ch].abs() + m[ch].abs() + 2.0 * v0[ch].abs()) / (h * h) * std[ch],
+            )
+        };
+        let val = |ch: usize| std[ch] * v0[ch] + mean[ch];
+        // Channels: 0=T, 1=p, 2=u, 3=w.
+        let (t_v, u_v, w_v) = (val(0), val(2), val(3));
+        let (t_t, t_t_s) = d1(tp, tm, 0, hp[0]);
+        let (t_x, t_x_s) = d1(xp, xm, 0, hp[2]);
+        let (t_z, t_z_s) = d1(zp, zm, 0, hp[1]);
+        let (t_xx, t_xx_s) = d2(xp, xm, 0, hp[2]);
+        let (t_zz, t_zz_s) = d2(zp, zm, 0, hp[1]);
+        let (p_x, p_x_s) = d1(xp, xm, 1, hp[2]);
+        let (p_z, p_z_s) = d1(zp, zm, 1, hp[1]);
+        let (u_t, u_t_s) = d1(tp, tm, 2, hp[0]);
+        let (u_x, u_x_s) = d1(xp, xm, 2, hp[2]);
+        let (u_z, u_z_s) = d1(zp, zm, 2, hp[1]);
+        let (u_xx, u_xx_s) = d2(xp, xm, 2, hp[2]);
+        let (u_zz, u_zz_s) = d2(zp, zm, 2, hp[1]);
+        let (w_t, w_t_s) = d1(tp, tm, 3, hp[0]);
+        let (w_x, w_x_s) = d1(xp, xm, 3, hp[2]);
+        let (w_z, w_z_s) = d1(zp, zm, 3, hp[1]);
+        let (w_xx, w_xx_s) = d2(xp, xm, 3, hp[2]);
+        let (w_zz, w_zz_s) = d2(zp, zm, 3, hp[1]);
+        // r_c = u_x + w_z
+        acc += (u_x + w_z).abs();
+        acc_scale += u_x_s + w_z_s;
+        // r_T = T_t + u T_x + w T_z − P*(T_xx + T_zz)
+        acc += (t_t + u_v * t_x + w_v * t_z - p_star * (t_xx + t_zz)).abs();
+        acc_scale += t_t_s + u_v.abs() * t_x_s + w_v.abs() * t_z_s + p_star * (t_xx_s + t_zz_s);
+        // r_u = u_t + u u_x + w u_z + p_x − R*(u_xx + u_zz)
+        acc += (u_t + u_v * u_x + w_v * u_z + p_x - r_star * (u_xx + u_zz)).abs();
+        acc_scale +=
+            u_t_s + u_v.abs() * u_x_s + w_v.abs() * u_z_s + p_x_s + r_star * (u_xx_s + u_zz_s);
+        // r_w = w_t + u w_x + w w_z + p_z − T − R*(w_xx + w_zz)
+        acc += (w_t + u_v * w_x + w_v * w_z + p_z - t_v - r_star * (w_xx + w_zz)).abs();
+        acc_scale += w_t_s
+            + u_v.abs() * w_x_s
+            + w_v.abs() * w_z_s
+            + p_z_s
+            + t_v.abs()
+            + r_star * (w_xx_s + w_zz_s);
+    }
+    let n = (points.len() * 4) as f64;
+    (acc / n, acc_scale / n)
+}
+
+/// Latent gradient of [`refine_objective_ref`] by f64 central differences —
+/// the oracle for the reverse-mode gradient the test-time refinement loop
+/// descends. `scale` is the max gradient magnitude, for every element: on a
+/// shared tape the f32 rounding error of one adjoint is driven by the
+/// largest intermediates flowing through it, so a near-zero gradient entry
+/// still carries absolute error proportional to the gradient's overall
+/// magnitude, not its own.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_latent_grad_ref(
+    layers: &[MlpLayerRef],
+    latent: &[f64],
+    c: usize,
+    grid: [usize; 3],
+    points: &[[f64; 3]],
+    extent: [f64; 3],
+    p_star: f64,
+    r_star: f64,
+    mean: [f64; 4],
+    std: [f64; 4],
+    h_local: f64,
+    fd_step: f64,
+) -> RefOut {
+    let mut work = latent.to_vec();
+    let mut value = vec![0.0f64; latent.len()];
+    for (i, out) in value.iter_mut().enumerate() {
+        let base = work[i];
+        work[i] = base + fd_step;
+        let (fp, _) = refine_objective_ref(
+            layers, &work, c, grid, points, extent, p_star, r_star, mean, std, h_local,
+        );
+        work[i] = base - fd_step;
+        let (fm, _) = refine_objective_ref(
+            layers, &work, c, grid, points, extent, p_star, r_star, mean, std, h_local,
+        );
+        work[i] = base;
+        *out = (fp - fm) / (2.0 * fd_step);
+    }
+    let gmax = value.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    RefOut { scale: vec![gmax; value.len()], value }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -113,3 +113,8 @@ fn trilinear_sampling_matches_reference() {
 fn downsample_is_exact() {
     assert_ok(checks::check_downsample());
 }
+
+#[test]
+fn refine_objective_gradient_matches_reference() {
+    assert_ok(checks::check_refine_grad());
+}

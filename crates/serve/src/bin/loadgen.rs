@@ -6,6 +6,8 @@
 //!                [--patches N] [--queries-per-req N] [--out PATH] [--strict]
 //!                [--fleet] [--rates R1,R2,...] [--conns N] [--zipf-s F]
 //!                [--seed N] [--closed-addr HOST:PORT] [--slo-ms F]
+//!                [--refine] [--refine-budgets K1,K2,...] [--refine-points N]
+//!                [--min-reduction F]
 //! ```
 //!
 //! **Closed-loop mode** (default) has three phases:
@@ -44,7 +46,18 @@
 //! `--closed-addr` (default `--addr`). Pointing it at a single shard's
 //! direct address yields the apples-to-apples single-server comparison the
 //! open-loop sweep cannot provide; it lands in the `closed_loop` section.
+//!
+//! **Refine mode** (`--refine`) sweeps the test-time physics refinement
+//! quality/latency tradeoff against a `serve --refine` instance: encode one
+//! smooth Rayleigh–Bénard-like patch, then for each step budget in
+//! `--refine-budgets` issue repeated `Refine` requests at the same
+//! deterministic query points and record the server-reported PDE residual
+//! before/after plus request latency percentiles. The curve lands in the
+//! `refine` section of the output JSON. `--min-reduction F` makes the run
+//! fail unless some budget achieved at least an `F`× residual reduction —
+//! the CI quality gate for the endpoint.
 
+use mfn_core::RefineBudget;
 use mfn_serve::{ArrivalSchedule, Client, ServeError, ShardStat, SplitMix64, Zipf};
 use std::io::Write;
 use std::path::PathBuf;
@@ -66,6 +79,10 @@ struct Args {
     seed: u64,
     closed_addr: Option<String>,
     slo_ms: f64,
+    refine: bool,
+    refine_budgets: Vec<u32>,
+    refine_points: usize,
+    min_reduction: f64,
 }
 
 fn parse() -> Args {
@@ -73,7 +90,8 @@ fn parse() -> Args {
     let usage = "usage: loadgen --addr HOST:PORT [--threads N] [--duration-s N] \
                  [--patches N] [--queries-per-req N] [--out PATH] [--strict] \
                  [--fleet] [--rates R1,R2,...] [--conns N] [--zipf-s F] [--seed N] \
-                 [--closed-addr HOST:PORT] [--slo-ms F]";
+                 [--closed-addr HOST:PORT] [--slo-ms F] [--refine] \
+                 [--refine-budgets K1,K2,...] [--refine-points N] [--min-reduction F]";
     let mut addr = None;
     let mut threads = 2usize;
     let mut duration_s = 5u64;
@@ -88,6 +106,10 @@ fn parse() -> Args {
     let mut seed = 0x4D46_4E53u64; // "MFNS"
     let mut closed_addr = None;
     let mut slo_ms = 50.0f64;
+    let mut refine = false;
+    let mut refine_budgets = vec![0u32, 1, 2, 4, 8, 16, 32, 64];
+    let mut refine_points = 16usize;
+    let mut min_reduction = 0.0f64;
     let mut i = 0;
     let next = |argv: &[String], i: &mut usize, what: &str| -> String {
         *i += 1;
@@ -123,6 +145,19 @@ fn parse() -> Args {
             "--seed" => seed = next(&argv, &mut i, "--seed").parse().expect("integer"),
             "--closed-addr" => closed_addr = Some(next(&argv, &mut i, "--closed-addr")),
             "--slo-ms" => slo_ms = next(&argv, &mut i, "--slo-ms").parse().expect("float"),
+            "--refine" => refine = true,
+            "--refine-budgets" => {
+                refine_budgets = next(&argv, &mut i, "--refine-budgets")
+                    .split(',')
+                    .map(|k| k.trim().parse().expect("step budget"))
+                    .collect()
+            }
+            "--refine-points" => {
+                refine_points = next(&argv, &mut i, "--refine-points").parse().expect("integer")
+            }
+            "--min-reduction" => {
+                min_reduction = next(&argv, &mut i, "--min-reduction").parse().expect("float")
+            }
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);
@@ -154,6 +189,10 @@ fn parse() -> Args {
         seed,
         closed_addr,
         slo_ms,
+        refine,
+        refine_budgets,
+        refine_points: refine_points.max(1),
+        min_reduction,
     }
 }
 
@@ -634,8 +673,229 @@ fn fleet_main(args: Args) {
     }
 }
 
+/// Smooth Rayleigh–Bénard-like patch for the refinement sweep: a conductive
+/// temperature profile plus a single convection roll, layout `[C, nt, nz,
+/// nx]`. The white-noise `gen_patch` is right for cache and throughput
+/// benchmarking but wrong here — refinement minimizes the PDE residual of
+/// the *decoded* field, and a latent encoded from pure noise has no
+/// physically meaningful residual landscape to descend.
+fn gen_smooth_patch(channels: usize, nt: usize, nz: usize, nx: usize) -> Vec<f32> {
+    use std::f64::consts::PI;
+    let mut out = Vec::with_capacity(channels * nt * nz * nx);
+    for c in 0..channels {
+        for it in 0..nt {
+            let t = it as f64 / nt.max(1) as f64;
+            for iz in 0..nz {
+                let z = iz as f64 / (nz.max(2) - 1) as f64;
+                for ix in 0..nx {
+                    let x = ix as f64 / nx.max(1) as f64;
+                    let roll = (PI * z).sin() * (2.0 * PI * x + 0.3 * t).cos();
+                    let v = match c {
+                        0 => (1.0 - z) + 0.1 * roll,
+                        1 => 0.05 * (PI * z).cos() * (2.0 * PI * x).cos(),
+                        2 => 0.1 * (PI * z).cos() * (2.0 * PI * x + 0.3 * t).sin(),
+                        _ => 0.1 * roll,
+                    };
+                    out.push(v as f32);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One measured point of the refinement quality/latency sweep.
+struct RefinePoint {
+    max_steps: u32,
+    steps_run: u32,
+    steps_accepted: u32,
+    initial_residual: f32,
+    final_residual: f32,
+    reduction: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// Refinement sweep: one smooth patch, fixed deterministic query points,
+/// repeated `Refine` calls per step budget. Quality (server-reported
+/// residual reduction) and cost (request latency) per budget land in the
+/// `refine` section of the output JSON; `--min-reduction` turns the best
+/// reduction into a pass/fail gate.
+fn refine_main(args: Args) {
+    let mut client = Client::connect(&args.addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+    let info = client.info().unwrap_or_else(|e| {
+        eprintln!("error: info request failed: {e}");
+        std::process::exit(1);
+    });
+    let (c, nt, nz, nx) = (
+        info.in_channels as usize,
+        info.grid[0] as usize,
+        info.grid[1] as usize,
+        info.grid[2] as usize,
+    );
+    let patch = gen_smooth_patch(c, nt, nz, nx);
+    let (digest, _) = client.encode(1, &patch).unwrap_or_else(|e| {
+        eprintln!("error: encode failed: {e}");
+        std::process::exit(1);
+    });
+    // Interior points well away from the FD clamp band, fixed across the
+    // whole sweep so every budget refines against the same objective.
+    let mut qstate = args.seed ^ 0x5EED;
+    let qs: Vec<(usize, [f32; 3])> = (0..args.refine_points)
+        .map(|_| {
+            let mut coord = || 0.1 + 0.8 * (lcg_f32(&mut qstate) + 0.5);
+            (0usize, [coord(), coord(), coord()])
+        })
+        .collect();
+    eprintln!(
+        "refine sweep: digest {digest:#018x}, {} points, budgets {:?}",
+        qs.len(),
+        args.refine_budgets
+    );
+
+    const REPS: usize = 8;
+    let mut errors = 0u64;
+    let mut requests = 0u64;
+    let mut curve: Vec<RefinePoint> = Vec::new();
+    for &k in &args.refine_budgets {
+        let budget = RefineBudget { max_steps: k, tol: 0.0, max_micros: 0 };
+        let mut lat_us: Vec<u64> = Vec::new();
+        let mut first: Option<mfn_serve::RefineResult> = None;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let res = match client.refine(digest, &qs, budget) {
+                // Evicted digest: the standard re-encode recovery, then retry.
+                Err(ServeError::Remote { code, .. })
+                    if code == mfn_serve::error::code::UNKNOWN_DIGEST =>
+                {
+                    let patch = gen_smooth_patch(c, nt, nz, nx);
+                    client.encode(1, &patch).and_then(|_| client.refine(digest, &qs, budget))
+                }
+                other => other,
+            };
+            match res {
+                Ok(r) => {
+                    requests += 1;
+                    lat_us.push(t0.elapsed().as_micros() as u64);
+                    // Untimed budgets are deterministic: reruns against the
+                    // same latent must agree bit-for-bit.
+                    if let Some(f) = &first {
+                        if r.values != f.values || r.final_residual != f.final_residual {
+                            errors += 1;
+                            eprintln!(
+                                "refine sweep: nondeterministic response at budget {k} \
+                                 ({} vs {} final residual)",
+                                r.final_residual, f.final_residual
+                            );
+                        }
+                    } else {
+                        first = Some(r);
+                    }
+                }
+                Err(e) => {
+                    errors += 1;
+                    eprintln!("refine sweep: budget {k}: {e}");
+                    match Client::connect(&args.addr) {
+                        Ok(cl) => client = cl,
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        let Some(r) = first else { continue };
+        lat_us.sort_unstable();
+        let reduction = if r.final_residual > 0.0 {
+            r.initial_residual as f64 / r.final_residual as f64
+        } else {
+            f64::INFINITY
+        };
+        let pt = RefinePoint {
+            max_steps: k,
+            steps_run: r.steps_run,
+            steps_accepted: r.steps_accepted,
+            initial_residual: r.initial_residual,
+            final_residual: r.final_residual,
+            reduction,
+            p50_us: percentile_us(&lat_us, 0.5),
+            p99_us: percentile_us(&lat_us, 0.99),
+        };
+        eprintln!(
+            "budget {:>3}: residual {:.6} -> {:.6} ({:.2}x, {}/{} steps accepted) | \
+             p50 {} us, p99 {} us",
+            pt.max_steps,
+            pt.initial_residual,
+            pt.final_residual,
+            pt.reduction,
+            pt.steps_accepted,
+            pt.steps_run,
+            pt.p50_us,
+            pt.p99_us
+        );
+        curve.push(pt);
+    }
+
+    let best_reduction = curve.iter().map(|p| p.reduction).fold(0.0f64, f64::max);
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"mfn-bench/serve-refine/v1\",\n  \"config\": {\n");
+    json.push_str(&format!(
+        "    \"addr\": \"{}\",\n    \"points\": {},\n    \"reps_per_budget\": {REPS},\n    \
+         \"seed\": {},\n    \"min_reduction\": {}\n  }},\n",
+        args.addr,
+        qs.len(),
+        args.seed,
+        args.min_reduction
+    ));
+    json.push_str("  \"curve\": [\n");
+    for (i, p) in curve.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"max_steps\": {}, \"steps_run\": {}, \"steps_accepted\": {}, \
+             \"initial_residual\": {:.6}, \"final_residual\": {:.6}, \"reduction\": {:.4}, \
+             \"p50_us\": {}, \"p99_us\": {} }}{}\n",
+            p.max_steps,
+            p.steps_run,
+            p.steps_accepted,
+            p.initial_residual,
+            p.final_residual,
+            p.reduction,
+            p.p50_us,
+            p.p99_us,
+            if i + 1 < curve.len() { "," } else { "" },
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"best_reduction\": {best_reduction:.4},\n  \
+         \"requests\": {requests},\n  \"protocol_errors\": {errors}\n}}\n"
+    ));
+    std::fs::write(&args.out, &json).expect("write refine bench json");
+    print!("{json}");
+    let _ = std::io::stdout().flush();
+    eprintln!("wrote {}", args.out.display());
+
+    if args.strict && (requests == 0 || errors > 0) {
+        eprintln!(
+            "STRICT FAILURE: requests = {requests}, protocol_errors = {errors} \
+             (need requests > 0 and zero errors)"
+        );
+        std::process::exit(1);
+    }
+    if args.min_reduction > 0.0 && best_reduction < args.min_reduction {
+        eprintln!(
+            "QUALITY GATE FAILURE: best residual reduction {best_reduction:.2}x \
+             < required {:.2}x",
+            args.min_reduction
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse();
+    if args.refine {
+        return refine_main(args);
+    }
     if args.fleet {
         return fleet_main(args);
     }

@@ -5,7 +5,7 @@
 //! usage: serve --ckpt PATH.state [--config PATH.cfg.json] [--addr HOST:PORT]
 //!              [--cache-cap N] [--batch-max N] [--batch-wait-us N]
 //!              [--workers N] [--timeout-ms N] [--telemetry PATH]
-//!              [--duration-s N] [--bf16-decode]
+//!              [--duration-s N] [--bf16-decode] [--refine]
 //! ```
 //!
 //! `--ckpt` names an `MFNSTAT1` train-state file (as written by `train
@@ -17,7 +17,7 @@
 //! drains gracefully after N seconds (for CI smoke runs); otherwise it
 //! serves until killed.
 
-use mfn_core::{FrozenModel, MfnConfig};
+use mfn_core::{FrozenModel, MfnConfig, RefineSettings};
 use mfn_serve::{Engine, EngineConfig, Server, ServerConfig};
 use mfn_telemetry::Recorder;
 use std::path::PathBuf;
@@ -36,6 +36,7 @@ struct Args {
     telemetry: Option<PathBuf>,
     duration_s: u64,
     bf16_decode: bool,
+    refine: bool,
 }
 
 fn parse() -> Args {
@@ -43,7 +44,7 @@ fn parse() -> Args {
     let usage = "usage: serve --ckpt PATH.state [--config PATH.cfg.json] \
                  [--addr HOST:PORT] [--cache-cap N] [--batch-max N] \
                  [--batch-wait-us N] [--workers N] [--timeout-ms N] \
-                 [--telemetry PATH] [--duration-s N] [--bf16-decode]";
+                 [--telemetry PATH] [--duration-s N] [--bf16-decode] [--refine]";
     let mut ckpt = None;
     let mut config = None;
     let mut addr = "127.0.0.1:7077".to_string();
@@ -55,6 +56,7 @@ fn parse() -> Args {
     let mut telemetry = None;
     let mut duration_s = 0u64;
     let mut bf16_decode = false;
+    let mut refine = false;
     let mut i = 0;
     let next = |argv: &[String], i: &mut usize, what: &str| -> String {
         *i += 1;
@@ -88,6 +90,7 @@ fn parse() -> Args {
                 duration_s = next(&argv, &mut i, "--duration-s").parse().expect("integer")
             }
             "--bf16-decode" => bf16_decode = true,
+            "--refine" => refine = true,
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);
@@ -115,6 +118,7 @@ fn parse() -> Args {
         telemetry,
         duration_s,
         bf16_decode,
+        refine,
     }
 }
 
@@ -143,6 +147,7 @@ fn main() {
         model.trained_steps(),
         model.grid_dims(),
     );
+    let refine = args.refine.then(|| RefineSettings::from_config(model.cfg()));
     let engine = Arc::new(Engine::new(
         model,
         EngineConfig {
@@ -150,8 +155,12 @@ fn main() {
             max_batch: args.batch_max,
             max_wait: Duration::from_micros(args.batch_wait_us),
             bf16_decode: args.bf16_decode,
+            refine,
         },
     ));
+    if args.refine {
+        eprintln!("test-time physics refinement enabled");
+    }
     if args.bf16_decode {
         eprintln!(
             "bf16 decode enabled ({} quantized weight bytes)",

@@ -11,6 +11,7 @@ use crate::protocol::{
     decode_error, decode_stats, put_f32s, read_frame, write_frame, Cursor, Kind, ModelInfo,
     ShardStat,
 };
+use mfn_core::RefineBudget;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -21,6 +22,25 @@ pub struct QueryResult {
     pub digest: u64,
     /// Whether the latent came from the cache (always true for `Query`).
     pub cache_hit: bool,
+    /// Flattened predictions, `count · channels` values.
+    pub values: Vec<f32>,
+    /// Output channels per query point.
+    pub channels: usize,
+}
+
+/// Result of a `Refine` round trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineResult {
+    /// Digest of the cached latent the refinement started from.
+    pub digest: u64,
+    /// Gradient candidate steps the server ran.
+    pub steps_run: u32,
+    /// Steps that strictly reduced the residual and were kept.
+    pub steps_accepted: u32,
+    /// Mean absolute PDE residual at the query points before refinement.
+    pub initial_residual: f32,
+    /// Residual of the latent the values were decoded from.
+    pub final_residual: f32,
     /// Flattened predictions, `count · channels` values.
     pub values: Vec<f32>,
     /// Output channels per query point.
@@ -98,6 +118,48 @@ impl Client {
         put_queries(&mut p, queries);
         let resp = self.expect(Kind::Query, &p, Kind::QueryResp)?;
         decode_query_resp(&resp)
+    }
+
+    /// Test-time physics refinement of a cached latent: the server runs up
+    /// to `budget.max_steps` gradient steps on a copy of the latent,
+    /// minimizing the PDE residual at `queries`, then decodes. Premium
+    /// call — expect latency proportional to the budget.
+    pub fn refine(
+        &mut self,
+        digest: u64,
+        queries: &[Query],
+        budget: RefineBudget,
+    ) -> Result<RefineResult, ServeError> {
+        let mut p = Vec::with_capacity(28 + queries.len() * 16);
+        p.extend_from_slice(&digest.to_le_bytes());
+        p.extend_from_slice(&budget.max_steps.to_le_bytes());
+        p.extend_from_slice(&budget.tol.to_le_bytes());
+        p.extend_from_slice(&budget.max_micros.to_le_bytes());
+        put_queries(&mut p, queries);
+        let resp = self.expect(Kind::Refine, &p, Kind::RefineResp)?;
+        let mut c = Cursor::new(&resp);
+        let digest = c.u64()?;
+        let steps_run = c.u32()?;
+        let steps_accepted = c.u32()?;
+        let initial_residual = c.f32()?;
+        let final_residual = c.f32()?;
+        let count = c.u32()? as usize;
+        let channels = c.u32()? as usize;
+        let values = c.f32s(
+            count
+                .checked_mul(channels)
+                .ok_or_else(|| ServeError::BadPayload("refine response size overflows".into()))?,
+        )?;
+        c.finish()?;
+        Ok(RefineResult {
+            digest,
+            steps_run,
+            steps_accepted,
+            initial_residual,
+            final_residual,
+            values,
+            channels,
+        })
     }
 
     /// Fetches serving statistics: one [`ShardStat`] from a shard, one per

@@ -10,10 +10,24 @@ use crate::cache::{patch_digest, patch_verify, LatentCache, Lookup};
 use crate::error::ServeError;
 use crate::metrics::ServeStats;
 use crate::protocol::{ModelInfo, ShardStat};
-use mfn_core::FrozenModel;
+use mfn_core::{FrozenModel, RefineBudget, RefineReport, RefineSettings};
 use mfn_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Server-side cap on a refinement's `max_steps` — a client budget beyond
+/// this is rejected with `BadBudget`, never silently clamped (the client
+/// would otherwise pay for steps it did not get).
+pub const MAX_REFINE_STEPS: u32 = 256;
+/// Server-side cap on query points per refinement request (each point costs
+/// seven stencil decodes per gradient step).
+pub const MAX_REFINE_POINTS: usize = 4096;
+/// Admission cap on the summed cost (`(max_steps + 1) · points`) of
+/// refinements in flight; beyond it new refinements get `Busy`, so a burst
+/// of premium requests degrades into retries instead of starving the
+/// grad-free fast path.
+pub const MAX_INFLIGHT_REFINE_COST: u64 = 2 * (MAX_REFINE_STEPS as u64 + 1) * 4096;
 
 /// Engine knobs.
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +41,10 @@ pub struct EngineConfig {
     /// Serve decode queries through bf16-quantized decoder weights
     /// (f32 accumulation; bounded precision cost, half the weight traffic).
     pub bf16_decode: bool,
+    /// Test-time physics refinement settings; `None` (the default) answers
+    /// every `Refine` request with `RefineDisabled` and keeps the engine a
+    /// pure grad-free fast path.
+    pub refine: Option<RefineSettings>,
 }
 
 impl Default for EngineConfig {
@@ -36,16 +54,39 @@ impl Default for EngineConfig {
             max_batch: 256,
             max_wait: Duration::from_micros(200),
             bf16_decode: false,
+            refine: None,
         }
     }
 }
 
-/// A thread-safe, grad-free serving engine over a [`FrozenModel`].
+/// What a refinement request produced: decoded values at the query points
+/// against the refined latent, plus the descent report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineOutcome {
+    /// Flattened `count · channels` decoded values.
+    pub values: Vec<f32>,
+    /// Output channel count.
+    pub channels: usize,
+    /// Steps run/accepted and the residual trajectory.
+    pub report: RefineReport,
+}
+
+/// A thread-safe serving engine over a [`FrozenModel`]: the grad-free
+/// decode fast path, plus (when enabled) the grad-capable refinement tier.
 pub struct Engine {
     model: FrozenModel,
     cache: LatentCache,
     batcher: Batcher,
     stats: ServeStats,
+    refine_settings: Option<RefineSettings>,
+    /// Refined-latent decodes go through their own batcher, never the
+    /// digest-keyed one above: a refined latent is request-private, and a
+    /// shared key would let a concurrent plain `Query` follower be answered
+    /// from it — a silent wrong answer. Keys here are one-shot nonces.
+    refine_batcher: Batcher,
+    refine_nonce: AtomicU64,
+    /// Summed `(max_steps + 1) · points` of refinements in flight.
+    refine_cost: AtomicU64,
 }
 
 impl Engine {
@@ -64,6 +105,13 @@ impl Engine {
                 max_wait: cfg.max_wait,
             }),
             stats: ServeStats::new(),
+            refine_settings: cfg.refine,
+            refine_batcher: Batcher::new(BatcherConfig {
+                max_batch: cfg.max_batch,
+                max_wait: Duration::ZERO,
+            }),
+            refine_nonce: AtomicU64::new(0),
+            refine_cost: AtomicU64::new(0),
         }
     }
 
@@ -193,6 +241,80 @@ impl Engine {
         Ok((digest, hit, values, channels))
     }
 
+    /// Whether this engine accepts `Refine` requests.
+    pub fn refine_enabled(&self) -> bool {
+        self.refine_settings.is_some()
+    }
+
+    /// Validates a client-supplied budget against the server's caps. Absurd
+    /// budgets are *rejected*, not clamped — the typed error tells the
+    /// client the cap, and no compute is spent.
+    fn validate_budget(&self, budget: &RefineBudget, points: usize) -> Result<(), ServeError> {
+        if budget.max_steps > MAX_REFINE_STEPS {
+            return Err(ServeError::BadBudget(format!(
+                "max_steps {} exceeds server cap {MAX_REFINE_STEPS}",
+                budget.max_steps
+            )));
+        }
+        if !budget.tol.is_finite() || budget.tol < 0.0 {
+            return Err(ServeError::BadBudget(format!(
+                "tolerance {} must be finite and non-negative",
+                budget.tol
+            )));
+        }
+        if points > MAX_REFINE_POINTS {
+            return Err(ServeError::BadBudget(format!(
+                "{points} refine points exceed server cap {MAX_REFINE_POINTS}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Test-time physics refinement: clone the cached latent for `digest`,
+    /// run budgeted gradient descent on the clone minimizing the PDE
+    /// residual at `queries`, decode the refined latent at those points.
+    ///
+    /// The shared cache entry is never written — concurrent plain queries
+    /// and later refinements of the same digest all start from the original
+    /// encoder output (see DESIGN.md §14 for the isolation contract).
+    pub fn refine(
+        &self,
+        digest: u64,
+        queries: Vec<Query>,
+        budget: RefineBudget,
+    ) -> Result<RefineOutcome, ServeError> {
+        let settings = self.refine_settings.ok_or(ServeError::RefineDisabled)?;
+        self.validate_budget(&budget, queries.len())?;
+        let latent = self.cache.get(digest).ok_or(ServeError::UnknownDigest(digest))?;
+        self.validate_queries(&queries, latent.dims()[0])?;
+        // Budget-aware admission: refinements are orders of magnitude more
+        // expensive than plain decodes, so they are admitted against a
+        // worst-case cost pool instead of the per-connection backlog.
+        let cost = (budget.max_steps as u64 + 1) * queries.len() as u64;
+        let prev = self.refine_cost.fetch_add(cost, Ordering::AcqRel);
+        if prev + cost > MAX_INFLIGHT_REFINE_COST {
+            self.refine_cost.fetch_sub(cost, Ordering::AcqRel);
+            self.stats.note_busy();
+            return Err(ServeError::Busy);
+        }
+        let _guard = RefineCostGuard { cost: &self.refine_cost, amount: cost };
+        self.stats.note_queries(queries.len() as u64);
+
+        // `refine_latent` works on a private copy; the Arc'd cache entry is
+        // only ever read.
+        let (refined, report) = self.model.refine_latent(&latent, &queries, &settings, &budget);
+        self.stats.note_refine(report.steps_run as u64);
+        // Decode through the engine's standard value path (quantized when
+        // the engine is bf16) so a zero-step refinement is bit-identical to
+        // a plain `query` of the same digest. Nonce keys + solo: refined
+        // latents never coalesce with anything.
+        let nonce = u64::MAX ^ self.refine_nonce.fetch_add(1, Ordering::Relaxed);
+        let values = self.refine_batcher.submit(nonce, queries, true, |batch| {
+            self.model.decode_values(&refined, batch.iter().copied())
+        })?;
+        Ok(RefineOutcome { values, channels: self.model.cfg().out_channels, report })
+    }
+
     fn validate_queries(&self, queries: &[Query], latent_batch: usize) -> Result<(), ServeError> {
         if queries.is_empty() {
             return Err(ServeError::ShapeMismatch("query list is empty".into()));
@@ -210,6 +332,20 @@ impl Engine {
             }
         }
         Ok(())
+    }
+}
+
+/// Releases a refinement's reserved cost on drop — including when the
+/// model panics mid-descent (the worker's `catch_unwind` keeps the process
+/// alive; this keeps the admission pool from leaking).
+struct RefineCostGuard<'a> {
+    cost: &'a AtomicU64,
+    amount: u64,
+}
+
+impl Drop for RefineCostGuard<'_> {
+    fn drop(&mut self) {
+        self.cost.fetch_sub(self.amount, Ordering::AcqRel);
     }
 }
 
@@ -339,6 +475,78 @@ mod tests {
         // The occupant is untouched: the colliding request must not evict
         // or overwrite the latent its rightful owner will query by digest.
         assert_eq!(e.cache().get(digest).unwrap().item(), 42.0);
+    }
+
+    fn tiny_refine_engine() -> Engine {
+        let mut cfg = MfnConfig::small();
+        cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 4, queries: 16 };
+        cfg.base_channels = 4;
+        cfg.latent_channels = 8;
+        cfg.mlp_hidden = vec![16, 16];
+        cfg.levels = 2;
+        let refine = Some(mfn_core::RefineSettings::from_config(&cfg));
+        Engine::new(
+            FrozenModel::from_model(MeshfreeFlowNet::new(cfg)),
+            EngineConfig { cache_capacity: 4, refine, ..EngineConfig::default() },
+        )
+    }
+
+    #[test]
+    fn refine_is_disabled_unless_configured() {
+        let e = tiny_engine();
+        assert!(!e.refine_enabled());
+        let (d, _) = e.encode_patch(1, patch(&e, 11)).unwrap();
+        let err = e.refine(d, vec![(0, [0.5, 0.5, 0.5])], RefineBudget::steps(1)).unwrap_err();
+        assert_eq!(err, ServeError::RefineDisabled);
+    }
+
+    #[test]
+    fn absurd_budgets_are_rejected_before_any_compute() {
+        let e = tiny_refine_engine();
+        let (d, _) = e.encode_patch(1, patch(&e, 12)).unwrap();
+        let q = vec![(0usize, [0.5, 0.5, 0.5])];
+        let over = RefineBudget { max_steps: MAX_REFINE_STEPS + 1, tol: 0.0, max_micros: 0 };
+        assert!(matches!(e.refine(d, q.clone(), over).unwrap_err(), ServeError::BadBudget(_)));
+        let nan_tol = RefineBudget { max_steps: 1, tol: f32::NAN, max_micros: 0 };
+        assert!(matches!(e.refine(d, q.clone(), nan_tol).unwrap_err(), ServeError::BadBudget(_)));
+        let many = vec![(0usize, [0.5, 0.5, 0.5]); MAX_REFINE_POINTS + 1];
+        assert!(matches!(
+            e.refine(d, many, RefineBudget::steps(1)).unwrap_err(),
+            ServeError::BadBudget(_)
+        ));
+        assert_eq!(e.stats().refines(), 0, "rejected budgets must not run");
+    }
+
+    #[test]
+    fn refine_reduces_residual_and_leaves_cache_untouched() {
+        let e = tiny_refine_engine();
+        let (d, _) = e.encode_patch(1, patch(&e, 13)).unwrap();
+        let before: Vec<f32> = e.cache().get(d).unwrap().data().to_vec();
+        let q: Vec<Query> =
+            (0..8).map(|i| (0usize, [0.2 + 0.07 * i as f32, 0.3 + 0.05 * i as f32, 0.5])).collect();
+        let out = e.refine(d, q.clone(), RefineBudget::steps(8)).unwrap();
+        assert_eq!(out.values.len(), q.len() * out.channels);
+        assert!(out.report.final_residual <= out.report.initial_residual);
+        let after: Vec<f32> = e.cache().get(d).unwrap().data().to_vec();
+        assert_eq!(before, after, "refine must never write the shared cache entry");
+        // Plain queries after a refine still answer from the original latent.
+        let (plain, _) = e.query(d, q.clone()).unwrap();
+        if out.report.steps_accepted > 0 {
+            assert_ne!(plain, out.values, "refined values should differ from plain decode");
+        }
+        // Zero-step refine is bit-identical to the plain decode path.
+        let zero = e.refine(d, q, RefineBudget::steps(0)).unwrap();
+        assert_eq!(zero.values, plain);
+        assert_eq!(e.stats().refines(), 2);
+    }
+
+    #[test]
+    fn refine_admission_pool_drains_after_requests() {
+        let e = tiny_refine_engine();
+        let (d, _) = e.encode_patch(1, patch(&e, 14)).unwrap();
+        let q = vec![(0usize, [0.5, 0.5, 0.5])];
+        e.refine(d, q, RefineBudget::steps(2)).unwrap();
+        assert_eq!(e.refine_cost.load(Ordering::Acquire), 0, "cost reservation must be released");
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub mod code {
     pub const DIGEST_COLLISION: u16 = 13;
     /// A router could not find any healthy shard to forward the request to.
     pub const NO_HEALTHY_SHARD: u16 = 14;
+    /// Refinement budget rejected (absurd step count, non-finite tolerance,
+    /// or over the server's per-request compute caps).
+    pub const BAD_BUDGET: u16 = 15;
+    /// Refinement requested but the server was started without `--refine`.
+    pub const REFINE_DISABLED: u16 = 16;
 }
 
 /// Everything that can go wrong between a client request and its response.
@@ -85,6 +90,12 @@ pub enum ServeError {
     Internal(String),
     /// No healthy shard is available to serve this request (router-only).
     NoHealthyShard,
+    /// The refinement budget is invalid or exceeds the server's caps. The
+    /// message says which field and which cap; the request never starts, so
+    /// an absurd budget can never buy unbounded compute.
+    BadBudget(String),
+    /// Refinement is not enabled on this server.
+    RefineDisabled,
     /// Client-side view of an error frame received from the server.
     Remote {
         /// The wire code from the error frame.
@@ -114,6 +125,8 @@ impl ServeError {
             ServeError::Timeout => code::TIMEOUT,
             ServeError::Internal(_) => code::INTERNAL,
             ServeError::NoHealthyShard => code::NO_HEALTHY_SHARD,
+            ServeError::BadBudget(_) => code::BAD_BUDGET,
+            ServeError::RefineDisabled => code::REFINE_DISABLED,
             ServeError::Remote { code, .. } => *code,
         }
     }
@@ -151,6 +164,8 @@ impl fmt::Display for ServeError {
             ServeError::Timeout => write!(f, "request timed out"),
             ServeError::Internal(m) => write!(f, "internal error: {m}"),
             ServeError::NoHealthyShard => write!(f, "no healthy shard available"),
+            ServeError::BadBudget(m) => write!(f, "bad refine budget: {m}"),
+            ServeError::RefineDisabled => write!(f, "refinement not enabled on this server"),
             ServeError::Remote { code, message } => {
                 write!(f, "server error {code}: {message}")
             }
@@ -181,13 +196,15 @@ mod tests {
             ServeError::Internal(String::new()),
             ServeError::DigestCollision(0),
             ServeError::NoHealthyShard,
+            ServeError::BadBudget(String::new()),
+            ServeError::RefineDisabled,
         ];
         let codes: Vec<u16> = all.iter().map(ServeError::code).collect();
         let mut sorted = codes.clone();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), all.len(), "duplicate wire codes");
-        assert_eq!(codes, (1..=14).collect::<Vec<u16>>());
+        assert_eq!(codes, (1..=16).collect::<Vec<u16>>());
     }
 
     #[test]

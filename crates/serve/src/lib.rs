@@ -47,8 +47,11 @@ pub mod server;
 
 pub use batcher::{Batcher, BatcherConfig, Query};
 pub use cache::{patch_digest, patch_digest_bytes, patch_verify, LatentCache, Lookup};
-pub use client::{Client, QueryResult};
-pub use engine::{Engine, EngineConfig};
+pub use client::{Client, QueryResult, RefineResult};
+pub use engine::{
+    Engine, EngineConfig, RefineOutcome, MAX_INFLIGHT_REFINE_COST, MAX_REFINE_POINTS,
+    MAX_REFINE_STEPS,
+};
 pub use error::ServeError;
 pub use loadmodel::{ArrivalSchedule, SplitMix64, Zipf};
 pub use metrics::ServeStats;

@@ -27,6 +27,8 @@ pub struct ServeStats {
     queries: AtomicU64,
     conns: AtomicU64,
     busy_rejects: AtomicU64,
+    refines: AtomicU64,
+    refine_steps: AtomicU64,
     latencies: Mutex<Ring>,
 }
 
@@ -46,6 +48,8 @@ impl ServeStats {
             queries: AtomicU64::new(0),
             conns: AtomicU64::new(0),
             busy_rejects: AtomicU64::new(0),
+            refines: AtomicU64::new(0),
+            refine_steps: AtomicU64::new(0),
             latencies: Mutex::new(Ring { buf: vec![0; RING_CAPACITY], next: 0, len: 0 }),
         }
     }
@@ -119,6 +123,22 @@ impl ServeStats {
     /// Requests or connections refused with `Busy` so far.
     pub fn busy_rejects(&self) -> u64 {
         self.busy_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Records one completed refinement and the candidate steps it ran.
+    pub fn note_refine(&self, steps: u64) {
+        self.refines.fetch_add(1, Ordering::Relaxed);
+        self.refine_steps.fetch_add(steps, Ordering::Relaxed);
+    }
+
+    /// Completed refinement requests so far.
+    pub fn refines(&self) -> u64 {
+        self.refines.load(Ordering::Relaxed)
+    }
+
+    /// Gradient candidate steps run across all refinements so far.
+    pub fn refine_steps(&self) -> u64 {
+        self.refine_steps.load(Ordering::Relaxed)
     }
 
     /// Latency percentiles (µs) over the recent window, one per requested

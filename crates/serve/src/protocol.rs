@@ -31,7 +31,7 @@ pub const HEADER_LEN: usize = 12;
 /// Maximum payload size (16 MiB) — caps memory a frame can demand.
 pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
 
-/// Frame kinds. Requests are `0x01..=0x06`; each response is the request
+/// Frame kinds. Requests are `0x01..=0x07`; each response is the request
 /// kind with the high bit set; `0xFF` is the error frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -51,6 +51,12 @@ pub enum Kind {
     /// Serving statistics request (empty payload). A shard answers with one
     /// [`ShardStat`]; a router answers with one per healthy shard.
     Stats = 0x06,
+    /// Test-time physics refinement of a cached latent: `digest: u64`,
+    /// `max_steps: u32`, `tol: f32`, `max_micros: u64`, `count: u32`, then
+    /// per query `batch: u32, t: f32, z: f32, x: f32`. The digest leads the
+    /// payload so a router shards Refine by the same first-8-bytes rule as
+    /// [`Kind::Query`].
+    Refine = 0x07,
     /// Response to [`Kind::Ping`] (empty payload).
     Pong = 0x81,
     /// Response to [`Kind::Info`]: a [`ModelInfo`].
@@ -64,6 +70,10 @@ pub enum Kind {
     /// Response to [`Kind::Stats`]: `count: u32`, then `count`
     /// [`ShardStat`]s.
     StatsResp = 0x86,
+    /// Response to [`Kind::Refine`]: `digest: u64`, `steps_run: u32`,
+    /// `steps_accepted: u32`, `initial_residual: f32`, `final_residual: f32`,
+    /// `count: u32`, `channels: u32`, then `count·channels` f32s.
+    RefineResp = 0x87,
     /// Error frame: `code: u16`, then a UTF-8 message.
     Error = 0xFF,
 }
@@ -78,11 +88,13 @@ impl Kind {
             0x04 => Some(Kind::Query),
             0x05 => Some(Kind::EncodeQuery),
             0x06 => Some(Kind::Stats),
+            0x07 => Some(Kind::Refine),
             0x81 => Some(Kind::Pong),
             0x82 => Some(Kind::InfoResp),
             0x83 => Some(Kind::EncodeResp),
             0x84 => Some(Kind::QueryResp),
             0x86 => Some(Kind::StatsResp),
+            0x87 => Some(Kind::RefineResp),
             0xFF => Some(Kind::Error),
             _ => None,
         }

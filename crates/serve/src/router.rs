@@ -334,7 +334,7 @@ fn dispatch(
             reply(stream, r)
         }
         Some(Kind::Stats) => reply(stream, gather_stats(ctx)),
-        Some(k @ (Kind::Encode | Kind::Query | Kind::EncodeQuery)) => {
+        Some(k @ (Kind::Encode | Kind::Query | Kind::EncodeQuery | Kind::Refine)) => {
             let digest = extract_digest(ctx, k, payload);
             reply(stream, forward(ctx, pool, k, payload, digest))
         }
@@ -346,7 +346,10 @@ fn dispatch(
 
 /// The ring key for a request frame, from payload bytes alone.
 ///
-/// `Query` carries the digest verbatim in its first 8 bytes. For `Encode`
+/// `Query` and `Refine` carry the digest verbatim in their first 8 bytes
+/// (the `Refine` payload leads with the digest for exactly this reason —
+/// refinements shard to the same cache as the queries they upgrade). For
+/// `Encode`
 /// and `EncodeQuery` the digest is recomputed exactly as the shard will:
 /// FNV-1a over the patch dims `[batch, C, nt, nz, nx]` then the raw LE f32
 /// bytes (`EncodeQuery` trailing query bytes are not part of the patch).
@@ -355,7 +358,7 @@ fn dispatch(
 /// duplicates payload validation.
 fn extract_digest(ctx: &Ctx, kind: Kind, payload: &[u8]) -> Option<u64> {
     match kind {
-        Kind::Query => {
+        Kind::Query | Kind::Refine => {
             let b = payload.get(0..8)?;
             Some(u64::from_le_bytes(b.try_into().ok()?))
         }

@@ -40,9 +40,10 @@
 //! responses flush, idle connections are told `ShuttingDown`, and
 //! `shutdown()` joins every thread before returning.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, RefineOutcome};
 use crate::error::ServeError;
 use crate::protocol::{self, write_error, write_frame, Cursor, FrameDecoder, Kind};
+use mfn_core::RefineBudget;
 use mfn_telemetry::Recorder;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -351,7 +352,7 @@ impl Conn {
                 });
                 self.queue(seq, (r, t0));
             }
-            Some(Kind::Encode | Kind::Query | Kind::EncodeQuery) => {
+            Some(Kind::Encode | Kind::Query | Kind::EncodeQuery | Kind::Refine) => {
                 match job_tx.try_send(Job { conn: id, gen: self.gen, seq, kind, payload, t0 }) {
                     Ok(()) => self.inflight += 1,
                     Err(TrySendError::Full(_)) => {
@@ -663,6 +664,15 @@ fn handle_request(
             let (digest, hit, values, channels) = engine.encode_query(batch, data, queries)?;
             Ok((Kind::QueryResp, query_resp(digest, hit, &values, channels)))
         }
+        Some(Kind::Refine) => {
+            let mut c = Cursor::new(payload);
+            let digest = c.u64()?;
+            let budget = RefineBudget { max_steps: c.u32()?, tol: c.f32()?, max_micros: c.u64()? };
+            let queries = decode_queries(&mut c)?;
+            c.finish()?;
+            let out = engine.refine(digest, queries, budget)?;
+            Ok((Kind::RefineResp, refine_resp(digest, &out)))
+        }
         // Ping/Info/Stats are answered inline by the IO loop; anything else
         // reaching the pool is protocol misuse.
         Some(_) | None => Err(ServeError::UnknownKind { kind }),
@@ -723,6 +733,20 @@ fn query_resp(digest: u64, hit: bool, values: &[f32], channels: usize) -> Vec<u8
     p
 }
 
+fn refine_resp(digest: u64, out: &RefineOutcome) -> Vec<u8> {
+    let count = out.values.len() / out.channels.max(1);
+    let mut p = Vec::with_capacity(32 + out.values.len() * 4);
+    p.extend_from_slice(&digest.to_le_bytes());
+    p.extend_from_slice(&out.report.steps_run.to_le_bytes());
+    p.extend_from_slice(&out.report.steps_accepted.to_le_bytes());
+    p.extend_from_slice(&out.report.initial_residual.to_le_bytes());
+    p.extend_from_slice(&out.report.final_residual.to_le_bytes());
+    p.extend_from_slice(&(count as u32).to_le_bytes());
+    p.extend_from_slice(&(out.channels as u32).to_le_bytes());
+    protocol::put_f32s(&mut p, &out.values);
+    p
+}
+
 fn publish_loop(
     engine: Arc<Engine>,
     recorder: Recorder,
@@ -756,6 +780,8 @@ fn publish_loop(
         recorder.gauge("serve.cache_hits", engine.cache().hits() as f64);
         recorder.gauge("serve.cache_misses", engine.cache().misses() as f64);
         recorder.gauge("serve.cache_collisions", engine.cache().collisions() as f64);
+        recorder.gauge("serve.refines", stats.refines() as f64);
+        recorder.gauge("serve.refine_steps", stats.refine_steps() as f64);
         let calls = engine.batcher().decode_calls();
         if calls > 0 {
             recorder.gauge(

@@ -14,7 +14,7 @@
 //!   same patch and queries. Failover may cost availability blips; it must
 //!   never cost correctness.
 
-use mfn_core::{FrozenModel, MeshfreeFlowNet, MfnConfig};
+use mfn_core::{FrozenModel, MeshfreeFlowNet, MfnConfig, RefineBudget, RefineSettings};
 use mfn_data::PatchSpec;
 use mfn_serve::error::code;
 use mfn_serve::{
@@ -44,16 +44,30 @@ fn fresh_engine() -> Arc<Engine> {
     ))
 }
 
-fn start_shard() -> (Server, String) {
+/// Same weights, refinement tier enabled — for the mid-refine kill test.
+fn fresh_refine_engine() -> Arc<Engine> {
+    let cfg = tiny_cfg();
+    let refine = Some(RefineSettings::from_config(&cfg));
+    Arc::new(Engine::new(
+        FrozenModel::from_model(MeshfreeFlowNet::new(cfg)),
+        EngineConfig { refine, ..EngineConfig::default() },
+    ))
+}
+
+fn start_shard_with(engine: Arc<Engine>) -> (Server, String) {
     let cfg = ServerConfig {
         workers: 2,
         request_timeout: Duration::from_millis(500),
         idle_poll: Duration::from_millis(5),
         ..ServerConfig::default()
     };
-    let server = Server::start(fresh_engine(), cfg, Recorder::null()).expect("start shard");
+    let server = Server::start(engine, cfg, Recorder::null()).expect("start shard");
     let addr = server.local_addr().to_string();
     (server, addr)
+}
+
+fn start_shard() -> (Server, String) {
+    start_shard_with(fresh_engine())
 }
 
 fn lcg_f32(state: &mut u64) -> f32 {
@@ -193,6 +207,113 @@ fn shard_kill_under_load_reroutes_and_stays_bit_identical() {
     for round in 200..202 {
         for idx in 0..PATCHES {
             check(&mut client, idx, round).expect("post-convergence query");
+        }
+    }
+
+    router.shutdown();
+    shard_b.shutdown();
+}
+
+/// Kill a shard under *refine* load. The premium tier inherits the fleet's
+/// correctness contract unchanged: a digest rerouted to the survivor misses
+/// as `UnknownDigest`, the standard re-encode recovery restores it, and the
+/// refined values served after failover are bit-identical to a direct
+/// single-process refinement of the same (patch, points, budget) — the
+/// survivor re-encodes the same patch bytes to the same latent, and
+/// refinement is deterministic from there.
+#[test]
+fn shard_kill_mid_refine_load_recovers_bit_identical() {
+    let (shard_a, addr_a) = start_shard_with(fresh_refine_engine());
+    let (shard_b, addr_b) = start_shard_with(fresh_refine_engine());
+    let router = Router::start(RouterConfig {
+        shards: vec![addr_a.clone(), addr_b.clone()],
+        health_interval: Duration::from_millis(50),
+        fail_threshold: 2,
+        request_timeout: Duration::from_secs(2),
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    let raddr = router.local_addr().to_string();
+
+    // The oracle: a direct in-process refine-enabled engine over the same
+    // frozen weights.
+    let reference = fresh_refine_engine();
+    let numel = reference.patch_numel(1);
+    const PATCHES: usize = 4;
+    const QN: usize = 6;
+    let budget = RefineBudget::steps(4);
+
+    let mut client = Client::connect(&raddr).expect("connect router");
+    client.set_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    let mut digests = Vec::new();
+    for idx in 0..PATCHES {
+        let patch = gen_patch(idx, numel);
+        let (digest, _) = client.encode(1, &patch).expect("warm encode via router");
+        let (ref_digest, _) = reference.encode_patch(1, patch.clone()).expect("reference encode");
+        assert_eq!(digest, ref_digest);
+        digests.push(digest);
+    }
+
+    // One refine request via the fleet (standard miss recovery: re-encode,
+    // retry), checked bitwise against the direct single-process refinement.
+    let check = |client: &mut Client, idx: usize, round: usize| -> Result<(), ServeError> {
+        let qs = gen_queries(idx * 137 + round, QN);
+        let fleet = match client.refine(digests[idx], &qs, budget) {
+            Err(ServeError::Remote { code: c, .. }) if c == code::UNKNOWN_DIGEST => {
+                let patch = gen_patch(idx, numel);
+                client.encode(1, &patch)?;
+                client.refine(digests[idx], &qs, budget)?
+            }
+            other => other?,
+        };
+        let direct = reference.refine(digests[idx], qs.clone(), budget).expect("reference refine");
+        assert_eq!(fleet.steps_run, direct.report.steps_run, "step counts diverged");
+        assert_eq!(fleet.steps_accepted, direct.report.steps_accepted);
+        assert_eq!(
+            fleet.final_residual.to_bits(),
+            direct.report.final_residual.to_bits(),
+            "round {round}, patch {idx}: residual diverged"
+        );
+        assert_eq!(fleet.values.len(), direct.values.len());
+        for (i, (got, want)) in fleet.values.iter().zip(&direct.values).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "round {round}, patch {idx}, value {i}: fleet refine {got} != direct {want}"
+            );
+        }
+        Ok(())
+    };
+
+    // Phase 1: healthy fleet.
+    for round in 0..2 {
+        for idx in 0..PATCHES {
+            check(&mut client, idx, round).expect("healthy-fleet refine");
+        }
+    }
+
+    // Phase 2: kill shard A mid-refine-load; keep driving until the
+    // survivor has answered every digest refined, bit-identical, twice.
+    shard_a.shutdown();
+    let kill_time = Instant::now();
+    let mut post_kill_successes = 0usize;
+    let mut round = 100;
+    while post_kill_successes < 2 * PATCHES {
+        assert!(
+            kill_time.elapsed() < Duration::from_secs(20),
+            "fleet did not recover refine service within 20s of the shard kill"
+        );
+        round += 1;
+        for idx in 0..PATCHES {
+            match check(&mut client, idx, round) {
+                Ok(()) => post_kill_successes += 1,
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(25));
+                    client = Client::connect(&raddr).expect("reconnect after blip");
+                    client.set_timeout(Some(Duration::from_secs(5))).unwrap();
+                }
+            }
         }
     }
 

@@ -1,0 +1,192 @@
+//! Property tests for the test-time physics refinement serving mode.
+//!
+//! The refinement contract the serving layer advertises (DESIGN.md §14),
+//! checked end to end here:
+//!
+//! - **k=0 is free**: a zero-step refinement decodes exactly what a plain
+//!   `Query` decodes — bit-identical values over the wire;
+//! - **monotone residual**: the accepted-step residual trace never
+//!   increases (backtracking rejects any step that would);
+//! - **determinism**: for a fixed (weights, digest, points, budget) with no
+//!   wall-clock cap, refined responses are bit-reproducible — across
+//!   requests and across independently built engines;
+//! - **cache isolation**: refinement descends a *copy*; the shared LRU
+//!   entry's bytes are untouched and plain queries after a refinement
+//!   answer exactly as before it.
+
+use mfn_core::{FrozenModel, MeshfreeFlowNet, MfnConfig, RefineBudget, RefineSettings};
+use mfn_data::PatchSpec;
+use mfn_serve::error::code;
+use mfn_serve::{Client, Engine, EngineConfig, ServeError, Server, ServerConfig};
+use mfn_telemetry::Recorder;
+use std::sync::Arc;
+
+fn tiny_cfg() -> MfnConfig {
+    let mut cfg = MfnConfig::small();
+    cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 8, queries: 16 };
+    cfg.base_channels = 4;
+    cfg.latent_channels = 8;
+    cfg.mlp_hidden = vec![16, 16];
+    cfg.levels = 2;
+    cfg.seed = 23;
+    cfg
+}
+
+/// Deterministic weights: every engine in this file is the same function.
+fn refine_engine() -> Arc<Engine> {
+    let cfg = tiny_cfg();
+    let refine = Some(RefineSettings::from_config(&cfg));
+    Arc::new(Engine::new(
+        FrozenModel::from_model(MeshfreeFlowNet::new(cfg)),
+        EngineConfig { refine, ..EngineConfig::default() },
+    ))
+}
+
+fn lcg_f32(state: &mut u64) -> f32 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    ((*state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+}
+
+fn gen_patch(idx: u64, numel: usize) -> Vec<f32> {
+    let mut state = (idx + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (0..numel).map(|_| lcg_f32(&mut state)).collect()
+}
+
+/// Interior query points, away from the FD clamp band.
+fn gen_queries(seed: u64, n: usize) -> Vec<(usize, [f32; 3])> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            let mut coord = || 0.1 + 0.8 * (lcg_f32(&mut state) + 0.5);
+            (0usize, [coord(), coord(), coord()])
+        })
+        .collect()
+}
+
+#[test]
+fn zero_step_refine_is_bit_identical_to_plain_decode_over_the_wire() {
+    let engine = refine_engine();
+    let numel = engine.patch_numel(1);
+    let server = Server::start(
+        engine.clone(),
+        ServerConfig { workers: 2, ..ServerConfig::default() },
+        Recorder::null(),
+    )
+    .expect("start server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let (digest, _) = client.encode(1, &gen_patch(1, numel)).expect("encode");
+    let qs = gen_queries(5, 12);
+    let plain = client.query(digest, &qs).expect("plain query");
+    let refined = client.refine(digest, &qs, RefineBudget::steps(0)).expect("k=0 refine");
+
+    assert_eq!(refined.steps_run, 0);
+    assert_eq!(refined.steps_accepted, 0);
+    assert_eq!(refined.initial_residual.to_bits(), refined.final_residual.to_bits());
+    assert_eq!(refined.channels, plain.channels);
+    assert_eq!(refined.values.len(), plain.values.len());
+    for (i, (r, p)) in refined.values.iter().zip(&plain.values).enumerate() {
+        assert_eq!(
+            r.to_bits(),
+            p.to_bits(),
+            "value {i}: k=0 refine ({r}) must equal plain decode ({p})"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn residual_is_non_increasing_over_accepted_steps() {
+    let engine = refine_engine();
+    let numel = engine.patch_numel(1);
+    let (digest, _) = engine.encode_patch(1, gen_patch(2, numel)).expect("encode");
+    let qs = gen_queries(7, 10);
+    let out = engine.refine(digest, qs, RefineBudget::steps(16)).expect("refine");
+    let rep = &out.report;
+    assert!(rep.steps_accepted > 0, "descent should accept at least one step");
+    assert_eq!(rep.residual_trace.len() as u32, rep.steps_accepted + 1);
+    assert_eq!(rep.residual_trace[0], rep.initial_residual);
+    assert_eq!(*rep.residual_trace.last().unwrap(), rep.final_residual);
+    for w in rep.residual_trace.windows(2) {
+        assert!(w[1] <= w[0], "accepted step increased residual: {} -> {}", w[0], w[1]);
+    }
+}
+
+#[test]
+fn refined_responses_are_deterministic_across_requests_and_engines() {
+    let qs = gen_queries(9, 8);
+    let budget = RefineBudget::steps(6);
+
+    // Same request twice against one engine.
+    let engine = refine_engine();
+    let numel = engine.patch_numel(1);
+    let (digest, _) = engine.encode_patch(1, gen_patch(3, numel)).expect("encode");
+    let a = engine.refine(digest, qs.clone(), budget).expect("refine a");
+    let b = engine.refine(digest, qs.clone(), budget).expect("refine b");
+    assert_eq!(a.report, b.report, "reports must be identical across requests");
+    for (x, y) in a.values.iter().zip(&b.values) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+
+    // Same request against an independently constructed engine over the
+    // same deterministic weights.
+    let other = refine_engine();
+    let (digest2, _) = other.encode_patch(1, gen_patch(3, numel)).expect("encode other");
+    assert_eq!(digest, digest2, "identical patch bytes must digest identically");
+    let c = other.refine(digest2, qs, budget).expect("refine other");
+    assert_eq!(a.report, c.report, "reports must be identical across engines");
+    for (x, y) in a.values.iter().zip(&c.values) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn shared_cache_entry_is_bit_unchanged_after_refine() {
+    let engine = refine_engine();
+    let numel = engine.patch_numel(1);
+    let (digest, _) = engine.encode_patch(1, gen_patch(4, numel)).expect("encode");
+    let qs = gen_queries(11, 8);
+
+    let latent_before = engine.cache().get(digest).expect("cached latent").data().to_vec();
+    let (plain_before, _) = engine.query(digest, qs.clone()).expect("query before");
+
+    let out = engine.refine(digest, qs.clone(), RefineBudget::steps(12)).expect("refine");
+    assert!(out.report.steps_accepted > 0, "refinement should move the copy");
+
+    let latent_after = engine.cache().get(digest).expect("cached latent").data().to_vec();
+    assert_eq!(latent_before.len(), latent_after.len());
+    for (i, (a, b)) in latent_before.iter().zip(&latent_after).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "cache latent byte-changed at element {i}");
+    }
+
+    // And the plain query path still answers from the unrefined latent.
+    let (plain_after, _) = engine.query(digest, qs).expect("query after");
+    for (a, b) in plain_before.iter().zip(&plain_after) {
+        assert_eq!(a.to_bits(), b.to_bits(), "plain decode changed after a refinement");
+    }
+    // Refinement actually changed the decoded values (it wasn't a no-op).
+    assert!(
+        out.values.iter().zip(&plain_before).any(|(a, b)| a.to_bits() != b.to_bits()),
+        "accepted refinement steps should change decoded values"
+    );
+}
+
+#[test]
+fn refine_against_plain_server_is_a_typed_error() {
+    let cfg = tiny_cfg();
+    let engine = Arc::new(Engine::new(
+        FrozenModel::from_model(MeshfreeFlowNet::new(cfg)),
+        EngineConfig::default(),
+    ));
+    let numel = engine.patch_numel(1);
+    let server =
+        Server::start(engine, ServerConfig::default(), Recorder::null()).expect("start server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let (digest, _) = client.encode(1, &gen_patch(6, numel)).expect("encode");
+    let err = client.refine(digest, &gen_queries(13, 4), RefineBudget::steps(4)).unwrap_err();
+    match err {
+        ServeError::Remote { code: c, .. } => assert_eq!(c, code::REFINE_DISABLED),
+        other => panic!("expected typed RefineDisabled, got {other:?}"),
+    }
+    server.shutdown();
+}
