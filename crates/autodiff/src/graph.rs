@@ -911,7 +911,7 @@ fn ln_poly(x: f32) -> f32 {
 /// Numerically-stable softplus.
 ///
 /// Same regime structure as the textbook `ln(1 + eˣ)` with saturation at
-/// `|x| = 20`, but built on the inlined [`exp_poly`]/[`ln_poly`] kernels
+/// `|x| = 20`, but built on the inlined `exp_poly`/`ln_poly` kernels
 /// instead of libm calls: the whole body is straight-line selects, so a
 /// `Tensor::map` over it auto-vectorizes (~5x on the decode hot path, where
 /// the MLP's hidden activations dominate serving cost). Stays within the

@@ -29,7 +29,8 @@
 //! machine is that day.
 
 use mfn_core::{Corpus, FrozenModel, MeshfreeFlowNet, MfnConfig, TrainConfig, Trainer};
-use mfn_data::{downsample, make_batch, Dataset, PatchSampler, PatchSpec};
+use mfn_data::{downsample, make_batch, Dataset, PatchSampler, PatchSpec, QueryStrategy};
+use mfn_sample::{OctreeConfig, OctreeSampler};
 use mfn_solver::{simulate, RbcConfig};
 use mfn_tensor::{
     conv3d, conv3d_grad_input_direct, conv3d_grad_weight_direct, conv3d_im2col,
@@ -464,6 +465,82 @@ fn bench_decode(iters: usize) -> DecodeBench {
     DecodeBench { encode_ns, rows, bf16_rows, bf16_weight_bytes: frozen.quantized_weight_bytes() }
 }
 
+/// Measured sampling rows: uniform vs residual-guided adaptive query
+/// draws, plus the per-step octree update (EMA feedback + split/merge).
+struct SamplingBench {
+    queries: usize,
+    uniform_median_ns: f64,
+    uniform_best_ns: f64,
+    adaptive_median_ns: f64,
+    adaptive_best_ns: f64,
+    leaves: usize,
+    update_median_ns: f64,
+    update_best_ns: f64,
+}
+
+impl SamplingBench {
+    /// Adaptive draw cost relative to uniform (1.0 = free); the gated ratio.
+    fn overhead(&self) -> f64 {
+        self.adaptive_best_ns / self.uniform_best_ns
+    }
+}
+
+/// Builds an octree pre-warmed to a realistic refined shape (residual mass
+/// concentrated near one wall, the way the equation loss behaves on RBC)
+/// so the CDF walk in the timed draws crosses a split tree, not the root.
+fn warmed_tree(queries: usize) -> OctreeSampler {
+    let mut tree = OctreeSampler::new(OctreeConfig { min_count: 32, ..OctreeConfig::default() });
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    for _ in 0..64 {
+        let draws = tree.draw_queries(queries, &mut rng);
+        let points: Vec<[f32; 3]> = draws.iter().map(|d| d.local).collect();
+        let residuals: Vec<f32> =
+            points.iter().map(|p| if p[1] < 0.2 { 1.0 } else { 0.05 }).collect();
+        tree.update(&points, &residuals);
+    }
+    tree
+}
+
+/// Times uniform vs adaptive query draws interleaved (their quotient is the
+/// gated `adaptive_overhead`), then the per-step tree update on its own.
+fn bench_sampling(iters: usize) -> SamplingBench {
+    let q = 256usize;
+    let mut tree = warmed_tree(q);
+    let leaves = tree.leaf_count();
+    let mut uniform = mfn_data::UniformQueries;
+    let mut rng_u = ChaCha8Rng::seed_from_u64(12);
+    let mut rng_a = ChaCha8Rng::seed_from_u64(13);
+    let timings = time_interleaved(
+        iters,
+        &mut [
+            &mut || {
+                std::hint::black_box(uniform.draw_queries(q, &mut rng_u));
+            },
+            &mut || {
+                std::hint::black_box(tree.draw_queries(q, &mut rng_a));
+            },
+        ],
+    );
+    // Fixed feedback batch: the update cost is what every adaptive training
+    // step pays on top of the uniform path's loss computation.
+    let mut rng = ChaCha8Rng::seed_from_u64(14);
+    let draws = tree.draw_queries(q, &mut rng);
+    let points: Vec<[f32; 3]> = draws.iter().map(|d| d.local).collect();
+    let residuals: Vec<f32> = points.iter().map(|p| if p[1] < 0.2 { 1.0 } else { 0.05 }).collect();
+    let (update_median_ns, update_best_ns, _) =
+        time_samples(iters, || tree.update(&points, &residuals));
+    SamplingBench {
+        queries: q,
+        uniform_median_ns: timings[0].0,
+        uniform_best_ns: timings[0].1,
+        adaptive_median_ns: timings[1].0,
+        adaptive_best_ns: timings[1].1,
+        leaves,
+        update_median_ns,
+        update_best_ns,
+    }
+}
+
 /// The tiny training problem used for the one-train-step benchmark.
 fn train_fixture() -> (Corpus, Trainer) {
     let sim =
@@ -546,6 +623,20 @@ struct GateConv {
 #[derive(serde::Deserialize)]
 struct GateKernel {
     gflops: f64,
+}
+
+/// Optional `sampling` section of a committed baseline. Parsed separately
+/// from [`GateBaseline`] so reports written before the adaptive sampler
+/// landed still gate the kernel ratios — the sampling leg is just skipped.
+#[derive(serde::Deserialize)]
+struct GateSamplingDoc {
+    sampling: GateSampling,
+}
+
+/// Baseline sampling row: only the overhead ratio matters to the gate.
+#[derive(serde::Deserialize)]
+struct GateSampling {
+    adaptive_overhead: f64,
 }
 
 /// `--gate` floor: each speedup ratio must hold at least this fraction of
@@ -849,6 +940,20 @@ fn main() {
         100.0 * alloc_drop
     );
 
+    // ---- Query sampling: uniform vs residual-guided adaptive draws ------
+    eprintln!("[bench] timing query sampling, uniform vs adaptive ({iters} iters) ...");
+    let sampling = bench_sampling(iters);
+    eprintln!(
+        "[bench] sampling ({} pts/draw): uniform {:.1} / adaptive {:.1} Mpts/s \
+         ({:.2}x overhead, {} leaves); tree update {:.0} ns/step",
+        sampling.queries,
+        sampling.queries as f64 * 1e3 / sampling.uniform_best_ns,
+        sampling.queries as f64 * 1e3 / sampling.adaptive_best_ns,
+        sampling.overhead(),
+        sampling.leaves,
+        sampling.update_median_ns,
+    );
+
     // ---- JSON report ----------------------------------------------------
     let mut gemm_json = String::new();
     for (idx, r) in rows.iter().enumerate() {
@@ -908,6 +1013,13 @@ fn main() {
          \"bf16_speedup_1q\": {bf16_speedup_1q:.3},\n\
          \"bf16_speedup_512q\": {bf16_speedup:.3}\n\
          }},\n\
+         \"sampling\": {{\n\
+         \"queries_per_draw\": {sq},\n\
+         \"uniform\": {{\"median_ns\": {su_med:.0}, \"best_ns\": {su_best:.0}, \"points_per_s\": {su_pps:.0}}},\n\
+         \"adaptive\": {{\"median_ns\": {sa_med:.0}, \"best_ns\": {sa_best:.0}, \"points_per_s\": {sa_pps:.0}, \"octree_leaves\": {s_leaves}}},\n\
+         \"adaptive_overhead\": {s_overhead:.3},\n\
+         \"tree_update\": {{\"median_ns\": {st_med:.0}, \"best_ns\": {st_best:.0}}}\n\
+         }},\n\
          \"train_step\": {{\n\
          \"pool_on\": {{\"median_ns\": {on_ns:.0}, \"alloc_bytes\": {on_b}, \"alloc_calls\": {on_c}, \"pool_hits\": {on_h}, \"pool_misses\": {on_m}}},\n\
          \"pool_off\": {{\"median_ns\": {off_ns:.0}, \"alloc_bytes\": {off_b}, \"alloc_calls\": {off_c}, \"pool_hits\": {off_h}, \"pool_misses\": {off_m}}},\n\
@@ -932,6 +1044,17 @@ fn main() {
         encode_ns = encode_ns,
         enc_dec_ratio = encode_ns / decode_rows.first().expect("decode rows").median_ns,
         bf16_bytes = decode.bf16_weight_bytes,
+        sq = sampling.queries,
+        su_med = sampling.uniform_median_ns,
+        su_best = sampling.uniform_best_ns,
+        su_pps = sampling.queries as f64 * 1e9 / sampling.uniform_best_ns,
+        sa_med = sampling.adaptive_median_ns,
+        sa_best = sampling.adaptive_best_ns,
+        sa_pps = sampling.queries as f64 * 1e9 / sampling.adaptive_best_ns,
+        s_leaves = sampling.leaves,
+        s_overhead = sampling.overhead(),
+        st_med = sampling.update_median_ns,
+        st_best = sampling.update_best_ns,
         on_ns = pool_on.median_ns,
         on_b = pool_on.alloc_bytes_per_step,
         on_c = pool_on.alloc_calls_per_step,
@@ -995,6 +1118,42 @@ fn main() {
         if let Err(e) = run_gate(&path, baseline, (speedup, direct_ns / implicit_ns), remeasure) {
             eprintln!("[bench] FAIL: {e}");
             std::process::exit(1);
+        }
+        // Sampling leg: the adaptive draw's cost relative to uniform must
+        // not balloon past the committed baseline. Ratio of two interleaved
+        // minima, so machine speed divides out like the kernel legs.
+        match serde_json::from_str::<GateSamplingDoc>(baseline) {
+            Ok(doc) => {
+                let base = doc.sampling.adaptive_overhead;
+                let ceiling = base / GATE_FRACTION;
+                let mut now = sampling.overhead();
+                let mut passed = false;
+                for attempt in 0..3 {
+                    eprintln!(
+                        "[gate] sampling adaptive/uniform draw cost: now {now:.2}x vs \
+                         baseline {base:.2}x (ceiling {ceiling:.2}x)"
+                    );
+                    if now <= ceiling {
+                        passed = true;
+                        break;
+                    }
+                    if attempt < 2 {
+                        eprintln!("[gate] above ceiling; re-measuring in a fresh window ...");
+                        std::thread::sleep(std::time::Duration::from_millis(500));
+                        now = now.min(bench_sampling(iters).overhead());
+                    }
+                }
+                if !passed {
+                    eprintln!(
+                        "[bench] FAIL: adaptive draw overhead {now:.2}x stayed above \
+                         {ceiling:.2}x (baseline {base:.2}x / {GATE_FRACTION}) across 3 windows"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(_) => {
+                eprintln!("[gate] baseline has no sampling section; skipping sampling leg");
+            }
         }
         eprintln!("[bench] gate vs {path}: ok");
     }

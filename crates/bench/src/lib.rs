@@ -107,7 +107,7 @@ impl ExperimentScale {
     }
 
     /// The paper's configuration: 512×128 grid, 400 frames, 4×/8×
-    /// downsampling, [4,16,16] patches, full Fig. 5 widths. CPU-hostile;
+    /// downsampling, `[4,16,16]` patches, full Fig. 5 widths. CPU-hostile;
     /// provided for completeness (`repro <exp> --paper-scale`).
     pub fn paper() -> Self {
         let model = MfnConfig::paper();
@@ -138,8 +138,7 @@ impl ExperimentScale {
             epochs: self.epochs,
             grad_clip: 1.0,
             lr_decay: self.lr_decay,
-            seed: 0,
-            checkpoint_every: 0,
+            ..TrainConfig::default()
         }
     }
 

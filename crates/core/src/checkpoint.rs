@@ -29,6 +29,10 @@ use std::path::{Path, PathBuf};
 const STATE_MAGIC: &[u8; 8] = b"MFNSTAT1";
 /// Frame format version.
 const STATE_VERSION: u32 = 1;
+/// Magic of the optional trailing adaptive-sampler section. Absent for
+/// uniform-sampling runs, so their checkpoints stay byte-identical to the
+/// pre-sampler format (and old checkpoints keep loading).
+const SAMPLER_MAGIC: &[u8; 8] = b"MFNSMPL1";
 
 /// Why a checkpoint could not be written or restored.
 #[derive(Debug)]
@@ -105,6 +109,10 @@ pub struct TrainStateMeta {
     /// Sampler stream positions — one for a single-process trainer, one per
     /// logical rank for the distributed supervisor.
     pub rngs: Vec<RngState>,
+    /// Serialized adaptive-sampler (octree) states, one per rank, mirroring
+    /// `rngs`. Empty for uniform-sampling runs — then no `MFNSMPL1` section
+    /// is written and the payload is byte-identical to the legacy format.
+    pub samplers: Vec<Vec<u8>>,
 }
 
 /// Serializes model + optimizer + loop position into a checkpoint payload
@@ -123,7 +131,62 @@ pub fn encode_train_state(model: &MeshfreeFlowNet, opt: &Adam, meta: &TrainState
     write_params(&model.store, &mut buf).expect("vec write");
     model.write_bn_stats(&mut buf).expect("vec write");
     write_adam(opt, &mut buf).expect("vec write");
+    if !meta.samplers.is_empty() {
+        buf.write_all(SAMPLER_MAGIC).expect("vec write");
+        buf.write_all(&(meta.samplers.len() as u64).to_le_bytes()).expect("vec write");
+        for s in &meta.samplers {
+            buf.write_all(&(s.len() as u64).to_le_bytes()).expect("vec write");
+            buf.write_all(s).expect("vec write");
+        }
+    }
     buf
+}
+
+/// Reads the optional trailing `MFNSMPL1` sampler section. Clean EOF at the
+/// section boundary means a legacy/uniform payload (no section → empty vec);
+/// anything partial or mislabeled is corruption.
+fn read_sampler_section(r: &mut impl Read) -> Result<Vec<Vec<u8>>, CheckpointError> {
+    let mut magic = [0u8; 8];
+    let mut got = 0usize;
+    while got < 8 {
+        match r.read(&mut magic[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(CheckpointError::Io(e)),
+        }
+    }
+    if got == 0 {
+        return Ok(Vec::new());
+    }
+    if got < 8 {
+        return Err(CheckpointError::Corrupt(format!(
+            "trailing section header truncated at {got} bytes"
+        )));
+    }
+    if &magic != SAMPLER_MAGIC {
+        return Err(CheckpointError::Corrupt("bad sampler-section magic".into()));
+    }
+    let u64le = |r: &mut dyn Read| -> Result<u64, CheckpointError> {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b).map_err(decode_err)?;
+        Ok(u64::from_le_bytes(b))
+    };
+    let count = u64le(r)? as usize;
+    if count == 0 || count > 1 << 20 {
+        return Err(CheckpointError::Corrupt(format!("implausible sampler count {count}")));
+    }
+    let mut samplers = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = u64le(r)? as usize;
+        if len > 1 << 30 {
+            return Err(CheckpointError::Corrupt(format!("implausible sampler size {len}")));
+        }
+        let mut bytes = vec![0u8; len];
+        r.read_exact(&mut bytes).map_err(decode_err)?;
+        samplers.push(bytes);
+    }
+    Ok(samplers)
 }
 
 /// Restores a payload produced by [`encode_train_state`] into `model`,
@@ -153,7 +216,15 @@ pub fn decode_train_state(
     read_params(&mut model.store, r).map_err(decode_err)?;
     model.read_bn_stats(r).map_err(decode_err)?;
     let opt = read_adam(&model.store, r).map_err(decode_err)?;
-    Ok((opt, TrainStateMeta { global_step, epoch, batch_cursor, rngs }))
+    let samplers = read_sampler_section(r)?;
+    if !samplers.is_empty() && samplers.len() != rngs.len() {
+        return Err(CheckpointError::Corrupt(format!(
+            "{} sampler states for {} RNG streams",
+            samplers.len(),
+            rngs.len()
+        )));
+    }
+    Ok((opt, TrainStateMeta { global_step, epoch, batch_cursor, rngs, samplers }))
 }
 
 /// Restores only the inference-relevant slice of a train-state payload —
@@ -186,7 +257,7 @@ pub fn decode_inference_state(
     }
     read_params(&mut model.store, r).map_err(decode_err)?;
     model.read_bn_stats(r).map_err(decode_err)?;
-    Ok(TrainStateMeta { global_step, epoch, batch_cursor, rngs })
+    Ok(TrainStateMeta { global_step, epoch, batch_cursor, rngs, samplers: Vec::new() })
 }
 
 /// The rotation target for the previous good checkpoint.
@@ -356,6 +427,7 @@ mod tests {
             epoch: 1,
             batch_cursor: 2,
             rngs: vec![RngState { seed: 3, words: 11 }],
+            samplers: Vec::new(),
         };
         let dir = tmpdir("drift");
         let path = dir.join("state.ckpt");
@@ -392,6 +464,64 @@ mod tests {
             Err(CheckpointError::Incompatible(_))
         ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sampler_section_roundtrips_and_legacy_payloads_still_load() {
+        use crate::config::MfnConfig;
+        use crate::model::MeshfreeFlowNet;
+        use mfn_autodiff::{Adam, AdamConfig};
+        use mfn_data::PatchSpec;
+
+        let mut cfg = MfnConfig::small();
+        cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 4, queries: 16 };
+        cfg.base_channels = 4;
+        cfg.latent_channels = 8;
+        cfg.mlp_hidden = vec![16, 16];
+        cfg.levels = 2;
+        let model = MeshfreeFlowNet::new(cfg.clone());
+        let opt = Adam::new(&model.store, AdamConfig::default());
+
+        let plain = TrainStateMeta {
+            global_step: 3,
+            epoch: 0,
+            batch_cursor: 3,
+            rngs: vec![RngState { seed: 5, words: 17 }],
+            samplers: Vec::new(),
+        };
+        let with_tree = TrainStateMeta { samplers: vec![vec![1u8, 2, 3, 4, 5]], ..plain.clone() };
+
+        let legacy = encode_train_state(&model, &opt, &plain);
+        let extended = encode_train_state(&model, &opt, &with_tree);
+        // The sampler section strictly appends: uniform runs write the
+        // legacy bytes, adaptive runs the legacy bytes plus the section.
+        assert!(extended.starts_with(&legacy));
+        assert!(extended.len() > legacy.len());
+
+        let mut m = MeshfreeFlowNet::new(cfg.clone());
+        let (_, meta) =
+            decode_train_state(&mut m, &mut std::io::Cursor::new(&extended)).expect("decode");
+        assert_eq!(meta, with_tree);
+        let mut m = MeshfreeFlowNet::new(cfg.clone());
+        let (_, meta) =
+            decode_train_state(&mut m, &mut std::io::Cursor::new(&legacy)).expect("legacy");
+        assert_eq!(meta, plain);
+
+        // A sampler count that disagrees with the RNG streams is corruption.
+        let two = TrainStateMeta { samplers: vec![vec![1], vec![2]], ..plain.clone() };
+        let bad = encode_train_state(&model, &opt, &two);
+        let mut m = MeshfreeFlowNet::new(cfg.clone());
+        assert!(matches!(
+            decode_train_state(&mut m, &mut std::io::Cursor::new(&bad)),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        // A truncated sampler section is corruption, not a clean load.
+        let cut = &extended[..extended.len() - 2];
+        let mut m = MeshfreeFlowNet::new(cfg);
+        assert!(matches!(
+            decode_train_state(&mut m, &mut std::io::Cursor::new(cut)),
+            Err(CheckpointError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -137,6 +137,48 @@ pub fn prediction_loss(
     (g.l1_loss(pred, target), pred)
 }
 
+/// Weighted mean of per-row absolute values: `Σ_j w_j · mean_c |x[j, c]|`.
+///
+/// With `w_j = 1/rows` this equals the plain `mean(|x|)` the unweighted
+/// losses take, so self-normalized importance weights (summing to 1) keep
+/// the loss an unbiased estimate of the same uniform-sampling objective.
+pub fn weighted_l1(g: &mut Graph, x: Var, row_weights: &[f32]) -> Var {
+    let dims = g.value(x).dims().to_vec();
+    assert_eq!(dims.len(), 2, "weighted_l1 expects a [rows, cols] tape value");
+    let (rows, cols) = (dims[0], dims[1]);
+    assert_eq!(row_weights.len(), rows, "one weight per row");
+    let mut w = Vec::with_capacity(rows * cols);
+    for &wj in row_weights {
+        for _ in 0..cols {
+            w.push(wj / cols as f32);
+        }
+    }
+    let a = g.abs(x);
+    let wt = g.constant(Tensor::from_vec(w, &[rows, cols]));
+    let m = g.mul(a, wt);
+    g.sum(m)
+}
+
+/// Weighted prediction loss: like [`prediction_loss`] but each query point
+/// contributes with its importance weight instead of `1/Q`. `row_weights`
+/// runs over the flattened query points of all samples and must sum to 1.
+/// Returns `(loss, predictions)`.
+pub fn weighted_prediction_loss(
+    g: &mut Graph,
+    store: &ParamStore,
+    decoder: &ContinuousDecoder,
+    latent: Var,
+    samples: &[Sample],
+    grid_dims: [usize; 3],
+    row_weights: &[f32],
+) -> (Var, Var) {
+    let plan = prediction_plan(grid_dims, samples);
+    let pred = decoder.decode(g, store, latent, &plan);
+    let target = g.constant(stack_targets(samples));
+    let diff = g.sub(pred, target);
+    (weighted_l1(g, diff, row_weights), pred)
+}
+
 /// The seven stencil components, in plan order.
 const STENCIL: [[f32; 3]; 7] = [
     [0.0, 0.0, 0.0],  // center
@@ -203,6 +245,75 @@ pub fn equation_loss(
 /// constraints.
 #[allow(clippy::too_many_arguments)]
 pub fn equation_loss_at_points(
+    g: &mut Graph,
+    store: &ParamStore,
+    decoder: &ContinuousDecoder,
+    latent: Var,
+    points: &[(usize, [f32; 3])],
+    grid_dims: [usize; 3],
+    extent_phys: [f64; 3],
+    params: RbcParamsF32,
+    stats: ChannelStats,
+    h_local: f32,
+    constraints: ConstraintSet,
+) -> Var {
+    let all = equation_residuals_at_points(
+        g,
+        store,
+        decoder,
+        latent,
+        points,
+        grid_dims,
+        extent_phys,
+        params,
+        stats,
+        h_local,
+        constraints,
+    );
+    let a = g.abs(all);
+    g.mean(a)
+}
+
+/// Weighted equation loss: each point's mean absolute residual contributes
+/// with its importance weight (`row_weights` must sum to 1). Returns the
+/// loss together with the raw `[points, constraints]` residual tape node so
+/// the caller can read per-point residual magnitudes back for sampler
+/// feedback without a second decode.
+#[allow(clippy::too_many_arguments)]
+pub fn weighted_equation_loss_at_points(
+    g: &mut Graph,
+    store: &ParamStore,
+    decoder: &ContinuousDecoder,
+    latent: Var,
+    points: &[(usize, [f32; 3])],
+    grid_dims: [usize; 3],
+    extent_phys: [f64; 3],
+    params: RbcParamsF32,
+    stats: ChannelStats,
+    h_local: f32,
+    constraints: ConstraintSet,
+    row_weights: &[f32],
+) -> (Var, Var) {
+    let all = equation_residuals_at_points(
+        g,
+        store,
+        decoder,
+        latent,
+        points,
+        grid_dims,
+        extent_phys,
+        params,
+        stats,
+        h_local,
+        constraints,
+    );
+    (weighted_l1(g, all, row_weights), all)
+}
+
+/// Records the raw `[points, active constraints]` PDE residual matrix on the
+/// tape (before the absolute value and reduction the loss wrappers apply).
+#[allow(clippy::too_many_arguments)]
+pub fn equation_residuals_at_points(
     g: &mut Graph,
     store: &ParamStore,
     decoder: &ContinuousDecoder,
@@ -338,9 +449,11 @@ pub fn equation_loss_at_points(
         let diff = g.scale(lap, params.r_star);
         residual_cols.push(g.sub(s3, diff));
     }
-    let all = if residual_cols.len() == 1 { residual_cols[0] } else { g.concat(&residual_cols, 1) };
-    let a = g.abs(all);
-    g.mean(a)
+    if residual_cols.len() == 1 {
+        residual_cols[0]
+    } else {
+        g.concat(&residual_cols, 1)
+    }
 }
 
 #[cfg(test)]
@@ -522,6 +635,168 @@ mod tests {
             (tape_loss - jet_loss).abs() < 0.1 * (1.0 + jet_loss),
             "tape {tape_loss} vs jet {jet_loss}"
         );
+    }
+
+    #[test]
+    fn gradcheck_equation_loss_at_wall_adjacent_points() {
+        // Query points on the domain walls exercise the clamped stencil
+        // rows (centers pulled to [h, 1−h], so one side of the stencil sits
+        // right on the boundary). Check the analytic latent gradient against
+        // central finite differences there — only interior points were
+        // covered before.
+        let (store, dec) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(40);
+        let latent = Tensor::randn(&[1, 5, 3, 4, 4], 0.5, &mut rng);
+        let points: Vec<(usize, [f32; 3])> = vec![
+            (0, [0.0, 0.0, 0.0]),
+            (0, [1.0, 1.0, 1.0]),
+            (0, [0.0, 1.0, 0.5]),
+            (0, [0.5, 0.0, 1.0]),
+        ];
+        let params = RbcParamsF32::from_ra_pr(1e5, 1.0);
+        let extent = [1.0, 0.5, 2.0];
+        let eval = |lat: &Tensor| -> f64 {
+            let mut g = Graph::new();
+            let l = g.constant(lat.clone());
+            let loss = equation_loss_at_points(
+                &mut g,
+                &store,
+                &dec,
+                l,
+                &points,
+                [3, 4, 4],
+                extent,
+                params,
+                default_stats(),
+                0.05,
+                ConstraintSet::ALL,
+            );
+            g.value(loss).item() as f64
+        };
+        let mut g = Graph::new();
+        let l = g.leaf_with_grad(latent.clone());
+        let loss = equation_loss_at_points(
+            &mut g,
+            &store,
+            &dec,
+            l,
+            &points,
+            [3, 4, 4],
+            extent,
+            params,
+            default_stats(),
+            0.05,
+            ConstraintSet::ALL,
+        );
+        g.backward(loss);
+        let analytic = g.grad(l).clone();
+        let eps = 1e-2f32;
+        let n = latent.data().len();
+        for &k in &[0usize, 7, 31, n / 2, n - 1] {
+            let mut plus = latent.clone();
+            plus.data_mut()[k] += eps;
+            let mut minus = latent.clone();
+            minus.data_mut()[k] -= eps;
+            let fd = (eval(&plus) - eval(&minus)) / (2.0 * eps as f64);
+            let an = analytic.data()[k] as f64;
+            let scale = 1.0 + an.abs().max(fd.abs());
+            assert!(
+                (an - fd).abs() / scale < 0.05,
+                "latent[{k}]: analytic {an} vs fd {fd} at wall-adjacent points"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_weights_match_unweighted_losses() {
+        let (store, dec) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(50);
+        let latent = Tensor::randn(&[1, 5, 3, 4, 4], 0.5, &mut rng);
+        let s = fake_sample(8, 51);
+        let params = RbcParamsF32::from_ra_pr(1e5, 1.0);
+        let w = vec![1.0f32 / 8.0; 8];
+        let points: Vec<(usize, [f32; 3])> = s.query_local.iter().map(|&q| (0usize, q)).collect();
+
+        let mut g = Graph::new();
+        let l = g.constant(latent.clone());
+        let (plain, _) =
+            prediction_loss(&mut g, &store, &dec, l, std::slice::from_ref(&s), [3, 4, 4]);
+        let (weighted, _) = weighted_prediction_loss(
+            &mut g,
+            &store,
+            &dec,
+            l,
+            std::slice::from_ref(&s),
+            [3, 4, 4],
+            &w,
+        );
+        let (pv, wv) = (g.value(plain).item(), g.value(weighted).item());
+        assert!((pv - wv).abs() < 1e-6 * (1.0 + pv.abs()), "prediction {pv} vs {wv}");
+
+        let plain_eq = equation_loss_at_points(
+            &mut g,
+            &store,
+            &dec,
+            l,
+            &points,
+            [3, 4, 4],
+            s.extent_phys,
+            params,
+            default_stats(),
+            0.05,
+            ConstraintSet::ALL,
+        );
+        let (weighted_eq, resid) = weighted_equation_loss_at_points(
+            &mut g,
+            &store,
+            &dec,
+            l,
+            &points,
+            [3, 4, 4],
+            s.extent_phys,
+            params,
+            default_stats(),
+            0.05,
+            ConstraintSet::ALL,
+            &w,
+        );
+        let (pe, we) = (g.value(plain_eq).item(), g.value(weighted_eq).item());
+        assert!((pe - we).abs() < 1e-6 * (1.0 + pe.abs()), "equation {pe} vs {we}");
+        assert_eq!(g.value(resid).dims(), &[8, 4]);
+    }
+
+    #[test]
+    fn skewed_weights_emphasize_their_rows() {
+        // Putting all the weight on one query point must reproduce that
+        // point's own residual magnitude, not the batch mean.
+        let (store, dec) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(60);
+        let latent = Tensor::randn(&[1, 5, 3, 4, 4], 0.5, &mut rng);
+        let s = fake_sample(4, 61);
+        let params = RbcParamsF32::from_ra_pr(1e5, 1.0);
+        let points: Vec<(usize, [f32; 3])> = s.query_local.iter().map(|&q| (0usize, q)).collect();
+        let mut w = vec![0.0f32; 4];
+        w[2] = 1.0;
+        let mut g = Graph::new();
+        let l = g.constant(latent);
+        let (loss, resid) = weighted_equation_loss_at_points(
+            &mut g,
+            &store,
+            &dec,
+            l,
+            &points,
+            [3, 4, 4],
+            s.extent_phys,
+            params,
+            default_stats(),
+            0.05,
+            ConstraintSet::ALL,
+            &w,
+        );
+        let rv = g.value(resid).clone();
+        let row2: f32 = (0..4).map(|c| rv.data()[2 * 4 + c].abs()).sum::<f32>() / 4.0;
+        let lv = g.value(loss).item();
+        assert!((lv - row2).abs() < 1e-6 * (1.0 + row2.abs()), "loss {lv} vs row {row2}");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::decoder::{plan_queries, ContinuousDecoder};
 use crate::losses::{self, ChannelStats, RbcParamsF32};
 use crate::unet::UNet3d;
 use mfn_autodiff::{load_params, save_params, Graph, Mlp, ParamStore, Var};
-use mfn_data::{Batch, Dataset, DatasetMeta, PatchSpec, CHANNELS};
+use mfn_data::{covering_axis, Batch, Dataset, DatasetMeta, PatchSpec, CHANNELS};
 use mfn_tensor::Tensor;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -181,6 +181,143 @@ impl MeshfreeFlowNet {
         }
     }
 
+    /// Like [`loss_on_batch`], but for batches drawn by an adaptive query
+    /// sampler. Additionally returns one residual score per flattened query
+    /// point for feeding back into the sampler: the point's mean absolute
+    /// PDE residual, normalized by the batch mean so the score is
+    /// scale-free across training (`mean_c |r_c| / E[mean_c |r_c|]`). With
+    /// `γ = 0` there is no equation term and the batch-normalized
+    /// prediction error stands in.
+    ///
+    /// Two different reductions are in play (DESIGN.md §15):
+    ///
+    /// - the returned **loss variable** (what `backward` sees) is the plain
+    ///   mean over the drawn points — training deliberately concentrates on
+    ///   high-residual regions, in the spirit of residual-based adaptive
+    ///   refinement and prioritized replay;
+    /// - the returned **[`StepLosses`] components** apply the batch's
+    ///   self-normalized importance weights, making the telemetry an
+    ///   unbiased estimate of the *uniform*-sampling objective, directly
+    ///   comparable against a uniform run's step metrics.
+    ///
+    /// With empty `query_weights` the batch is treated as uniform and both
+    /// reductions coincide with [`loss_on_batch`].
+    ///
+    /// [`loss_on_batch`]: MeshfreeFlowNet::loss_on_batch
+    pub fn loss_on_batch_scored(
+        &mut self,
+        g: &mut Graph,
+        batch: &Batch,
+        params: RbcParamsF32,
+        stats: ChannelStats,
+        training: bool,
+    ) -> (Var, StepLosses, Vec<f32>) {
+        let n_points: usize = batch.samples.iter().map(|s| s.query_local.len()).sum();
+        let n_samples = batch.samples.len();
+        // Flatten per-sample normalized weights into per-row weights summing
+        // to 1 over the whole batch (uniform when the batch carries none).
+        let row_weights: Vec<f32> = if batch.query_weights.is_empty() {
+            vec![1.0 / n_points as f32; n_points]
+        } else {
+            batch
+                .query_weights
+                .iter()
+                .flat_map(|ws| ws.iter().map(|w| w / n_samples as f32))
+                .collect()
+        };
+        assert_eq!(row_weights.len(), n_points, "one weight per query point");
+
+        let x = g.constant(batch.input.clone());
+        let latent = self.unet.forward(g, &self.store, x, training);
+        let (pred_loss, pred) = losses::prediction_loss(
+            g,
+            &self.store,
+            &self.decoder,
+            latent,
+            &batch.samples,
+            self.grid_dims(),
+        );
+        let target = losses::stack_targets(&batch.samples);
+        let pv = g.value(pred).clone();
+        // Per-point mean absolute prediction error: the base of the sampler
+        // score and, weighted, of the unbiased reported estimate.
+        let pred_rows: Vec<f32> = (0..n_points)
+            .map(|j| {
+                (0..CHANNELS)
+                    .map(|c| (pv.data()[j * CHANNELS + c] - target.data()[j * CHANNELS + c]).abs())
+                    .sum::<f32>()
+                    / CHANNELS as f32
+            })
+            .collect();
+        let weighted =
+            |rows: &[f32]| -> f32 { rows.iter().zip(&row_weights).map(|(r, w)| r * w).sum() };
+        let pred_est = weighted(&pred_rows);
+        // γ = 0 fallback score: batch-mean-normalized prediction error (a
+        // zero-error batch contributes a flat 1.0, i.e. no preference).
+        let mean_pred = pred_rows.iter().sum::<f32>() / n_points as f32;
+        let mut scores: Vec<f32> =
+            pred_rows.iter().map(|&r| if mean_pred > 0.0 { r / mean_pred } else { 1.0 }).collect();
+
+        if self.cfg.gamma > 0.0 {
+            let extent = batch.samples.first().expect("non-empty batch").extent_phys;
+            for s in &batch.samples {
+                let same = s.extent_phys.iter().zip(&extent).all(|(a, b)| (a - b).abs() < 1e-9);
+                assert!(same, "equation loss requires a uniform patch extent per batch");
+            }
+            let points: Vec<(usize, [f32; 3])> = batch
+                .samples
+                .iter()
+                .enumerate()
+                .flat_map(|(b, s)| s.query_local.iter().map(move |&q| (b, q)))
+                .collect();
+            let resid = losses::equation_residuals_at_points(
+                g,
+                &self.store,
+                &self.decoder,
+                latent,
+                &points,
+                self.grid_dims(),
+                extent,
+                params,
+                stats,
+                self.cfg.fd_step,
+                self.cfg.constraints,
+            );
+            let abs = g.abs(resid);
+            let eq_loss = g.mean(abs);
+            let rv = g.value(resid).clone();
+            let n_cols = rv.dims()[1];
+            let eq_rows: Vec<f32> = (0..n_points)
+                .map(|j| {
+                    (0..n_cols).map(|c| rv.data()[j * n_cols + c].abs()).sum::<f32>()
+                        / n_cols as f32
+                })
+                .collect();
+            let eq_est = weighted(&eq_rows);
+            // The sampler chases the *PDE* residual: prediction error is
+            // spread by the data term everywhere, but the equation residual
+            // concentrates at walls and plume fronts — the structure worth
+            // refining into. Batch-mean normalization keeps it scale-free.
+            let mean_eq = eq_rows.iter().sum::<f32>() / n_points as f32;
+            if mean_eq > 0.0 {
+                for (s, r) in scores.iter_mut().zip(&eq_rows) {
+                    *s = r / mean_eq;
+                }
+            }
+            let scaled = g.scale(eq_loss, self.cfg.gamma);
+            let total = g.add(pred_loss, scaled);
+            let comps = StepLosses {
+                total: pred_est + self.cfg.gamma * eq_est,
+                prediction: pred_est,
+                equation: eq_est,
+            };
+            (total, comps, scores)
+        } else {
+            let comps = StepLosses { total: pred_est, prediction: pred_est, equation: 0.0 };
+            (pred_loss, comps, scores)
+        }
+    }
+
     /// Encodes a stacked input `[N, 4, nt, nz, nx]` into a latent grid
     /// *value* (inference mode, no tape retained).
     pub fn encode(&mut self, input: &Tensor) -> Tensor {
@@ -347,18 +484,6 @@ pub fn extract_patch(
         }
     }
     Tensor::from_vec(buf, &[1, CHANNELS, spec.nt, spec.nz, spec.nx])
-}
-
-/// Per-axis covering origins (stride = patch − 1, plus the final origin).
-fn covering_axis(len: usize, p: usize) -> Vec<usize> {
-    assert!(len >= p, "axis of {len} cannot fit patch of {p}");
-    let stride = (p - 1).max(1);
-    let mut v: Vec<usize> = (0..).map(|k| k * stride).take_while(|&o| o + p <= len).collect();
-    let last = len - p;
-    if v.last() != Some(&last) {
-        v.push(last);
-    }
-    v
 }
 
 /// Cartesian-product covering origins per axis.

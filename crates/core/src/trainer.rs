@@ -11,8 +11,9 @@ use crate::losses::{ChannelStats, RbcParamsF32};
 use crate::model::{MeshfreeFlowNet, StepLosses};
 use crate::rng::SampleRng;
 use mfn_autodiff::{clip_grad_norm, grad_l2_norm, Adam, AdamConfig, Graph};
-use mfn_data::{make_batch, Dataset, PatchSampler};
-use mfn_telemetry::{Recorder, StepMetrics, Stopwatch};
+use mfn_data::{make_batch, make_batch_with, Dataset, PatchSampler};
+use mfn_sample::{OctreeConfig, OctreeSampler};
+use mfn_telemetry::{sampler_gauges, Recorder, StepMetrics, Stopwatch};
 use mfn_tensor::{conv3d_path, workspace, Conv3dDims, Conv3dPath};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -121,6 +122,20 @@ pub fn log_pool_stats(recorder: &Recorder) {
     recorder.gauge("pool/cached_bytes", s.cached_bytes as f64);
 }
 
+/// The octree configuration a [`TrainConfig`] implies: defaults everywhere
+/// except the user-tunable uniform floor `ε` and a split threshold scaled
+/// to the training feed. A step observes `batch_size × queries` points
+/// spread over the leaves, so with the default `min_count` a depth-2
+/// scaffold leaf (1/64 of the cube) would wait tens of epochs before it
+/// may refine; half the default keeps the split statistics meaningful
+/// while letting exploitation start within the first few epochs. Shared by
+/// the trainer and the distributed supervisor so both build identical
+/// trees.
+pub fn octree_config(cfg: &TrainConfig) -> OctreeConfig {
+    let base = OctreeConfig::default();
+    OctreeConfig { epsilon: cfg.sampler_epsilon, min_count: base.min_count / 2, ..base }
+}
+
 /// Adam-based trainer for MeshfreeFlowNet.
 pub struct Trainer {
     /// The model being trained.
@@ -141,6 +156,10 @@ pub struct Trainer {
     /// Checkpointable batch-sampling stream (persists across `train` calls
     /// so a resumed trainer continues the exact sample sequence).
     rng: SampleRng,
+    /// Residual-guided octree query sampler (`Some` iff
+    /// `cfg.adaptive_sampling`). `None` keeps the uniform path — and its
+    /// RNG draw sequence — bit-identical to a build without the sampler.
+    sampler: Option<OctreeSampler>,
     /// Destination for periodic train-state checkpoints (None disables).
     checkpoint_path: Option<PathBuf>,
     /// Batch-assembly seconds to attribute to the next `step` call.
@@ -152,6 +171,7 @@ impl Trainer {
     pub fn new(model: MeshfreeFlowNet, cfg: TrainConfig) -> Self {
         let opt = Adam::new(&model.store, AdamConfig { lr: cfg.lr, ..Default::default() });
         let rng = SampleRng::seed_from_u64(cfg.seed);
+        let sampler = cfg.adaptive_sampling.then(|| OctreeSampler::new(octree_config(&cfg)));
         Trainer {
             model,
             opt,
@@ -161,6 +181,7 @@ impl Trainer {
             epoch: 0,
             batch_cursor: 0,
             rng,
+            sampler,
             checkpoint_path: None,
             pending_data_s: 0.0,
         }
@@ -220,6 +241,17 @@ impl Trainer {
         t.epoch = meta.epoch;
         t.batch_cursor = meta.batch_cursor;
         t.rng = SampleRng::restore(meta.rngs[0]);
+        if let Some(bytes) = meta.samplers.first() {
+            if !cfg.adaptive_sampling {
+                return Err(CheckpointError::Incompatible(
+                    "checkpoint carries adaptive-sampler state but adaptive_sampling is off".into(),
+                ));
+            }
+            t.sampler = Some(
+                OctreeSampler::from_bytes(bytes, octree_config(&cfg))
+                    .map_err(CheckpointError::Corrupt)?,
+            );
+        }
         Ok(t)
     }
 
@@ -236,6 +268,7 @@ impl Trainer {
             epoch,
             batch_cursor: cursor,
             rngs: vec![self.rng.state()],
+            samplers: self.sampler.as_ref().map(|s| vec![s.to_bytes()]).unwrap_or_default(),
         }
     }
 
@@ -280,7 +313,15 @@ impl Trainer {
     ) -> StepLosses {
         let mut sw = Stopwatch::start();
         let mut g = Graph::new();
-        let (loss, comps) = self.model.loss_on_batch(&mut g, batch, params, stats, true);
+        // The adaptive path adds importance weighting and per-point scores;
+        // the uniform path keeps today's exact tape (bit-identical runs).
+        let (loss, comps, scores) = if self.sampler.is_some() {
+            let (l, c, s) = self.model.loss_on_batch_scored(&mut g, batch, params, stats, true);
+            (l, c, Some(s))
+        } else {
+            let (l, c) = self.model.loss_on_batch(&mut g, batch, params, stats, true);
+            (l, c, None)
+        };
         let forward_s = sw.lap();
         g.backward(loss);
         let mut grads = g.param_grads(&self.model.store);
@@ -295,6 +336,17 @@ impl Trainer {
         self.opt.step(&mut self.model.store, &grads);
         let optimizer_s = sw.lap();
         self.global_step += 1;
+        if let (Some(tree), Some(scores)) = (self.sampler.as_mut(), scores) {
+            let points: Vec<[f32; 3]> =
+                batch.samples.iter().flat_map(|s| s.query_local.iter().copied()).collect();
+            tree.update(&points, &scores);
+            if self.recorder.is_enabled() {
+                self.recorder.gauge(sampler_gauges::LEAVES, tree.leaf_count() as f64);
+                self.recorder.gauge(sampler_gauges::MAX_DEPTH, tree.max_depth() as f64);
+                self.recorder.gauge(sampler_gauges::ENTROPY, tree.entropy());
+                self.recorder.gauge(sampler_gauges::TOP_DECILE_MASS, tree.top_decile_mass());
+            }
+        }
         if self.recorder.is_enabled() {
             let clip = self.cfg.grad_clip;
             self.recorder.train_step(StepMetrics {
@@ -347,7 +399,11 @@ impl Trainer {
             for b in first_batch..self.cfg.batches_per_epoch {
                 let mut sw = Stopwatch::start();
                 let di = self.rng.gen_range(0..samplers.len());
-                let batch = make_batch(&samplers[di], self.cfg.batch_size, &mut self.rng);
+                let batch = if let Some(tree) = self.sampler.as_mut() {
+                    make_batch_with(&samplers[di], self.cfg.batch_size, tree, &mut self.rng)
+                } else {
+                    make_batch(&samplers[di], self.cfg.batch_size, &mut self.rng)
+                };
                 self.pending_data_s = sw.lap();
                 let comps = self.step(&batch, corpus.params(di), corpus.stats);
                 tl += comps.total;

@@ -5,7 +5,8 @@
 //!
 //! - [`dataset`]: the `[nt, 4, nz, nx]` space-time container (`T, p, u, w`)
 //!   with normalization statistics;
-//! - [`downsample`]: strided LR construction (paper factors `d_t=4, d_s=8`);
+//! - [`downsample`](mod@downsample): strided LR construction (paper factors
+//!   `d_t=4, d_s=8`);
 //! - [`interp`]: space-time trilinear interpolation — HR supervision values
 //!   and the Table 2 Baseline (I) upsampler;
 //! - [`patch`]: fixed-size LR patch + continuous query-point sampling;
@@ -25,4 +26,7 @@ pub use downsample::{
 };
 pub use interp::{sample_trilinear, upsample_trilinear};
 pub use io::{load_dataset, save_dataset};
-pub use patch::{make_batch, stack_patches, Batch, PatchSampler, PatchSpec, Sample};
+pub use patch::{
+    covering_axis, make_batch, make_batch_with, stack_patches, Batch, PatchSampler, PatchSpec,
+    QueryStrategy, Sample, UniformQueries, WeightedQuery,
+};

@@ -2,7 +2,7 @@
 //!
 //! The HPC layer of the MeshfreeFlowNet reproduction (paper Secs. 3.4 and
 //! 5.4): synchronous data-parallel training with a bandwidth-optimal
-//! [`ring`](crate::ring) all-reduce (reduce-scatter + all-gather, the NCCL
+//! [`ring`](mod@crate::ring) all-reduce (reduce-scatter + all-gather, the NCCL
 //! schedule), a replica-consistent multi-worker [`trainer`], and the
 //! calibrated [`scaling`] model that extends measured throughput curves to
 //! the paper's 128-GPU regime for the Fig. 7 reproduction.

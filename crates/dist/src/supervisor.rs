@@ -22,18 +22,21 @@
 //!
 //! Logical ranks are stable identities: rank `r` keeps its sampler stream
 //! (`seed + r * 7919`) across re-forms, so shrinking the world never makes
-//! two workers draw the same batches.
+//! two workers draw the same batches. With adaptive query sampling enabled,
+//! each logical rank additionally owns a residual-guided octree whose bytes
+//! ride the same snapshot/commit/rollback lifecycle as the RNG positions.
 
 use crate::fault::{FaultKind, FaultPlan};
 use crate::ring::{ring, RingError, RingHandle};
 use crate::trainer::param_digest;
 use mfn_autodiff::{clip_grad_norm, flatten_grads, unflatten_grads, Adam, Graph};
 use mfn_core::{
-    decode_train_state, encode_train_state, load_train_state_with_fallback, save_train_state,
-    CheckpointError, Corpus, MeshfreeFlowNet, MfnConfig, RngState, SampleRng, TrainConfig,
-    TrainStateMeta,
+    decode_train_state, encode_train_state, load_train_state_with_fallback, octree_config,
+    save_train_state, CheckpointError, Corpus, MeshfreeFlowNet, MfnConfig, RngState, SampleRng,
+    TrainConfig, TrainStateMeta,
 };
-use mfn_data::{make_batch, PatchSampler};
+use mfn_data::{make_batch, make_batch_with, PatchSampler};
+use mfn_sample::OctreeSampler;
 use mfn_telemetry::{Recorder, StepMetrics, Stopwatch};
 use rand::Rng;
 use std::path::PathBuf;
@@ -106,6 +109,9 @@ struct RoundOk {
     logical_rank: usize,
     /// Sampler position after the epoch.
     rng: RngState,
+    /// Serialized adaptive-sampler octree after the epoch (None when the
+    /// round ran the uniform query path).
+    sampler: Option<Vec<u8>>,
     loss_sum: f32,
     batches: usize,
 }
@@ -148,6 +154,13 @@ pub fn train_elastic(
     let mut rngs: Vec<RngState> = (0..sup.workers)
         .map(|r| RngState { seed: train_cfg.seed.wrapping_add(r as u64 * 7919), words: 0 })
         .collect();
+    // One octree per logical rank when adaptive sampling is on; empty for
+    // the uniform path so snapshots stay byte-identical to the legacy format.
+    let mut sampler_states: Vec<Vec<u8>> = if train_cfg.adaptive_sampling {
+        (0..sup.workers).map(|_| OctreeSampler::new(octree_config(train_cfg)).to_bytes()).collect()
+    } else {
+        Vec::new()
+    };
     let mut start_epoch = 0usize;
 
     // Resume from an existing checkpoint (surviving a torn newest write via
@@ -165,6 +178,13 @@ pub fn train_elastic(
                     meta.rngs.len(),
                     sup.workers
                 );
+                if !meta.samplers.is_empty() {
+                    assert!(
+                        train_cfg.adaptive_sampling,
+                        "checkpoint carries adaptive-sampler state but adaptive_sampling is off"
+                    );
+                    sampler_states = meta.samplers;
+                }
                 opt = restored;
                 rngs = meta.rngs;
                 start_epoch = meta.epoch;
@@ -193,6 +213,7 @@ pub fn train_elastic(
             epoch,
             batch_cursor: 0,
             rngs: rngs.clone(),
+            samplers: sampler_states.clone(),
         };
         let snapshot = encode_train_state(&master, &opt, &meta);
         if let Some(path) = &sup.checkpoint_path {
@@ -217,6 +238,7 @@ pub fn train_elastic(
                     let recorder = recorder.clone();
                     let snapshot = snapshot.as_slice();
                     let rng_state = rngs[logical_rank];
+                    let sampler_state = sampler_states.get(logical_rank).cloned();
                     let timeout = sup.allreduce_timeout;
                     scope.spawn(move || {
                         epoch_round(
@@ -228,6 +250,7 @@ pub fn train_elastic(
                             epoch,
                             snapshot,
                             rng_state,
+                            sampler_state,
                             plan,
                             timeout,
                             recorder,
@@ -254,6 +277,9 @@ pub fn train_elastic(
             for r in results {
                 let ok = r.unwrap_or_else(|_| unreachable!("checked above"));
                 rngs[ok.logical_rank] = ok.rng;
+                if let Some(bytes) = ok.sampler {
+                    sampler_states[ok.logical_rank] = bytes;
+                }
                 loss += ok.loss_sum;
                 batches += ok.batches;
                 if let Some(boxed) = ok.model {
@@ -308,6 +334,7 @@ pub fn train_elastic(
             epoch,
             batch_cursor: 0,
             rngs: rngs.clone(),
+            samplers: sampler_states.clone(),
         };
         let start = Instant::now();
         let bytes = save_train_state(path, &encode_train_state(&master, &opt, &meta))
@@ -344,6 +371,7 @@ fn epoch_round(
     epoch: usize,
     snapshot: &[u8],
     rng_state: RngState,
+    sampler_state: Option<Vec<u8>>,
     plan: &FaultPlan,
     timeout: Duration,
     recorder: Recorder,
@@ -353,6 +381,10 @@ fn epoch_round(
     let (mut opt, _meta) =
         decode_train_state(&mut model, &mut r).expect("supervisor snapshot must decode");
     let mut rng = SampleRng::restore(rng_state);
+    let mut tree = sampler_state.map(|bytes| {
+        OctreeSampler::from_bytes(&bytes, octree_config(&train_cfg))
+            .expect("supervisor snapshot sampler must decode")
+    });
     let samplers: Vec<PatchSampler<'_>> =
         corpus.pairs.iter().map(|(hr, lr)| PatchSampler::new(hr, lr, model.cfg.patch)).collect();
     let (mut loss_sum, mut batches) = (0.0f32, 0usize);
@@ -366,11 +398,22 @@ fn epoch_round(
         }
         let mut sw = Stopwatch::start();
         let di = rng.gen_range(0..samplers.len());
-        let batch = make_batch(&samplers[di], train_cfg.batch_size, &mut rng);
+        let batch = if let Some(tree) = tree.as_mut() {
+            make_batch_with(&samplers[di], train_cfg.batch_size, tree, &mut rng)
+        } else {
+            make_batch(&samplers[di], train_cfg.batch_size, &mut rng)
+        };
         let data_s = sw.lap();
         let mut g = Graph::new();
-        let (loss, comps) =
-            model.loss_on_batch(&mut g, &batch, corpus.params(di), corpus.stats, true);
+        let (loss, comps, scores) = if tree.is_some() {
+            let (loss, comps, scores) =
+                model.loss_on_batch_scored(&mut g, &batch, corpus.params(di), corpus.stats, true);
+            (loss, comps, Some(scores))
+        } else {
+            let (loss, comps) =
+                model.loss_on_batch(&mut g, &batch, corpus.params(di), corpus.stats, true);
+            (loss, comps, None)
+        };
         let forward_s = sw.lap();
         g.backward(loss);
         let grads = g.param_grads(&model.store);
@@ -393,6 +436,11 @@ fn epoch_round(
         };
         opt.step(&mut model.store, &grads);
         let optimizer_s = sw.lap();
+        if let (Some(tree), Some(scores)) = (tree.as_mut(), scores) {
+            let points: Vec<[f32; 3]> =
+                batch.samples.iter().flat_map(|s| s.query_local.iter().copied()).collect();
+            tree.update(&points, &scores);
+        }
         loss_sum += comps.total;
         batches += 1;
         if recorder.is_enabled() {
@@ -417,7 +465,8 @@ fn epoch_round(
         }
     }
     let model = (handle.rank() == 0).then(|| Box::new((model, opt)));
-    Ok(RoundOk { model, logical_rank, rng: rng.state(), loss_sum, batches })
+    let sampler = tree.map(|t| t.to_bytes());
+    Ok(RoundOk { model, logical_rank, rng: rng.state(), sampler, loss_sum, batches })
 }
 
 #[cfg(test)]
@@ -487,6 +536,40 @@ mod tests {
         assert_eq!(
             faulted.final_digest, clean.final_digest,
             "rollback + restart must reproduce the faultless run bit-for-bit"
+        );
+    }
+
+    /// Adaptive query sampling: each rank's octree must ride the same
+    /// commit/rollback lifecycle as the RNG positions, so a killed round
+    /// leaks no residual-EMA updates and kill+restart still reproduces the
+    /// faultless adaptive run bit-for-bit.
+    #[test]
+    fn adaptive_kill_with_restart_is_deterministic() {
+        let (corpus, cfg, mut tc) = tiny_setup();
+        tc.adaptive_sampling = true;
+        let sup = SupervisorConfig { workers: 2, restart_failed: true, ..Default::default() };
+        let clean = train_elastic(&corpus, &cfg, &tc, &sup, &FaultPlan::none(), Recorder::null());
+        let plan = FaultPlan::none().kill(1, 6);
+        let faulted = train_elastic(&corpus, &cfg, &tc, &sup, &plan, Recorder::null());
+        assert!(faulted.completed);
+        assert_eq!(faulted.failures, 1);
+        assert_eq!(
+            faulted.final_digest, clean.final_digest,
+            "adaptive sampler rollback must be as exact as parameter rollback"
+        );
+        // The adaptive path must actually diverge from the uniform one —
+        // otherwise this test would pass vacuously.
+        let uniform = train_elastic(
+            &corpus,
+            &cfg,
+            &tiny_setup().2,
+            &sup,
+            &FaultPlan::none(),
+            Recorder::null(),
+        );
+        assert_ne!(
+            clean.final_digest, uniform.final_digest,
+            "adaptive sampling should change which query points are drawn"
         );
     }
 }

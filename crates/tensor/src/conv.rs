@@ -13,7 +13,7 @@
 //!   a GEMM-shaped axpy sweep) and for shapes whose lowered patch matrix
 //!   would be huge;
 //! - [`conv3d_im2col`]: lowers the input to a `[N·D·H·W, Cin·kd·kh·kw]`
-//!   patch matrix and runs one blocked GEMM from [`crate::gemm`] — the
+//!   patch matrix and runs one blocked GEMM from [`crate::gemm`](mod@crate::gemm) — the
 //!   register-tiled micro-kernel amortizes the lowering copy for 3×3×3
 //!   stacks with more than a few channels.
 //!
@@ -381,7 +381,7 @@ fn fill_patch_span(
 /// Forward 3D convolution as a *fused implicit GEMM*: per batch item,
 /// `out[co, p] = W[co, :] · patch[:, p]` with `W: [Cout, Cin·kd·kh·kw]` in
 /// its native layout and the patch operand packed on the fly, one `KC×NC`
-/// block at a time, by [`fill_patch_span`] — the `[Cin·kvol, D·H·W]` patch
+/// block at a time, by `fill_patch_span` — the `[Cin·kvol, D·H·W]` patch
 /// matrix never exists in memory. The output lands directly in NCDHW (no
 /// transpose-back), and all scratch is pooled: steady-state calls do not
 /// allocate.
@@ -486,7 +486,7 @@ fn implicit_forward_into(x: &[f32], w: &[f32], dims: Conv3dDims) -> Vec<f32> {
 /// input/output channels swapped and every kernel axis flipped:
 /// `W'[ci, co, z] = W[co, ci, flip(z)]`. The flipped weight (a few KiB) is
 /// materialized once per call; the patch operand streams through
-/// [`fill_patch_span`] exactly like the forward pass.
+/// `fill_patch_span` exactly like the forward pass.
 pub fn conv3d_implicit_grad_input(grad_out: &Tensor, weight: &Tensor, dims: Conv3dDims) -> Tensor {
     let [sd, sh, sw] = dims.spatial;
     let [kd, kh, kw] = dims.kernel;
@@ -514,7 +514,7 @@ pub fn conv3d_implicit_grad_input(grad_out: &Tensor, weight: &Tensor, dims: Conv
 /// Per batch item `n`, `∂L/∂W[co, kidx] += grad_out_n[co, :] ·
 /// patchᵀ_n[:, kidx]` — a `[Cout, vol] × [vol, Cin·kvol]` GEMM whose
 /// right-hand side is the *transposed* implicit patch matrix, packed
-/// column-wise by [`fill_patch_span`] with a write stride of `nr`. The
+/// column-wise by `fill_patch_span` with a write stride of `nr`. The
 /// depth dimension is the voxel count, so accumulation runs over both the
 /// `KC` voxel blocks and the batch (`first` only on the very first block).
 pub fn conv3d_implicit_grad_weight(input: &Tensor, grad_out: &Tensor, dims: Conv3dDims) -> Tensor {

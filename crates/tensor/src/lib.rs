@@ -7,7 +7,7 @@
 //!   concat/split, and seeded random initialization;
 //! - [`linalg`]: GEMM entry points (`A@B`, `Aᵀ@B`, `A@Bᵀ`) for the
 //!   continuous decoding MLP, all lowering onto the blocked micro-kernel in
-//!   [`gemm`];
+//!   [`gemm`](mod@gemm);
 //! - [`conv`]: 3D convolution (forward + both backwards, direct and
 //!   im2col+GEMM lowerings with a shape-based auto heuristic), max pooling
 //!   and nearest-neighbor upsampling for the 3D U-Net encoder;

@@ -4,9 +4,9 @@
 //! layers, i.e. `[rows, in] x [in, out]` GEMMs with `rows` in the tens of
 //! thousands (query points × 8 cell vertices). All three transpose variants
 //! (`matmul`, `matmul_tn`, `matmul_nt`) lower onto the single cache-blocked,
-//! register-tiled micro-kernel in [`crate::gemm`] — transposition is folded
+//! register-tiled micro-kernel in [`crate::gemm`](mod@crate::gemm) — transposition is folded
 //! into the packing strides, so there is exactly one inner loop to keep fast.
-//! See the [`crate::gemm`] module docs for the MC/KC/NC blocking scheme, the
+//! See the [`crate::gemm`](mod@crate::gemm) module docs for the MC/KC/NC blocking scheme, the
 //! MR×NR packing layout, and why the inner loop is branch-free (NaN/Inf
 //! propagation). Output storage and packing buffers come from the
 //! [`crate::workspace`] pool, so steady-state calls do not allocate.

@@ -127,7 +127,7 @@ range_strategy_int!(i8, i16, i32, i64, isize);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: a fixed length or a range.
+    /// Length specification for [`vec`](fn@vec): a fixed length or a range.
     pub struct SizeRange {
         lo: usize,
         hi: usize, // exclusive
