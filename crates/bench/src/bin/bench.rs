@@ -368,22 +368,25 @@ struct DecodeRow {
 }
 
 /// Everything the serving-split benchmark measures: the encode cost, the
-/// f32 decode rows, their bf16-quantized twins, and the resident bf16
-/// weight bytes.
+/// f32 decode rows, their bf16-quantized twins (store tier and compute
+/// tier), and the resident bf16 weight bytes.
 struct DecodeBench {
     encode_ns: f64,
     rows: Vec<DecodeRow>,
     bf16_rows: Vec<DecodeRow>,
+    bf16_compute_rows: Vec<DecodeRow>,
     bf16_weight_bytes: usize,
 }
 
 /// Times the serving split on a tiny frozen model: one U-Net encode (the
 /// expensive encode-once half) and `decode_values` at several query-batch
-/// sizes (the cheap decode-many half), first at full precision and then
-/// again through the bf16-quantized decoder on the *same* weights. The
-/// encode/decode ratio in the JSON is the asymmetry the latent-context
-/// cache in `mfn-serve` exploits; the bf16 rows are the µs/query the
-/// `--bf16-decode` serve flag buys.
+/// sizes (the cheap decode-many half), first at full precision, then
+/// through the bf16-*store* decoder on the same weights, then through the
+/// bf16-*compute* decoder (a twin model of identical shape, since one
+/// decoder holds one tier). The encode/decode ratio in the JSON is the
+/// asymmetry the latent-context cache in `mfn-serve` exploits; the bf16
+/// rows are the µs/query the `--bf16-decode` / `--bf16-compute` serve
+/// flags buy.
 fn bench_decode(iters: usize) -> DecodeBench {
     let mut cfg = MfnConfig::small();
     cfg.patch = PatchSpec { nt: 4, nz: 4, nx: 4, queries: 32 };
@@ -396,13 +399,19 @@ fn bench_decode(iters: usize) -> DecodeBench {
     cfg.mlp_hidden = vec![128, 128];
     cfg.levels = 2;
     let in_channels = cfg.in_channels;
-    let mut frozen = FrozenModel::from_model(MeshfreeFlowNet::new(cfg));
+    let mut frozen = FrozenModel::from_model(MeshfreeFlowNet::new(cfg.clone()));
+    // A decoder holds exactly one quantization tier, so the compute tier
+    // gets a shape-identical twin model; decode cost depends on the layer
+    // shapes, not the weight values, so the comparison stays apples-to-
+    // apples as long as all three calls interleave in one loop.
+    let mut frozen_c = FrozenModel::from_model(MeshfreeFlowNet::new(cfg));
     let mut rng = ChaCha8Rng::seed_from_u64(21);
     let input = Tensor::randn(&[1, in_channels, 4, 4, 4], 1.0, &mut rng);
     let (encode_ns, _, _) = time_samples(iters, || {
         std::hint::black_box(frozen.encode(&input));
     });
     let latent = frozen.encode(&input);
+    let latent_c = frozen_c.encode(&input);
     // Quantize up front: `decode_values` then takes the bf16 path while
     // `decode_values_exact` stays f32, so both variants run on the SAME
     // model object and can be timed in one interleaved loop. Alternating
@@ -410,8 +419,10 @@ fn bench_decode(iters: usize) -> DecodeBench {
     // equally — comparing the two minima cancels machine-speed drift that
     // timing the paths in separate windows would bake into the ratio.
     frozen.quantize_decoder();
+    frozen_c.quantize_decoder_compute();
     let mut rows = Vec::new();
     let mut bf16_rows = Vec::new();
+    let mut bf16_compute_rows = Vec::new();
     for &q in &[1usize, 8, 64, 512] {
         let mut state = q as u64 * 7919 + 1;
         let queries: Vec<(usize, [f32; 3])> = (0..q)
@@ -430,16 +441,24 @@ fn bench_decode(iters: usize) -> DecodeBench {
         let bf16_call = || {
             std::hint::black_box(frozen.decode_values(&latent, queries.iter().copied()));
         };
-        f32_call(); // warm up both paths (workspace pool, icache)
+        let bf16c_call = || {
+            std::hint::black_box(frozen_c.decode_values(&latent_c, queries.iter().copied()));
+        };
+        f32_call(); // warm up all paths (workspace pool, icache)
         bf16_call();
+        bf16c_call();
         let b0 = alloc_bytes();
         f32_call();
         let f32_bytes = alloc_bytes() - b0;
         let b0 = alloc_bytes();
         bf16_call();
         let bf16_bytes = alloc_bytes() - b0;
+        let b0 = alloc_bytes();
+        bf16c_call();
+        let bf16c_bytes = alloc_bytes() - b0;
         let mut f32_samples = Vec::with_capacity(iters);
         let mut bf16_samples = Vec::with_capacity(iters);
+        let mut bf16c_samples = Vec::with_capacity(iters);
         for _ in 0..iters {
             let t = Instant::now();
             f32_call();
@@ -447,6 +466,9 @@ fn bench_decode(iters: usize) -> DecodeBench {
             let t = Instant::now();
             bf16_call();
             bf16_samples.push(t.elapsed().as_nanos() as f64);
+            let t = Instant::now();
+            bf16c_call();
+            bf16c_samples.push(t.elapsed().as_nanos() as f64);
         }
         let row = |mut samples: Vec<f64>, bytes: u64| {
             samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
@@ -461,8 +483,15 @@ fn bench_decode(iters: usize) -> DecodeBench {
         };
         rows.push(row(f32_samples, f32_bytes));
         bf16_rows.push(row(bf16_samples, bf16_bytes));
+        bf16_compute_rows.push(row(bf16c_samples, bf16c_bytes));
     }
-    DecodeBench { encode_ns, rows, bf16_rows, bf16_weight_bytes: frozen.quantized_weight_bytes() }
+    DecodeBench {
+        encode_ns,
+        rows,
+        bf16_rows,
+        bf16_compute_rows,
+        bf16_weight_bytes: frozen.quantized_weight_bytes(),
+    }
 }
 
 /// Measured sampling rows: uniform vs residual-guided adaptive query
@@ -637,6 +666,23 @@ struct GateSamplingDoc {
 #[derive(serde::Deserialize)]
 struct GateSampling {
     adaptive_overhead: f64,
+}
+
+/// Optional bf16-compute section of a committed baseline. Parsed separately
+/// (the [`GateSamplingDoc`] pattern) so reports written before the compute
+/// tier landed still gate everything else — this leg is just skipped.
+#[derive(serde::Deserialize)]
+struct GateBf16Doc {
+    decode_values: GateBf16Decode,
+}
+
+/// Baseline bf16-compute row: the 512-query speedup ratio and whether the
+/// baseline machine ran the native `vdpbf16ps` route. Ratios from a native
+/// run and an emulated run are not comparable, so the flag gates the gate.
+#[derive(serde::Deserialize)]
+struct GateBf16Decode {
+    bf16_compute_native: bool,
+    bf16_compute_speedup_512q: f64,
 }
 
 /// `--gate` floor: each speedup ratio must hold at least this fraction of
@@ -908,17 +954,33 @@ fn main() {
         / decode.bf16_rows.first().expect("bf16 decode rows").best_ns;
     let bf16_speedup = decode_rows.last().expect("decode rows").best_ns
         / decode.bf16_rows.last().expect("bf16 decode rows").best_ns;
+    // The compute tier's headline lives where its win is architectural: at
+    // large query batches the MLP GEMM dominates and `vdpbf16ps` retires a
+    // 2-deep dot product per lane-instruction, so on avx512bf16 hardware the
+    // 64- and 512-query ratios are the ones the issue's 1.5x floor is about.
+    // On hardware without the extension these ratios measure the emulation
+    // (typically < 1x) — the native flag in the JSON says which one it was.
+    let row_speedup = |i: usize| {
+        decode_rows.get(i).expect("decode rows").best_ns
+            / decode.bf16_compute_rows.get(i).expect("bf16 compute rows").best_ns
+    };
+    let bf16_compute_speedup_64q = row_speedup(2);
+    let bf16_compute_speedup_512q = row_speedup(3);
+    let bf16_compute_native = mfn_tensor::bf16_compute_is_native();
     {
         let d1 = decode_rows.first().expect("decode rows");
         eprintln!(
             "[bench] encode {:.0} ns vs 1-query decode {:.0} ns ({:.0}x); \
              1-query bf16 {bf16_speedup_1q:.2}x; \
-             512-query decode {:.2} Mpts/s f32, {:.2} Mpts/s bf16 ({bf16_speedup:.2}x)",
+             512-query decode {:.2} Mpts/s f32, {:.2} Mpts/s bf16 ({bf16_speedup:.2}x), \
+             {:.2} Mpts/s bf16-compute ({bf16_compute_speedup_512q:.2}x, native: \
+             {bf16_compute_native})",
             encode_ns,
             d1.median_ns,
             encode_ns / d1.median_ns,
             decode_rows.last().expect("decode rows").points_per_s / 1e6,
             decode.bf16_rows.last().expect("bf16 decode rows").points_per_s / 1e6,
+            decode.bf16_compute_rows.last().expect("bf16 compute rows").points_per_s / 1e6,
         );
     }
 
@@ -980,6 +1042,7 @@ fn main() {
     };
     let decode_json = decode_rows_json(decode_rows);
     let bf16_json = decode_rows_json(&decode.bf16_rows);
+    let bf16_compute_json = decode_rows_json(&decode.bf16_compute_rows);
     let conv_row = |median: f64, best: f64, bytes: u64| {
         format!(
             "{{\"median_ns\": {median:.0}, \"best_ns\": {best:.0}, \"gflops\": {gf:.2}, \"alloc_bytes_per_call\": {bytes}}}",
@@ -1009,9 +1072,13 @@ fn main() {
          \"encode_to_1query_decode_ratio\": {enc_dec_ratio:.1},\n\
          \"rows\": [\n{decode_json}\n  ],\n\
          \"bf16_rows\": [\n{bf16_json}\n  ],\n\
+         \"bf16_compute_rows\": [\n{bf16_compute_json}\n  ],\n\
          \"bf16_weight_bytes\": {bf16_bytes},\n\
          \"bf16_speedup_1q\": {bf16_speedup_1q:.3},\n\
-         \"bf16_speedup_512q\": {bf16_speedup:.3}\n\
+         \"bf16_speedup_512q\": {bf16_speedup:.3},\n\
+         \"bf16_compute_native\": {bf16_compute_native},\n\
+         \"bf16_compute_speedup_64q\": {bf16_compute_speedup_64q:.3},\n\
+         \"bf16_compute_speedup_512q\": {bf16_compute_speedup_512q:.3}\n\
          }},\n\
          \"sampling\": {{\n\
          \"queries_per_draw\": {sq},\n\
@@ -1153,6 +1220,54 @@ fn main() {
             }
             Err(_) => {
                 eprintln!("[gate] baseline has no sampling section; skipping sampling leg");
+            }
+        }
+        // bf16-compute leg: the compute tier's 512-query speedup over f32
+        // must hold its fraction of the committed baseline — but only when
+        // this run and the baseline took the same route (native vs
+        // emulated); mixing the two compares a kernel against a simulator.
+        match serde_json::from_str::<GateBf16Doc>(baseline) {
+            Ok(doc) if doc.decode_values.bf16_compute_native != bf16_compute_native => {
+                eprintln!(
+                    "[gate] bf16-compute route differs from baseline (baseline native: {}, \
+                     now native: {bf16_compute_native}); skipping bf16-compute leg",
+                    doc.decode_values.bf16_compute_native
+                );
+            }
+            Ok(doc) => {
+                let base = doc.decode_values.bf16_compute_speedup_512q;
+                let floor = GATE_FRACTION * base;
+                let mut now = bf16_compute_speedup_512q;
+                let mut passed = false;
+                for attempt in 0..3 {
+                    eprintln!(
+                        "[gate] bf16-compute 512q decode speedup: now {now:.2}x vs \
+                         baseline {base:.2}x (floor {floor:.2}x)"
+                    );
+                    if now >= floor {
+                        passed = true;
+                        break;
+                    }
+                    if attempt < 2 {
+                        eprintln!("[gate] below floor; re-measuring in a fresh window ...");
+                        std::thread::sleep(std::time::Duration::from_millis(500));
+                        let d = bench_decode(decode_iters);
+                        now = now.max(
+                            d.rows.last().expect("decode rows").best_ns
+                                / d.bf16_compute_rows.last().expect("bf16 compute rows").best_ns,
+                        );
+                    }
+                }
+                if !passed {
+                    eprintln!(
+                        "[bench] FAIL: bf16-compute 512q speedup {now:.2}x stayed below \
+                         {GATE_FRACTION}x baseline ({floor:.2}x) across 3 windows"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(_) => {
+                eprintln!("[gate] baseline has no bf16-compute section; skipping bf16 leg");
             }
         }
         eprintln!("[bench] gate vs {path}: ok");

@@ -57,8 +57,9 @@ pub fn check_gemm() -> Report {
 
 /// bf16 quantization vs the explicit-comparison RNE reference, bit-exact on
 /// the u16 pattern, over the unbounded adversarial set plus ±inf / NaN /
-/// overflow probes — then exhaustively over every bf16 bit pattern: widening
-/// then re-quantizing must be the identity (quiet-bit-forced for NaNs).
+/// saturation-band probes — then exhaustively over every bf16 bit pattern:
+/// widening then re-quantizing must be the identity (quiet-bit-forced for
+/// NaNs). Finite overflow saturates to ±0x7F7F; only ±inf maps to ±inf.
 pub fn check_bf16_quantize() -> Report {
     let mut c = Checker::new("bf16_quantize", Tolerance::exact());
     let mut xs = adversarial(2048, 1700);
@@ -67,9 +68,15 @@ pub fn check_bf16_quantize() -> Report {
         f32::NEG_INFINITY,
         f32::NAN,
         -f32::NAN,
-        f32::MAX, // rounds past the largest finite bf16: must go to inf
+        f32::MAX, // rounds past the largest finite bf16: saturates to 0x7F7F
         f32::MIN,
-        f32::from_bits(0x7F7F_8000), // exactly halfway to inf: tie, kept odd
+        f32::from_bits(0x7F7F_8000), // halfway to inf: RNE carries, saturation claws back
+        f32::from_bits(0x7F7F_8001), // just past the halfway point: same
+        f32::from_bits(0x7F7F_7FFF), // just below halfway: rounds down, no saturation
+        f32::from_bits(0xFF7F_8000), // negative saturation band
+        f32::from_bits(0x7F80_0001), // NaN with zero top payload: quiet bit must rescue it
+        f32::from_bits(0xFF80_0001), // same, negative
+        f32::from_bits(0x7F80_FFFF), // NaN whose payload lives only in the discarded bits
         f32::from_bits(0x3F80_8000), // tie above an even kept mantissa
         f32::from_bits(0x3F81_8000), // tie above an odd kept mantissa
         f32::from_bits(0x3F80_8001), // one past the tie
@@ -128,6 +135,61 @@ pub fn check_gemm_bf16() -> Report {
         let want = refk::gemm_ref(m, k, n, &a, MatLayout::Normal, &wq, MatLayout::Transposed);
         for (i, &got) in out.iter().enumerate() {
             c.check_f32(i, got, want.value[i], want.scale[i]);
+        }
+    }
+    c.finish()
+}
+
+/// The bf16-*compute* GEMM (`matmul_bf16`) vs the f64 reference over both
+/// operands widened-after-quantization. This tier's looser contract: A is
+/// quantized at pack time and every product is a bf16×bf16 FMA pair with
+/// FTZ/DAZ, so the oracle absorbs the quantization (it sees the same bf16
+/// values the kernel does) and the budget covers accumulation order plus
+/// flush-to-zero — hence the small absolute floor the f32 tiers don't need.
+pub fn check_gemm_bf16_compute() -> Report {
+    let mut c = Checker::new("gemm_bf16_compute", Tolerance::new(8, 1.0e-4, 1.0e-35));
+    for (si, &(m, k, n)) in GEMM_SHAPES.iter().enumerate() {
+        let seed = 1900 + si as u64;
+        c.case(format!("m{m} k{k} n{n} seed {seed}"));
+        let a = adversarial_bounded(m * k, seed, ACC_CAP);
+        let w = adversarial_bounded(n * k, seed ^ 0xB16C, ACC_CAP); // [n, k] weight
+        let packed = PackedBf16Gemm::from_nt_weight(&w, n, k);
+        let aq = widen_slice(&quantize_slice(&a));
+        let wq = widen_slice(&quantize_slice(&w));
+        let mut out = vec![f32::NAN; m * n]; // NaN canary: must be overwritten
+        packed.matmul_bf16(m, &a, &mut out);
+        let want = refk::gemm_ref(m, k, n, &aq, MatLayout::Normal, &wq, MatLayout::Transposed);
+        for (i, &got) in out.iter().enumerate() {
+            c.check_f32(i, got, want.value[i], want.scale[i]);
+        }
+    }
+    c.finish()
+}
+
+/// The two bf16-compute codegen legs agree bit-for-bit on finite inputs:
+/// the software-emulated `vdpbf16ps` (hi-FMA, lo-FMA, FTZ each step, DAZ on
+/// inputs) is the *definition* of the kernel, and the intrinsic leg must
+/// reproduce it exactly. On hardware without `avx512bf16` both legs resolve
+/// to the emulation, and the check degrades to a determinism probe — two
+/// runs of the blocked parallel driver must still be bit-identical.
+pub fn check_bf16_compute_routes() -> Report {
+    let mut c = Checker::new("bf16_compute_routes", Tolerance::exact());
+    let native = mfn_tensor::bf16_compute_is_native();
+    for (si, &(m, k, n)) in GEMM_SHAPES.iter().enumerate() {
+        let seed = 2000 + si as u64;
+        let leg = if native { "native-vs-emulated" } else { "emulated-vs-emulated" };
+        c.case(format!("m{m} k{k} n{n} seed {seed} {leg}"));
+        let a = adversarial_bounded(m * k, seed, ACC_CAP);
+        let w = adversarial_bounded(n * k, seed ^ 0xB16E, ACC_CAP);
+        let packed = PackedBf16Gemm::from_nt_weight(&w, n, k);
+        let mut out_a = vec![f32::NAN; m * n];
+        packed.matmul_bf16(m, &a, &mut out_a);
+        mfn_tensor::set_bf16_emulated_override(Some(true));
+        let mut out_b = vec![f32::NAN; m * n];
+        packed.matmul_bf16(m, &a, &mut out_b);
+        mfn_tensor::set_bf16_emulated_override(None);
+        for (i, (&ga, &gb)) in out_a.iter().zip(&out_b).enumerate() {
+            c.check_f32(i, ga, f64::from(gb), 0.0);
         }
     }
     c.finish()
@@ -796,6 +858,8 @@ pub fn run_all() -> Vec<Report> {
         check_bf16_quantize(),
         check_bf16_precision(),
         check_gemm_bf16(),
+        check_gemm_bf16_compute(),
+        check_bf16_compute_routes(),
         check_conv3d(),
         check_conv3d_grad_input(),
         check_conv3d_grad_weight(),

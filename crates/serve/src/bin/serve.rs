@@ -5,7 +5,7 @@
 //! usage: serve --ckpt PATH.state [--config PATH.cfg.json] [--addr HOST:PORT]
 //!              [--cache-cap N] [--batch-max N] [--batch-wait-us N]
 //!              [--workers N] [--timeout-ms N] [--telemetry PATH]
-//!              [--duration-s N] [--bf16-decode] [--refine]
+//!              [--duration-s N] [--bf16-decode] [--bf16-compute] [--refine]
 //! ```
 //!
 //! `--ckpt` names an `MFNSTAT1` train-state file (as written by `train
@@ -36,6 +36,7 @@ struct Args {
     telemetry: Option<PathBuf>,
     duration_s: u64,
     bf16_decode: bool,
+    bf16_compute: bool,
     refine: bool,
 }
 
@@ -44,7 +45,8 @@ fn parse() -> Args {
     let usage = "usage: serve --ckpt PATH.state [--config PATH.cfg.json] \
                  [--addr HOST:PORT] [--cache-cap N] [--batch-max N] \
                  [--batch-wait-us N] [--workers N] [--timeout-ms N] \
-                 [--telemetry PATH] [--duration-s N] [--bf16-decode] [--refine]";
+                 [--telemetry PATH] [--duration-s N] [--bf16-decode] \
+                 [--bf16-compute] [--refine]";
     let mut ckpt = None;
     let mut config = None;
     let mut addr = "127.0.0.1:7077".to_string();
@@ -56,6 +58,7 @@ fn parse() -> Args {
     let mut telemetry = None;
     let mut duration_s = 0u64;
     let mut bf16_decode = false;
+    let mut bf16_compute = false;
     let mut refine = false;
     let mut i = 0;
     let next = |argv: &[String], i: &mut usize, what: &str| -> String {
@@ -90,6 +93,7 @@ fn parse() -> Args {
                 duration_s = next(&argv, &mut i, "--duration-s").parse().expect("integer")
             }
             "--bf16-decode" => bf16_decode = true,
+            "--bf16-compute" => bf16_compute = true,
             "--refine" => refine = true,
             "--help" | "-h" => {
                 println!("{usage}");
@@ -118,6 +122,7 @@ fn parse() -> Args {
         telemetry,
         duration_s,
         bf16_decode,
+        bf16_compute,
         refine,
     }
 }
@@ -155,16 +160,19 @@ fn main() {
             max_batch: args.batch_max,
             max_wait: Duration::from_micros(args.batch_wait_us),
             bf16_decode: args.bf16_decode,
+            bf16_compute: args.bf16_compute,
             refine,
         },
     ));
     if args.refine {
         eprintln!("test-time physics refinement enabled");
     }
-    if args.bf16_decode {
+    if args.bf16_decode || args.bf16_compute {
         eprintln!(
-            "bf16 decode enabled ({} quantized weight bytes)",
-            engine.model().quantized_weight_bytes()
+            "decode tier {} ({} quantized weight bytes, native bf16 compute: {})",
+            engine.model().decode_tier().name(),
+            engine.model().quantized_weight_bytes(),
+            mfn_tensor::bf16_compute_is_native(),
         );
     }
     let recorder = match &args.telemetry {

@@ -281,12 +281,17 @@ pub struct ModelInfo {
     pub param_count: u64,
     /// Gradient steps the served checkpoint had taken.
     pub trained_steps: u64,
+    /// Precision tier answering value decodes
+    /// ([`mfn_core::DecodeTier::as_u8`]): 0 = f32, 1 = bf16-store,
+    /// 2 = bf16-compute. Carried as the raw byte so a client can still
+    /// print stats from a newer shard.
+    pub decode_tier: u8,
 }
 
 impl ModelInfo {
     /// Serializes to the InfoResp payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut p = Vec::with_capacity(40);
+        let mut p = Vec::with_capacity(41);
         for v in [
             self.in_channels,
             self.out_channels,
@@ -299,6 +304,7 @@ impl ModelInfo {
         }
         p.extend_from_slice(&self.param_count.to_le_bytes());
         p.extend_from_slice(&self.trained_steps.to_le_bytes());
+        p.push(self.decode_tier);
         p
     }
 
@@ -312,6 +318,7 @@ impl ModelInfo {
             latent_channels: c.u32()?,
             param_count: c.u64()?,
             trained_steps: c.u64()?,
+            decode_tier: c.u8()?,
         };
         c.finish()?;
         Ok(info)
@@ -341,6 +348,10 @@ pub struct ShardStat {
     pub decode_calls: u64,
     /// Query points decoded across all batches.
     pub batched_queries: u64,
+    /// Precision tier answering this shard's value decodes (same encoding
+    /// as [`ModelInfo::decode_tier`]) — lets fleet tooling catch a mixed
+    /// f32/bf16 fleet instead of silently comparing across contracts.
+    pub decode_tier: u8,
 }
 
 impl ShardStat {
@@ -361,6 +372,7 @@ impl ShardStat {
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
+        out.push(self.decode_tier);
     }
 
     /// Reads one stat from a cursor.
@@ -379,6 +391,7 @@ impl ShardStat {
             cache_len: c.u64()?,
             decode_calls: c.u64()?,
             batched_queries: c.u64()?,
+            decode_tier: c.u8()?,
         })
     }
 }
@@ -550,8 +563,16 @@ mod tests {
             latent_channels: 32,
             param_count: 123_456,
             trained_steps: 789,
+            decode_tier: 2,
         };
         assert_eq!(ModelInfo::decode(&info.encode()).unwrap(), info);
+        // The tier byte is mandatory: a payload without it is rejected, and
+        // trailing bytes beyond it still trip the strict finish.
+        let enc = info.encode();
+        assert!(ModelInfo::decode(&enc[..enc.len() - 1]).is_err());
+        let mut long = enc.clone();
+        long.push(0);
+        assert!(ModelInfo::decode(&long).is_err());
     }
 
     #[test]
@@ -626,6 +647,7 @@ mod tests {
                 cache_len: 3,
                 decode_calls: 5,
                 batched_queries: 320,
+                decode_tier: 1,
             },
             ShardStat {
                 addr: "127.0.0.1:7078".into(),
@@ -638,6 +660,7 @@ mod tests {
                 cache_len: 0,
                 decode_calls: 0,
                 batched_queries: 0,
+                decode_tier: 0,
             },
         ];
         assert_eq!(decode_stats(&encode_stats(&stats)).unwrap(), stats);

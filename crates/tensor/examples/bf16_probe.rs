@@ -1,0 +1,42 @@
+//! Raw GEMM throughput probe: f32 blocked vs bf16-store vs bf16-compute,
+//! at serving decode shapes plus one square compute-bound shape. Handy
+//! when qualifying a new host's `vdpbf16ps` throughput (see
+//! `MFN_BF16_NATIVE=dp|fma` to pin the native realization under test).
+
+use mfn_tensor::bf16::PackedBf16Gemm;
+use mfn_tensor::{gemm, MatLayout};
+use std::time::Instant;
+
+fn main() {
+    println!("native bf16 compute: {}", mfn_tensor::bf16_compute_is_native());
+    for &(m, k, n) in
+        &[(4096usize, 67usize, 128usize), (4096, 128, 128), (4096, 128, 4), (1024, 1024, 1024)]
+    {
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 97) as f32 * 0.01 - 0.3).collect();
+        let w: Vec<f32> = (0..n * k).map(|i| (i % 89) as f32 * 0.01 - 0.4).collect();
+        let packed = PackedBf16Gemm::from_nt_weight(&w, n, k);
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        let mut c3 = vec![0.0f32; m * n];
+        let iters = if m * k * n > 1 << 27 { 5 } else { 40 };
+        let time = |f: &mut dyn FnMut()| {
+            f();
+            let mut best = f64::MAX;
+            for _ in 0..iters {
+                let t = Instant::now();
+                f();
+                best = best.min(t.elapsed().as_nanos() as f64);
+            }
+            2.0 * (m * k * n) as f64 / best
+        };
+        let g_f32 =
+            time(&mut || gemm(m, k, n, &a, MatLayout::Normal, &w, MatLayout::Transposed, &mut c1));
+        let g_store = time(&mut || packed.matmul(m, &a, &mut c2));
+        let g_compute = time(&mut || packed.matmul_bf16(m, &a, &mut c3));
+        println!(
+            "m{m} k{k} n{n}: f32 {g_f32:.2} store {g_store:.2} compute {g_compute:.2} GFLOP/s \
+             (compute/f32 {:.2}x)",
+            g_compute / g_f32
+        );
+    }
+}

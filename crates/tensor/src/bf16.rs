@@ -1,29 +1,49 @@
-//! bf16 (bfloat16) storage with f32 accumulation, for frozen-weight GEMMs.
+//! bf16 (bfloat16) storage and compute, for frozen-weight GEMMs.
 //!
 //! bf16 is the top 16 bits of an f32: 1 sign + 8 exponent + 7 mantissa
 //! bits. Widening back to f32 is *exact* (a 16-bit left shift); only
 //! quantization rounds, by round-to-nearest-even on the truncated 16
-//! mantissa bits. That makes the numerical contract simple: a bf16 GEMM is
-//! the ordinary f32 GEMM evaluated on `widen(quantize(W))` — every
-//! accumulation happens in f32, bit-identically to [`crate::gemm::gemm`]
-//! on the widened weights, and the only error vs full precision is the
-//! one-time ≤2⁻⁸ relative weight rounding.
+//! mantissa bits (saturating at the largest finite bf16 — see
+//! [`quantize_bf16`]). Two tiers build on that, with distinct numerical
+//! contracts:
+//!
+//! * **bf16-store** ([`PackedBf16Gemm::matmul`]): only the *weights* are
+//!   rounded. The GEMM is the ordinary f32 GEMM evaluated on
+//!   `widen(quantize(W))` — every accumulation happens in f32,
+//!   bit-identically to [`crate::gemm::gemm`] on the widened weights, and
+//!   the only error vs full precision is the one-time ≤2⁻⁸ relative weight
+//!   rounding.
+//! * **bf16-compute** ([`PackedBf16Gemm::matmul_bf16`]): *activations* are
+//!   rounded too, and tiles execute `vdpbf16ps` semantics (two bf16×bf16
+//!   products fused per f32 accumulation step, with DAZ/FTZ — see
+//!   [`crate::simd::bf16_kernel_for`]). Explicitly looser: per-element
+//!   relative error grows with both operands rounded, in exchange for
+//!   double FMA throughput and half the panel bandwidth on `avx512bf16`
+//!   hosts. Native and emulated routes are bit-identical on finite inputs.
 //!
 //! [`PackedBf16Gemm`] holds a *frozen* right-hand side prepacked into the
-//! active micro-kernel's `nr`-column panel layout at quantization time.
-//! Serving decoders multiply against the same weights millions of times, so
-//! packing once buys back the per-call `pack_b` walk (a strided traversal
-//! for transposed weights) and halves the weight working set; the per-call
-//! cost that remains is a contiguous u16→f32 widen of one `KC`-deep slab.
+//! active micro-kernel's `nr`-column panel layout at quantization time,
+//! stored as depth-pair `u32`s (`(hi << 16) | lo`) so one buffer serves
+//! both tiers. Serving decoders multiply against the same weights millions
+//! of times, so packing once buys back the per-call `pack_b` walk; the
+//! per-call cost that remains is a contiguous widen of one `KC`-deep slab
+//! (store tier) or a quantizing `pack_a` of the activations (compute tier).
 
 use crate::gemm::{self, PAR_FLOP_THRESHOLD};
-use crate::simd::{self, Kernel};
+use crate::simd::{self, Bf16Kernel, Kernel};
 use rayon::prelude::*;
 
-/// Quantizes an f32 to bf16 by round-to-nearest-even. Values beyond bf16's
-/// finite range round to ±inf (standard RNE overflow); NaN keeps its sign
-/// and top payload bits with a quiet bit forced so it cannot collapse to
-/// inf.
+/// Quantizes an f32 to bf16 by round-to-nearest-even, with explicit
+/// special-value semantics:
+///
+/// * NaN stays NaN — the sign and top payload bits are kept and the quiet
+///   bit is forced, so a payload living only in the truncated low mantissa
+///   bits cannot collapse the value to ±inf.
+/// * ±inf map to bf16 ±inf.
+/// * *Finite* values whose RNE rounding would overflow (anything beyond
+///   the last finite bf16, `f32::MAX` included) **saturate** to ±`0x7F7F`
+///   (±3.3895×10³⁸) instead of silently widening to ±inf: a finite weight
+///   must never become an infinity that poisons a whole accumulator chain.
 pub fn quantize_bf16(x: f32) -> u16 {
     let bits = x.to_bits();
     if x.is_nan() {
@@ -32,7 +52,13 @@ pub fn quantize_bf16(x: f32) -> u16 {
     // Add 0x7FFF + (lsb of the kept mantissa): ties go to the even kept
     // mantissa, carries ripple into the exponent exactly as RNE requires.
     let round = ((bits >> 16) & 1) + 0x7FFF;
-    ((bits.wrapping_add(round)) >> 16) as u16
+    let q = (bits.wrapping_add(round) >> 16) as u16;
+    if q & 0x7FFF == 0x7F80 && x.is_finite() {
+        // Finite overflow: saturate to the largest finite bf16.
+        (q & 0x8000) | 0x7F7F
+    } else {
+        q
+    }
 }
 
 /// Widens a bf16 back to f32 — exact, by construction.
@@ -50,20 +76,35 @@ pub fn widen_slice(src: &[u16]) -> Vec<f32> {
     src.iter().map(|&q| widen_bf16(q)).collect()
 }
 
+/// Reinterprets pooled f32 scratch as u32 storage (same size, same
+/// alignment, every bit pattern valid for both); the caller fully
+/// overwrites it before reading.
+fn as_u32_mut(s: &mut [f32]) -> &mut [u32] {
+    // SAFETY: f32 and u32 are both 4-byte POD with 4-byte alignment; the
+    // slice covers the same memory exactly.
+    unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr().cast::<u32>(), s.len()) }
+}
+
 /// A `[k, n]` right-hand side quantized to bf16 and prepacked into the
-/// active micro-kernel's panel layout: for each `KC`-deep depth block, `nr`-
-/// column panels stored row-major (`panel[p*nr + j]`), edge columns zero.
+/// active micro-kernel's panel layout: for each `KC`-deep depth block,
+/// `nr`-column panels stored row-major over *depth pairs*
+/// (`panel[p2*nr + j]` is the `u32` pair `(hi << 16) | lo` holding depths
+/// `2·p2` and `2·p2 + 1`; an odd block depth pads the last `hi` with a
+/// zero bf16, edge columns are fully zero).
 ///
-/// The packing kernel (tile shape) is captured at construction and used for
-/// the packed matrix's whole lifetime, so a later
-/// [`crate::simd::set_backend_override`] never desynchronizes layout and
+/// The packing kernel (tile shape) is captured at construction through the
+/// same cached dispatch the f32 GEMMs use, and both the widen (store-tier)
+/// and `vdpbf16ps` (compute-tier) routes derive from it for the packed
+/// matrix's whole lifetime — so a later
+/// [`crate::simd::set_backend_override`] (or `MFN_PORTABLE_KERNELS` /
+/// `MFN_EMULATED_BF16` in a fresh process) never desynchronizes layout and
 /// micro-kernel.
 #[derive(Clone)]
 pub struct PackedBf16Gemm {
     k: usize,
     n: usize,
     kernel: &'static Kernel,
-    panels: Vec<u16>,
+    panels: Vec<u32>,
 }
 
 // Hand-written: the kernel field is a fn table, not worth printing.
@@ -73,7 +114,7 @@ impl std::fmt::Debug for PackedBf16Gemm {
             .field("k", &self.k)
             .field("n", &self.n)
             .field("backend", &self.kernel.backend.name())
-            .field("weight_bytes", &(self.panels.len() * 2))
+            .field("weight_bytes", &self.weight_bytes())
             .finish()
     }
 }
@@ -87,26 +128,26 @@ impl PackedBf16Gemm {
         let kernel = simd::active_kernel_for(1 << 20, n);
         let nr = kernel.nr;
         let n_panels = n.div_ceil(nr);
-        let mut panels = vec![0u16; k.div_ceil(gemm::KC) * n_panels * nr * gemm::KC.min(k.max(1))];
-        // Recompute exact total (last depth block is shorter).
-        let mut total = 0;
-        for pc in (0..k).step_by(gemm::KC) {
-            total += n_panels * nr * gemm::KC.min(k - pc);
-        }
-        panels.truncate(total);
-        let mut off = 0;
+        let mut panels = Vec::new();
         for pc in (0..k).step_by(gemm::KC) {
             let kb = gemm::KC.min(k - pc);
+            let kb2 = kb.div_ceil(2);
             for pj in 0..n_panels {
                 let j0 = pj * nr;
                 let cols = nr.min(n - j0);
-                let panel = &mut panels[off..off + nr * kb];
-                for (p, row) in panel.chunks_exact_mut(nr).enumerate() {
-                    for (jj, d) in row.iter_mut().enumerate() {
-                        *d = if jj < cols { quantize_bf16(src(pc + p, j0 + jj)) } else { 0 };
+                let base = panels.len();
+                panels.resize(base + nr * kb2, 0u32);
+                for (p2, row) in panels[base..].chunks_exact_mut(nr).enumerate() {
+                    for (jj, d) in row.iter_mut().take(cols).enumerate() {
+                        let lo = u32::from(quantize_bf16(src(pc + 2 * p2, j0 + jj)));
+                        let hi = if 2 * p2 + 1 < kb {
+                            u32::from(quantize_bf16(src(pc + 2 * p2 + 1, j0 + jj)))
+                        } else {
+                            0
+                        };
+                        *d = (hi << 16) | lo;
                     }
                 }
-                off += nr * kb;
             }
         }
         PackedBf16Gemm { k, n, kernel, panels }
@@ -131,13 +172,14 @@ impl PackedBf16Gemm {
 
     /// Bytes held by the quantized panels (the resident weight cost).
     pub fn weight_bytes(&self) -> usize {
-        self.panels.len() * 2
+        self.panels.len() * 4
     }
 
     /// `C = A · widen(B)` with `A: [m, k]` row-major, `C: [m, n]` fully
     /// overwritten. Accumulation is f32, bit-identical to
     /// [`crate::gemm::gemm`] over the widened weights (same `KC` splits,
-    /// same micro-kernel) — pinned by tests.
+    /// same micro-kernel) — pinned by tests. This is the **bf16-store**
+    /// tier: activations stay exact f32.
     ///
     /// # Panics
     /// Panics if slice lengths disagree with `m` and the packed shape.
@@ -159,17 +201,31 @@ impl PackedBf16Gemm {
         let mut off = 0;
         for pc in (0..k).step_by(gemm::KC) {
             let kb = gemm::KC.min(k - pc);
+            let kb2 = kb.div_ceil(2);
             let first = pc == 0;
-            let slab = &self.panels[off..off + n_panels * nr * kb];
-            off += n_panels * nr * kb;
-            // Contiguous u16 → f32 widen of one depth slab: the entire
-            // per-call "packing" cost of the bf16 path.
-            let (mut b_buf, b_off) = gemm::take_scratch_aligned(slab.len());
-            let b_pack = &mut b_buf[b_off..b_off + slab.len()];
-            for (d, &q) in b_pack.iter_mut().zip(slab) {
-                *d = widen_bf16(q);
+            let slab = &self.panels[off..off + n_panels * nr * kb2];
+            off += n_panels * nr * kb2;
+            // Contiguous pair → f32 widen of one depth slab, de-interleaved
+            // back to the f32 kernels' per-depth row order: the entire
+            // per-call "packing" cost of the store tier.
+            let b_len = n_panels * nr * kb;
+            let (mut b_buf, b_off) = gemm::take_scratch_aligned(b_len);
+            let b_pack = &mut b_buf[b_off..b_off + b_len];
+            for (pair_panel, f32_panel) in
+                slab.chunks_exact(nr * kb2).zip(b_pack.chunks_exact_mut(nr * kb))
+            {
+                for (p2, prow) in pair_panel.chunks_exact(nr).enumerate() {
+                    for (j, &pair) in prow.iter().enumerate() {
+                        f32_panel[2 * p2 * nr + j] = widen_bf16(pair as u16);
+                    }
+                    if 2 * p2 + 1 < kb {
+                        for (j, &pair) in prow.iter().enumerate() {
+                            f32_panel[(2 * p2 + 1) * nr + j] = widen_bf16((pair >> 16) as u16);
+                        }
+                    }
+                }
             }
-            let b_pack = &b_buf[b_off..b_off + slab.len()];
+            let b_pack = &b_buf[b_off..b_off + b_len];
             let run_block = |i0: usize, c_block: &mut [f32]| {
                 let mb = gemm::MC.min(m - i0);
                 let a_len = mb.div_ceil(mr) * mr * kb;
@@ -185,6 +241,274 @@ impl PackedBf16Gemm {
             } else {
                 for (bi, c_block) in c.chunks_mut(gemm::MC * n).enumerate() {
                     run_block(bi * gemm::MC, c_block);
+                }
+            }
+        }
+    }
+
+    /// `C = quantize(A) · B` in `vdpbf16ps` arithmetic — the **bf16-compute**
+    /// tier. `A: [m, k]` row-major is quantized to bf16 during packing
+    /// (reusing the pooled workspace; the packed weights are consumed
+    /// directly, no widen); `C: [m, n]` is fully overwritten, accumulated in
+    /// f32. The same `KC` depth splits as every other tier apply, and the
+    /// native/emulated routes are bit-identical on finite inputs, so results
+    /// are reproducible across hosts — but *both* operands are rounded and
+    /// each accumulation step fuses a depth pair with DAZ/FTZ, so this tier
+    /// carries its own, looser error budget (see the reftest rows).
+    ///
+    /// # Panics
+    /// Panics if slice lengths disagree with `m` and the packed shape.
+    pub fn matmul_bf16(&self, m: usize, a: &[f32], c: &mut [f32]) {
+        let (k, n) = (self.k, self.n);
+        assert_eq!(a.len(), m * k, "bf16 gemm lhs length mismatch");
+        assert_eq!(c.len(), m * n, "bf16 gemm output length mismatch");
+        if m == 0 || n == 0 {
+            return;
+        }
+        if k == 0 {
+            c.fill(0.0);
+            return;
+        }
+        let bf16_kernel = simd::bf16_kernel_for(self.kernel);
+        let (mr, nr) = (bf16_kernel.mr, bf16_kernel.nr);
+        debug_assert_eq!((mr, nr), (self.kernel.mr, self.kernel.nr));
+        // The native route has two bit-identical realizations; calibration
+        // picks per process. The widen-FMA one bypasses pair tiles: operands
+        // widen to f32 (hi-then-lo pair order) and the ordinary f32 tile
+        // runs under MXCSR FTZ/DAZ.
+        let fma_route = bf16_kernel.native && simd::bf16_native_variant_is_fma();
+        let n_panels = n.div_ceil(nr);
+        let parallel = m * k * n >= PAR_FLOP_THRESHOLD && gemm::effective_threads() > 1;
+        let mut off = 0;
+        for pc in (0..k).step_by(gemm::KC) {
+            let kb = gemm::KC.min(k - pc);
+            let kb2 = kb.div_ceil(2);
+            let first = pc == 0;
+            let slab = &self.panels[off..off + n_panels * nr * kb2];
+            off += n_panels * nr * kb2;
+            if fma_route {
+                // Widen the weight slab once per call (amortized over every
+                // m-block), keeping the chain's hi-then-lo step order; the
+                // pad half of an odd depth widens to 0.0 like its zero bf16.
+                let kw = 2 * kb2;
+                let b_len = n_panels * nr * kw;
+                let (mut b_buf, b_off) = gemm::take_scratch_aligned(b_len);
+                let b_w = &mut b_buf[b_off..b_off + b_len];
+                for (pair_panel, f32_panel) in
+                    slab.chunks_exact(nr * kb2).zip(b_w.chunks_exact_mut(nr * kw))
+                {
+                    for (p2, prow) in pair_panel.chunks_exact(nr).enumerate() {
+                        for (j, &pair) in prow.iter().enumerate() {
+                            f32_panel[2 * p2 * nr + j] = f32::from_bits(pair & 0xFFFF_0000);
+                            f32_panel[(2 * p2 + 1) * nr + j] = f32::from_bits(pair << 16);
+                        }
+                    }
+                }
+                let b_w = &b_buf[b_off..b_off + b_len];
+                for_each_block(parallel, n, c, |i0, c_block| {
+                    let mb = gemm::MC.min(m - i0);
+                    let a_len = mb.div_ceil(mr) * mr * kw;
+                    let (mut a_buf, a_off) = gemm::take_scratch_aligned(a_len);
+                    let a_pack = &mut a_buf[a_off..a_off + a_len];
+                    pack_a_bf16_widened(mr, a_pack, a, k, i0, mb, pc, kb);
+                    macro_block_bf16_fma(self.kernel, a_pack, b_w, c_block, mb, kw, n, n, first);
+                });
+            } else {
+                // The packed weights are already in the pair layout the
+                // kernel consumes: zero per-call work on the B side.
+                for_each_block(parallel, n, c, |i0, c_block| {
+                    let mb = gemm::MC.min(m - i0);
+                    let a_len = mb.div_ceil(mr) * mr * kb2;
+                    let (mut a_buf, a_off) = gemm::take_scratch_aligned(a_len);
+                    let a_pack = as_u32_mut(&mut a_buf[a_off..a_off + a_len]);
+                    pack_a_bf16(mr, a_pack, a, k, i0, mb, pc, kb);
+                    macro_block_bf16(bf16_kernel, a_pack, slab, c_block, mb, kb2, n, n, first);
+                });
+            }
+        }
+    }
+}
+
+/// Runs `run(i0, c_block)` over `MC`-row output blocks, in parallel when
+/// the caller's flop heuristic asked for it.
+fn for_each_block(parallel: bool, n: usize, c: &mut [f32], run: impl Fn(usize, &mut [f32]) + Sync) {
+    if parallel {
+        c.par_chunks_mut(gemm::MC * n)
+            .enumerate()
+            .for_each(|(bi, c_block)| run(bi * gemm::MC, c_block));
+    } else {
+        for (bi, c_block) in c.chunks_mut(gemm::MC * n).enumerate() {
+            run(bi * gemm::MC, c_block);
+        }
+    }
+}
+
+/// Packs an `mb × kb` block of row-major `A` (rows `i0..`, depth `p0..`,
+/// row stride `k`) into mr-row pair panels, quantizing each element to bf16
+/// on the way: panel `pi` holds rows `i0 + pi*mr ..` at
+/// `dst[pi*mr*kb2 + p2*mr + i]`, pairs packed `(hi << 16) | lo` exactly as
+/// the weight panels. Rows past `mb` (and an odd depth's trailing `hi`)
+/// are zero.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_bf16(
+    mr: usize,
+    dst: &mut [u32],
+    src: &[f32],
+    k: usize,
+    i0: usize,
+    mb: usize,
+    p0: usize,
+    kb: usize,
+) {
+    let kb2 = kb.div_ceil(2);
+    let mut qrow = [0.0f32; gemm::KC];
+    for (pi, panel) in dst.chunks_exact_mut(mr * kb2).enumerate() {
+        let i = pi * mr;
+        let rows = mr.min(mb - i);
+        if rows < mr {
+            panel.fill(0);
+        }
+        for ii in 0..rows {
+            let srow = &src[(i0 + i + ii) * k + p0..][..kb];
+            // Vectorized quantize of the contiguous row, then a cheap
+            // bit-move scatter into the pair layout (widen is exact, so
+            // the top 16 bits of the widened value *are* the bf16).
+            let qr = &mut qrow[..kb];
+            simd::quantize_widen_into(qr, srow);
+            for p2 in 0..kb2 {
+                let lo = qr[2 * p2].to_bits() >> 16;
+                let hi = if 2 * p2 + 1 < kb { qr[2 * p2 + 1].to_bits() >> 16 } else { 0 };
+                panel[p2 * mr + ii] = (hi << 16) | lo;
+            }
+        }
+    }
+}
+
+/// The widen-FMA twin of [`pack_a_bf16`]: quantizes each element to bf16,
+/// widens it straight back to f32, and stores panels in the chain's
+/// hi-then-lo step order (depth `2·p2 + 1` at step row `2·p2`, depth
+/// `2·p2` right after), matching the widened weight slab. Rows past `mb`
+/// and an odd depth's pad step are zero.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_bf16_widened(
+    mr: usize,
+    dst: &mut [f32],
+    src: &[f32],
+    k: usize,
+    i0: usize,
+    mb: usize,
+    p0: usize,
+    kb: usize,
+) {
+    let kw = kb.div_ceil(2) * 2;
+    let mut qrow = [0.0f32; gemm::KC];
+    for (pi, panel) in dst.chunks_exact_mut(mr * kw).enumerate() {
+        let i = pi * mr;
+        let rows = mr.min(mb - i);
+        if rows < mr {
+            panel.fill(0.0);
+        }
+        for ii in 0..rows {
+            let srow = &src[(i0 + i + ii) * k + p0..][..kb];
+            let qr = &mut qrow[..kb];
+            simd::quantize_widen_into(qr, srow);
+            for p2 in 0..kb / 2 {
+                panel[2 * p2 * mr + ii] = qr[2 * p2 + 1];
+                panel[(2 * p2 + 1) * mr + ii] = qr[2 * p2];
+            }
+            if kb % 2 == 1 {
+                panel[(kw - 2) * mr + ii] = 0.0;
+                panel[(kw - 1) * mr + ii] = qr[kb - 1];
+            }
+        }
+    }
+}
+
+/// Runs every micro-tile of one widened `mb × kw` A block against the
+/// widened `kw × nb` B slab through the f32 micro-kernel under MXCSR
+/// FTZ/DAZ ([`simd::run_f32_micro_ftz_daz`]) — the widen-FMA realization
+/// of [`macro_block_bf16`]. Write-back happens with MXCSR restored, so
+/// cross-slab accumulation keeps default (unflushed) f32 behavior exactly
+/// like every other route.
+#[allow(clippy::too_many_arguments)]
+fn macro_block_bf16_fma(
+    kernel: &Kernel,
+    a_pack: &[f32],
+    b_pack: &[f32],
+    c_block: &mut [f32],
+    mb: usize,
+    kw: usize,
+    nb: usize,
+    row_stride: usize,
+    first: bool,
+) {
+    let (mr, nr) = (kernel.mr, kernel.nr);
+    #[repr(align(64))]
+    struct AccTile([f32; simd::MAX_MR * simd::MAX_NR]);
+    let mut acc = AccTile([0.0; simd::MAX_MR * simd::MAX_NR]);
+    let acc = &mut acc.0[..mr * nr];
+    for (pj, b_panel) in b_pack.chunks_exact(nr * kw).enumerate() {
+        let j = pj * nr;
+        let cols = nr.min(nb - j);
+        for (pi, a_panel) in a_pack.chunks_exact(mr * kw).enumerate() {
+            let i = pi * mr;
+            let rows = mr.min(mb - i);
+            simd::run_f32_micro_ftz_daz(kernel, kw, a_panel, b_panel, acc);
+            for ii in 0..rows {
+                let row = &acc[ii * nr..][..cols];
+                let dst = &mut c_block[(i + ii) * row_stride + j..][..cols];
+                if first {
+                    dst.copy_from_slice(row);
+                } else {
+                    for (d, &v) in dst.iter_mut().zip(row) {
+                        *d += v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs every micro-tile of one pair-packed `mb × kb` A block against the
+/// pair-packed `kb × nb` B slab — the bf16 twin of
+/// [`crate::gemm::macro_block`], with identical edge masking and
+/// first/accumulate write-back.
+#[allow(clippy::too_many_arguments)]
+fn macro_block_bf16(
+    kernel: &Bf16Kernel,
+    a_pack: &[u32],
+    b_pack: &[u32],
+    c_block: &mut [f32],
+    mb: usize,
+    kb2: usize,
+    nb: usize,
+    row_stride: usize,
+    first: bool,
+) {
+    let (mr, nr) = (kernel.mr, kernel.nr);
+    // Cache-line aligned accumulator tile so the micro-kernel's stores never
+    // straddle lines.
+    #[repr(align(64))]
+    struct AccTile([f32; simd::MAX_MR * simd::MAX_NR]);
+    let mut acc = AccTile([0.0; simd::MAX_MR * simd::MAX_NR]);
+    let acc = &mut acc.0[..mr * nr];
+    for (pj, b_panel) in b_pack.chunks_exact(nr * kb2).enumerate() {
+        let j = pj * nr;
+        let cols = nr.min(nb - j);
+        for (pi, a_panel) in a_pack.chunks_exact(mr * kb2).enumerate() {
+            let i = pi * mr;
+            let rows = mr.min(mb - i);
+            (kernel.micro)(kb2, a_panel, b_panel, acc);
+            // Write-back masks the zero-padded lanes of edge tiles.
+            for ii in 0..rows {
+                let row = &acc[ii * nr..][..cols];
+                let dst = &mut c_block[(i + ii) * row_stride + j..][..cols];
+                if first {
+                    dst.copy_from_slice(row);
+                } else {
+                    for (d, &v) in dst.iter_mut().zip(row) {
+                        *d += v;
+                    }
                 }
             }
         }
@@ -218,8 +542,32 @@ mod tests {
         assert_eq!(quantize_bf16(f32::from_bits(0x3F80_7FFF)), 0x3F80);
         // Mantissa carry ripples into the exponent: 1.9999999 -> 2.0.
         assert_eq!(widen_bf16(quantize_bf16(1.999_999_9)), 2.0);
-        // Overflow rounds to inf.
-        assert_eq!(widen_bf16(quantize_bf16(f32::MAX)), f32::INFINITY);
+    }
+
+    #[test]
+    fn finite_overflow_saturates_and_specials_survive() {
+        // Finite values past the last finite bf16 saturate instead of
+        // widening to inf — f32::MAX, the former RNE tie-to-inf point, and
+        // the first value that would round up all land on ±0x7F7F.
+        for bits in [0x7F7F_FFFFu32, 0x7F7F_8000, 0x7F7F_8001, 0x7F80_0000u32 - 1] {
+            assert_eq!(quantize_bf16(f32::from_bits(bits)), 0x7F7F, "{bits:#010x}");
+            assert_eq!(quantize_bf16(f32::from_bits(bits | 0x8000_0000)), 0xFF7F);
+        }
+        assert_eq!(quantize_bf16(f32::MAX), 0x7F7F);
+        assert_eq!(quantize_bf16(f32::MIN), 0xFF7F);
+        // Just below the rounding threshold still rounds normally.
+        assert_eq!(quantize_bf16(f32::from_bits(0x7F7F_7FFF)), 0x7F7F);
+        assert_eq!(quantize_bf16(f32::from_bits(0x7F7E_8001)), 0x7F7F);
+        // True infinities pass through.
+        assert_eq!(quantize_bf16(f32::INFINITY), 0x7F80);
+        assert_eq!(quantize_bf16(f32::NEG_INFINITY), 0xFF80);
+        // A NaN whose payload lives only in the truncated low mantissa bits
+        // must stay NaN (the quiet bit is forced), never become inf.
+        for bits in [0x7F80_0001u32, 0x7F80_FFFF, 0xFF80_0001, 0x7FC0_0000, 0xFFFF_FFFF] {
+            let q = quantize_bf16(f32::from_bits(bits));
+            assert!(widen_bf16(q).is_nan(), "{bits:#010x} -> {q:#06x}");
+            assert_eq!(q >> 15, (bits >> 31) as u16, "sign preserved");
+        }
     }
 
     #[test]
@@ -242,17 +590,26 @@ mod tests {
         }
     }
 
-    #[test]
-    fn packed_matmul_is_bit_identical_to_f32_gemm_on_widened_weights() {
-        // Shapes straddle tile and KC boundaries.
-        for &(m, k, n) in &[(1, 1, 1), (7, 11, 32), (13, 300, 49), (70, 64, 17)] {
-            let mut s = (m * 1000 + k * 10 + n) as u32;
-            let mut next = move || {
+    /// Shapes straddling tile, pair (odd `k`) and KC boundaries, shared by
+    /// the store- and compute-tier tests.
+    const SHAPES: [(usize, usize, usize); 6] =
+        [(1, 1, 1), (7, 11, 32), (13, 300, 49), (70, 64, 17), (5, 257, 33), (3, 513, 40)];
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        let mut s = seed;
+        (0..len)
+            .map(|_| {
                 s = s.wrapping_mul(1664525).wrapping_add(1013904223);
                 ((s >> 16) as i32 % 1001 - 500) as f32 / 256.0
-            };
-            let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
-            let w: Vec<f32> = (0..n * k).map(|_| next()).collect(); // [n, k]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_matmul_is_bit_identical_to_f32_gemm_on_widened_weights() {
+        for &(m, k, n) in &SHAPES {
+            let a = fill(m * k, (m * 1000 + k * 10 + n) as u32);
+            let w = fill(n * k, (k * 1000 + n) as u32); // [n, k]
             let packed = PackedBf16Gemm::from_nt_weight(&w, n, k);
             assert_eq!(packed.cols(), n);
             assert_eq!(packed.depth(), k);
@@ -268,11 +625,136 @@ mod tests {
         }
     }
 
+    /// The compute tier against a scalar transcription of its contract:
+    /// per output element, KC-split depth loop over quantized pairs with
+    /// the pinned `vdpbf16ps` chain (hi-then-lo fused steps). Runs on every
+    /// host via the emulated route; on `avx512bf16` hosts the next test
+    /// pins native ≡ emulated, closing the loop to hardware.
+    #[test]
+    fn matmul_bf16_matches_scalar_pair_chain() {
+        for &(m, k, n) in &SHAPES {
+            let a = fill(m * k, (m * 7 + k * 3 + n) as u32);
+            let w = fill(n * k, (k * 31 + n) as u32); // [n, k]
+            let packed = PackedBf16Gemm::from_nt_weight(&w, n, k);
+            let mut got = vec![f32::NAN; m * n];
+            packed.matmul_bf16(m, &a, &mut got);
+            let qa = quantize_slice(&a);
+            let qw = quantize_slice(&w);
+            let daz = |q: u16| {
+                if q & 0x7F80 == 0 {
+                    f32::from_bits(u32::from(q & 0x8000) << 16)
+                } else {
+                    widen_bf16(q)
+                }
+            };
+            let ftz = |x: f32| {
+                if x.to_bits() & 0x7F80_0000 == 0 {
+                    f32::from_bits(x.to_bits() & 0x8000_0000)
+                } else {
+                    x
+                }
+            };
+            for i in 0..m {
+                for j in 0..n {
+                    let mut total = 0.0f32;
+                    for pc in (0..k).step_by(gemm::KC) {
+                        let kb = gemm::KC.min(k - pc);
+                        let mut acc = 0.0f32;
+                        for p2 in 0..kb.div_ceil(2) {
+                            let p = pc + 2 * p2;
+                            let (a_lo, w_lo) = (daz(qa[i * k + p]), daz(qw[j * k + p]));
+                            let (a_hi, w_hi) = if 2 * p2 + 1 < kb {
+                                (daz(qa[i * k + p + 1]), daz(qw[j * k + p + 1]))
+                            } else {
+                                (0.0, 0.0)
+                            };
+                            acc = ftz(acc);
+                            acc = ftz(a_hi.mul_add(w_hi, acc));
+                            acc = ftz(a_lo.mul_add(w_lo, acc));
+                        }
+                        total += acc;
+                    }
+                    let g = got[i * n + j];
+                    assert_eq!(
+                        g.to_bits(),
+                        total.to_bits(),
+                        "{m}x{k}x{n} ({i},{j}): {g:e} vs {total:e}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Native `vdpbf16ps` and the emulated route agree bit-for-bit through
+    /// the full blocked driver (skipped, trivially green, without the
+    /// hardware).
+    #[test]
+    fn matmul_bf16_native_and_emulated_routes_agree_bitwise() {
+        if !simd::bf16_compute_is_native() {
+            return;
+        }
+        for &(m, k, n) in &SHAPES {
+            let a = fill(m * k, (m * 13 + k + n * 5) as u32);
+            let w = fill(n * k, (k * 17 + n) as u32);
+            let packed = PackedBf16Gemm::from_nt_weight(&w, n, k);
+            let mut native = vec![f32::NAN; m * n];
+            simd::set_bf16_emulated_override(Some(false));
+            packed.matmul_bf16(m, &a, &mut native);
+            let mut emulated = vec![f32::NAN; m * n];
+            simd::set_bf16_emulated_override(Some(true));
+            packed.matmul_bf16(m, &a, &mut emulated);
+            simd::set_bf16_emulated_override(None);
+            for (i, (&g, &e)) in native.iter().zip(&emulated).enumerate() {
+                assert_eq!(g.to_bits(), e.to_bits(), "{m}x{k}x{n} elem {i}: {g:e} vs {e:e}");
+            }
+        }
+    }
+
+    /// Both native realizations — `vdpbf16ps` pair tiles and the widen-FMA
+    /// transcription — produce the same bits as the emulated route through
+    /// the full blocked driver, whatever calibration would have picked
+    /// (skipped, trivially green, without the native route).
+    #[test]
+    fn matmul_bf16_native_variants_agree_bitwise() {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if !simd::bf16_compute_is_native() {
+                return;
+            }
+            for variant in [simd::VARIANT_DP, simd::VARIANT_FMA] {
+                simd::set_bf16_native_variant(Some(variant));
+                for &(m, k, n) in &SHAPES {
+                    let a = fill(m * k, (m * 11 + k * 5 + n) as u32);
+                    let w = fill(n * k, (k * 23 + n) as u32);
+                    let packed = PackedBf16Gemm::from_nt_weight(&w, n, k);
+                    let mut native = vec![f32::NAN; m * n];
+                    simd::set_bf16_emulated_override(Some(false));
+                    packed.matmul_bf16(m, &a, &mut native);
+                    let mut emulated = vec![f32::NAN; m * n];
+                    simd::set_bf16_emulated_override(Some(true));
+                    packed.matmul_bf16(m, &a, &mut emulated);
+                    simd::set_bf16_emulated_override(None);
+                    for (i, (&g, &e)) in native.iter().zip(&emulated).enumerate() {
+                        assert_eq!(
+                            g.to_bits(),
+                            e.to_bits(),
+                            "variant {variant} {m}x{k}x{n} elem {i}: {g:e} vs {e:e}"
+                        );
+                    }
+                }
+            }
+            simd::set_bf16_native_variant(None);
+        }
+    }
+
     #[test]
     fn k_zero_zeroes_output() {
         let packed = PackedBf16Gemm::pack(0, 3, |_, _| unreachable!());
         let mut c = vec![5.0f32; 6];
         packed.matmul(2, &[], &mut c);
+        assert!(c.iter().all(|&v| v == 0.0));
+        let mut c = vec![5.0f32; 6];
+        packed.matmul_bf16(2, &[], &mut c);
         assert!(c.iter().all(|&v| v == 0.0));
     }
 }

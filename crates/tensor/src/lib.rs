@@ -41,5 +41,8 @@ pub use rowops::{
     add_bias_channels, add_bias_rows, blend_rows, channel_affine, gather_concat_rows, gather_rows,
 };
 pub use shape::Shape;
-pub use simd::{kernel_backend, set_backend_override, KernelBackend};
+pub use simd::{
+    bf16_compute_is_native, kernel_backend, set_backend_override, set_bf16_emulated_override,
+    KernelBackend,
+};
 pub use tensor::Tensor;
